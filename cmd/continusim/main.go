@@ -1,0 +1,114 @@
+// Command continusim regenerates the paper's tables and figures from the
+// simulation. Select an experiment with -experiment; "all" runs the whole
+// evaluation section.
+//
+// Usage:
+//
+//	continusim -experiment fig5 [-rounds 40] [-seed 1] [-sizes 100,500,1000]
+//	continusim -experiment all -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"continustreaming/internal/experiment"
+	"continustreaming/internal/metrics"
+)
+
+func main() {
+	var (
+		which    = flag.String("experiment", "all", "experiment to run: fig3|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|all")
+		rounds   = flag.Int("rounds", 40, "scheduling periods per run")
+		tail     = flag.Int("tail", 10, "rounds in the stable-phase average")
+		seed     = flag.Uint64("seed", 1, "master random seed")
+		sizes    = flag.String("sizes", "", "comma-separated network sizes for the sweeps (default paper sweep)")
+		delay    = flag.Int("delay", 0, "playback delay D in rounds (0 = default)")
+		delaySeg = flag.Int("delayseg", 0, "playback delay in segments (overrides -delay)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	opts := experiment.Options{Rounds: *rounds, StableTail: *tail, Seed: *seed, Delay: *delay, DelaySegments: *delaySeg}
+	if *sizes != "" {
+		for _, part := range strings.Split(*sizes, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(part))
+			if err != nil || n < 2 {
+				fatalf("bad -sizes entry %q", part)
+			}
+			opts.Sizes = append(opts.Sizes, n)
+		}
+	}
+
+	run := func(name string, fn func() (*metrics.Table, error)) {
+		tbl, err := fn()
+		if err != nil {
+			fatalf("%s: %v", name, err)
+		}
+		if *csv {
+			fmt.Print(tbl.RenderCSV())
+		} else {
+			fmt.Println(tbl.Render())
+		}
+	}
+
+	experiments := map[string]func() (*metrics.Table, error){
+		"fig3": func() (*metrics.Table, error) {
+			r := experiment.RunFigure3(opts)
+			return r.Table(), nil
+		},
+		"table1": func() (*metrics.Table, error) {
+			r, err := experiment.RunTable1(opts)
+			return r.Table(), err
+		},
+		"fig5": func() (*metrics.Table, error) {
+			r, err := experiment.RunFigure5(opts)
+			return r.Table(), err
+		},
+		"fig6": func() (*metrics.Table, error) {
+			r, err := experiment.RunFigure6(opts)
+			return r.Table(), err
+		},
+		"fig7": func() (*metrics.Table, error) {
+			r, err := experiment.RunFigure7(opts)
+			return r.Table(), err
+		},
+		"fig8": func() (*metrics.Table, error) {
+			r, err := experiment.RunFigure8(opts)
+			return r.Table(), err
+		},
+		"fig9": func() (*metrics.Table, error) {
+			r, err := experiment.RunFigure9(opts)
+			return r.Table(), err
+		},
+		"fig10": func() (*metrics.Table, error) {
+			r, err := experiment.RunFigure10(opts)
+			return r.Table(), err
+		},
+		"fig11": func() (*metrics.Table, error) {
+			r, err := experiment.RunFigure11(opts)
+			return r.Table(), err
+		},
+	}
+
+	order := []string{"fig3", "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
+	if *which == "all" {
+		for _, name := range order {
+			run(name, experiments[name])
+		}
+		return
+	}
+	fn, ok := experiments[*which]
+	if !ok {
+		fatalf("unknown experiment %q (want one of %s, all)", *which, strings.Join(order, ", "))
+	}
+	run(*which, fn)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "continusim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,26 @@
+// Command dhtbench runs the standalone DHT experiment of Figure 3:
+// average greedy-routing hops and query success rate of the loose ring as
+// the joined population grows inside a fixed identifier space.
+//
+//	dhtbench [-seed 1] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"continustreaming/internal/experiment"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "random seed")
+	csv := flag.Bool("csv", false, "emit CSV")
+	flag.Parse()
+	res := experiment.RunFigure3(experiment.Options{Seed: *seed})
+	tbl := res.Table()
+	if *csv {
+		fmt.Print(tbl.RenderCSV())
+		return
+	}
+	fmt.Println(tbl.Render())
+}

@@ -1,0 +1,48 @@
+// Command tracegen synthesizes Gnutella-like overlay traces — the stand-in
+// for the paper's 30 dss.clip2.com crawls (offline since 2001) — and
+// writes them in the repository's plain-text trace format.
+//
+//	tracegen -n 1000 -degree 2.5 -seed 7 > trace.txt
+//	tracegen -registry            # emit the standard 30-trace library list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"continustreaming/internal/topology"
+)
+
+func main() {
+	var (
+		n        = flag.Int("n", 1000, "number of nodes")
+		degree   = flag.Float64("degree", 2.5, "target average degree of the raw crawl graph")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		registry = flag.Bool("registry", false, "list the standard 30-trace library instead of generating")
+		name     = flag.String("name", "", "generate a named registry trace (e.g. trace-n1000-d2.5)")
+	)
+	flag.Parse()
+
+	if *registry {
+		for _, e := range topology.DefaultRegistry().Entries {
+			fmt.Printf("%-22s n=%-6d avg-degree=%.1f seed=%#x\n", e.Name, e.N, e.AvgDegree, e.Seed)
+		}
+		return
+	}
+	var g *topology.Graph
+	if *name != "" {
+		entry, ok := topology.DefaultRegistry().Lookup(*name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "tracegen: unknown registry trace %q\n", *name)
+			os.Exit(1)
+		}
+		g = entry.Build()
+	} else {
+		g = topology.Generate(topology.GenerateConfig{N: *n, AvgDegree: *degree, Seed: *seed})
+	}
+	if err := topology.WriteTrace(os.Stdout, g); err != nil {
+		fmt.Fprintf(os.Stderr, "tracegen: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,161 @@
+// Package continustreaming is the public entry point to this reproduction
+// of "ContinuStreaming: Achieving High Playback Continuity of Gossip-based
+// Peer-to-Peer Streaming" (Li, Cao, Chen — IEEE IPDPS 2008).
+//
+// The package wraps the internal substrates (scheduling, DHT-assisted
+// on-demand retrieval, overlay management, churn, metrics) behind a small
+// API sufficient to run the paper's systems and regenerate its evaluation:
+//
+//	cfg := continustreaming.DefaultConfig(1000)
+//	res, err := continustreaming.Run(cfg, 40)
+//	fmt.Println(res.StableContinuity())
+//
+// See cmd/continusim for the full experiment driver, examples/ for runnable
+// scenarios, and EXPERIMENTS.md for paper-versus-measured results.
+package continustreaming
+
+import (
+	"fmt"
+
+	"continustreaming/internal/churn"
+	"continustreaming/internal/core"
+	"continustreaming/internal/metrics"
+	"continustreaming/internal/sim"
+	"continustreaming/internal/theory"
+)
+
+// System selects which of the paper's compared systems to run.
+type System int
+
+// The three systems of the evaluation: the paper's full design, its
+// scheduler without DHT retrieval (PC_old), and the CoolStreaming baseline.
+const (
+	ContinuStreaming System = iota
+	ContinuStreamingNoPrefetch
+	CoolStreaming
+)
+
+// String names the system.
+func (s System) String() string {
+	switch s {
+	case ContinuStreaming:
+		return "ContinuStreaming"
+	case ContinuStreamingNoPrefetch:
+		return "ContinuStreaming-noprefetch"
+	case CoolStreaming:
+		return "CoolStreaming"
+	default:
+		return fmt.Sprintf("system(%d)", int(s))
+	}
+}
+
+func (s System) profile() core.Profile {
+	switch s {
+	case CoolStreaming:
+		return core.ProfileCoolStreaming()
+	case ContinuStreamingNoPrefetch:
+		return core.ProfileSchedulingOnly()
+	default:
+		return core.ProfileContinuStreaming()
+	}
+}
+
+// Config is the user-facing simulation configuration. Zero values select
+// the paper's §5.2 defaults.
+type Config struct {
+	// Nodes is the overlay size including the single source.
+	Nodes int
+	// System selects the protocol under test.
+	System System
+	// Dynamic enables the paper's churn model (5% leaves + 5% joins per
+	// scheduling period).
+	Dynamic bool
+	// Neighbors overrides M (default 5).
+	Neighbors int
+	// Seed drives all randomness; runs are fully deterministic per seed.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's configuration for n nodes.
+func DefaultConfig(n int) Config {
+	return Config{Nodes: n, System: ContinuStreaming, Seed: 1}
+}
+
+// Result exposes the metrics of one completed run.
+type Result struct {
+	// Continuity, ControlOverhead and PrefetchOverhead are the per-round
+	// traces of the paper's three metrics (§5.3).
+	Continuity       metrics.Series
+	ControlOverhead  metrics.Series
+	PrefetchOverhead metrics.Series
+}
+
+// StableContinuity returns the stable-phase (final quarter) playback
+// continuity.
+func (r Result) StableContinuity() float64 {
+	n := r.Continuity.Len() / 4
+	if n < 1 {
+		n = 1
+	}
+	return r.Continuity.TailMean(n)
+}
+
+// StableControlOverhead returns the stable-phase control overhead.
+func (r Result) StableControlOverhead() float64 {
+	n := r.ControlOverhead.Len() / 4
+	if n < 1 {
+		n = 1
+	}
+	return r.ControlOverhead.TailMean(n)
+}
+
+// StablePrefetchOverhead returns the stable-phase pre-fetch overhead.
+func (r Result) StablePrefetchOverhead() float64 {
+	n := r.PrefetchOverhead.Len() / 4
+	if n < 1 {
+		n = 1
+	}
+	return r.PrefetchOverhead.TailMean(n)
+}
+
+// Run executes the configured system for the given number of scheduling
+// periods (the paper's tracks use 30-40) and returns its metrics.
+func Run(cfg Config, rounds int) (Result, error) {
+	if rounds <= 0 {
+		return Result{}, fmt.Errorf("continustreaming: non-positive round count %d", rounds)
+	}
+	inner := core.DefaultConfig(cfg.Nodes)
+	inner.Profile = cfg.System.profile()
+	if cfg.Neighbors > 0 {
+		inner.M = cfg.Neighbors
+	}
+	if cfg.Seed != 0 {
+		inner.Seed = cfg.Seed
+	}
+	if cfg.Dynamic {
+		inner.Churn = churn.DefaultConfig()
+	}
+	world, err := core.NewWorld(inner)
+	if err != nil {
+		return Result{}, err
+	}
+	sim.NewEngine(world, inner.Tau).Run(rounds)
+	col := world.Collector()
+	return Result{
+		Continuity:       col.ContinuitySeries(),
+		ControlOverhead:  col.ControlOverheadSeries(),
+		PrefetchOverhead: col.PrefetchOverheadSeries(),
+	}, nil
+}
+
+// TheoreticalContinuity evaluates the paper's §5.1 Poisson model: the
+// playback continuity without (PC_old) and with (PC_new) DHT-assisted
+// on-demand retrieval, for arrival rate lambda segments/s, playback rate p
+// segments/s, scheduling period tau seconds and k backup replicas.
+func TheoreticalContinuity(lambda float64, p int, tau float64, k int) (pcOld, pcNew float64, err error) {
+	m := theory.ContinuityModel{Lambda: lambda, PlaybackRate: p, TauSeconds: tau, Replicas: k}
+	if err := m.Validate(); err != nil {
+		return 0, 0, err
+	}
+	return m.PCOld(), m.PCNew(), nil
+}

@@ -1,0 +1,124 @@
+package continustreaming
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSystemStrings(t *testing.T) {
+	if ContinuStreaming.String() != "ContinuStreaming" ||
+		CoolStreaming.String() != "CoolStreaming" ||
+		ContinuStreamingNoPrefetch.String() != "ContinuStreaming-noprefetch" {
+		t.Fatal("system names wrong")
+	}
+	if System(99).String() == "" {
+		t.Fatal("unknown system has empty name")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	if _, err := Run(DefaultConfig(100), 0); err == nil {
+		t.Fatal("zero rounds accepted")
+	}
+	if _, err := Run(DefaultConfig(1), 10); err == nil {
+		t.Fatal("one-node overlay accepted")
+	}
+}
+
+func TestRunQuickstartShape(t *testing.T) {
+	cfg := DefaultConfig(120)
+	cfg.Seed = 3
+	res, err := Run(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Continuity.Len() != 16 {
+		t.Fatalf("continuity rounds = %d", res.Continuity.Len())
+	}
+	if sc := res.StableContinuity(); sc <= 0.3 || sc > 1 {
+		t.Fatalf("stable continuity = %v", sc)
+	}
+	if co := res.StableControlOverhead(); co <= 0 || co > 0.05 {
+		t.Fatalf("control overhead = %v", co)
+	}
+	if po := res.StablePrefetchOverhead(); po < 0 || po > 0.1 {
+		t.Fatalf("prefetch overhead = %v", po)
+	}
+}
+
+func TestRunSystemsDiffer(t *testing.T) {
+	base := DefaultConfig(200)
+	base.Seed = 5
+	cool := base
+	cool.System = CoolStreaming
+	cRes, err := Run(cool, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(base, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The full system must never lose to the baseline on this workload.
+	if full.StableContinuity() < cRes.StableContinuity()-0.05 {
+		t.Fatalf("ContinuStreaming %.3f below CoolStreaming %.3f",
+			full.StableContinuity(), cRes.StableContinuity())
+	}
+	// The baseline never pays prefetch overhead.
+	if cRes.StablePrefetchOverhead() != 0 {
+		t.Fatal("CoolStreaming reported prefetch overhead")
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	cfg := DefaultConfig(100)
+	cfg.Seed = 11
+	a, err := Run(cfg, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Continuity.Values {
+		if a.Continuity.Values[i] != b.Continuity.Values[i] {
+			t.Fatalf("round %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestRunDynamicEnvironment(t *testing.T) {
+	cfg := DefaultConfig(150)
+	cfg.Dynamic = true
+	cfg.Seed = 9
+	res, err := Run(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Continuity.Len() != 16 {
+		t.Fatal("dynamic run incomplete")
+	}
+}
+
+func TestTheoreticalContinuityPaperValues(t *testing.T) {
+	pcOld, pcNew, err := TheoreticalContinuity(15, 10, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pcOld-0.8815) > 1e-3 || math.Abs(pcNew-0.9989) > 1e-3 {
+		t.Fatalf("theory = %.4f/%.4f, want 0.8815/0.9989", pcOld, pcNew)
+	}
+	if _, _, err := TheoreticalContinuity(-1, 10, 1, 4); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func TestNeighborsOverride(t *testing.T) {
+	cfg := DefaultConfig(100)
+	cfg.Neighbors = 4
+	cfg.Seed = 2
+	if _, err := Run(cfg, 8); err != nil {
+		t.Fatal(err)
+	}
+}

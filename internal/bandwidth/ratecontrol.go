@@ -1,0 +1,151 @@
+package bandwidth
+
+// Controller is the node's Rate Controller (Figure 1): it "monitors and
+// estimates the receiving rate from each connected neighbor". It keeps two
+// estimates per neighbour, because two different consumers need different
+// signals:
+//
+//   - Rate (R_ij, segments/s) is the *service rate* observed during active
+//     transfers — segments delivered divided by the elapsed transfer window
+//     — which feeds the urgency term 1/R_i and Algorithm 1's expected
+//     transfer times. Estimating from timestamps rather than per-period
+//     counts matters: a neighbour asked for 2 segments that arrive within
+//     300 ms is a fast supplier, not a 2-segments-per-second one.
+//   - Supply (segments/period, long-run EWMA) measures how much the
+//     neighbour actually contributes, which drives the §4.1 replacement of
+//     neighbours that "supplied little data".
+//
+// Rounds in which nothing was requested from a neighbour leave its service
+// estimate drifting gently back toward the optimistic prior, so a
+// temporarily overloaded supplier is retried rather than written off
+// forever.
+type Controller struct {
+	alpha float64 // EWMA weight on the newest observation
+	prior float64 // service-rate prior for unknown neighbours (segments/s)
+
+	service map[int]float64
+	supply  map[int]float64
+
+	// Per-period scratch, folded in by Tick.
+	requested map[int]int
+	delivered map[int]int
+	lastAt    map[int]float64 // latest arrival offset in seconds
+}
+
+// minObservationWindow guards the service-rate division: arrivals inside
+// the first 100 ms of a period measure at most rate = count/0.1.
+const minObservationWindow = 0.1
+
+// serviceFloor keeps estimates strictly positive so expected transfer
+// times stay finite.
+const serviceFloor = 0.05
+
+// NewController returns a controller with the given EWMA weight and
+// service-rate prior (segments per second). alpha is clamped into (0, 1].
+func NewController(alpha, prior float64) *Controller {
+	if alpha <= 0 || alpha > 1 {
+		alpha = 0.3
+	}
+	if prior <= 0 {
+		prior = 1
+	}
+	return &Controller{
+		alpha:     alpha,
+		prior:     prior,
+		service:   make(map[int]float64),
+		supply:    make(map[int]float64),
+		requested: make(map[int]int),
+		delivered: make(map[int]int),
+		lastAt:    make(map[int]float64),
+	}
+}
+
+// NoteRequested records that `count` segments were requested from
+// neighbour id this period.
+func (c *Controller) NoteRequested(id, count int) {
+	if count > 0 {
+		c.requested[id] += count
+	}
+}
+
+// ObserveDelivery records one segment arriving from neighbour id at offset
+// seconds into the period.
+func (c *Controller) ObserveDelivery(id int, offsetSeconds float64) {
+	c.delivered[id]++
+	if offsetSeconds > c.lastAt[id] {
+		c.lastAt[id] = offsetSeconds
+	}
+}
+
+// Tick folds the period's observations into the running estimates.
+func (c *Controller) Tick() {
+	// Service rate: only neighbours we exercised this period carry signal.
+	for id, req := range c.requested {
+		got := c.delivered[id]
+		cur, known := c.service[id]
+		if !known {
+			cur = c.prior
+		}
+		var obs float64
+		if got > 0 {
+			window := c.lastAt[id]
+			if window < minObservationWindow {
+				window = minObservationWindow
+			}
+			obs = float64(got) / window
+		} else {
+			// Requested but nothing came: the supplier failed us.
+			obs = 0
+		}
+		next := (1-c.alpha)*cur + c.alpha*obs
+		if next < serviceFloor {
+			next = serviceFloor
+		}
+		c.service[id] = next
+		_ = req
+	}
+	// Idle neighbours drift back toward the prior so they get retried.
+	for id, cur := range c.service {
+		if c.requested[id] == 0 && c.delivered[id] == 0 {
+			c.service[id] = cur + 0.1*(c.prior-cur)
+		}
+	}
+	// Long-run supply decays for everyone and credits actual deliveries.
+	for id := range c.supply {
+		c.supply[id] = (1 - c.alpha) * c.supply[id]
+	}
+	for id, got := range c.delivered {
+		c.supply[id] += c.alpha * float64(got)
+	}
+	clear(c.requested)
+	clear(c.delivered)
+	clear(c.lastAt)
+}
+
+// Rate returns the estimated service rate from neighbour id in segments
+// per second; unknown neighbours get the optimistic prior.
+func (c *Controller) Rate(id int) float64 {
+	if r, ok := c.service[id]; ok {
+		return r
+	}
+	return c.prior
+}
+
+// Supply returns the long-run per-period supply estimate for id (0 for
+// unknown neighbours).
+func (c *Controller) Supply(id int) float64 { return c.supply[id] }
+
+// Known reports whether the controller has ever exercised neighbour id.
+func (c *Controller) Known(id int) bool {
+	_, ok := c.service[id]
+	return ok
+}
+
+// Forget removes all state about a departed neighbour.
+func (c *Controller) Forget(id int) {
+	delete(c.service, id)
+	delete(c.supply, id)
+	delete(c.requested, id)
+	delete(c.delivered, id)
+	delete(c.lastAt, id)
+}

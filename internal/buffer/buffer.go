@@ -1,0 +1,177 @@
+// Package buffer implements the per-node segment buffer of a gossip
+// streaming peer: a sliding window of B consecutive segment IDs with FIFO
+// replacement, plus the compact buffer-map encoding the paper costs at
+// 620 bits per exchange (a 20-bit head ID and a B=600-bit availability
+// bitmap, §5.4.2).
+//
+// The buffer covers the half-open ID window [Lo, Lo+B). Lo advances as
+// playback proceeds; segments that fall below Lo are replaced ("d has been
+// played back by B and removed from B's buffer" — §1 case 2). A segment's
+// position from the tail, needed by the rarity computation of §4.2, is the
+// number of window slots between the segment and the newest end: old
+// segments sit near the eviction end and therefore have a high probability
+// pij/B of being replaced soon.
+package buffer
+
+import (
+	"fmt"
+
+	"continustreaming/internal/segment"
+)
+
+// Buffer is a sliding-window segment store. The zero value is unusable;
+// construct with New.
+type Buffer struct {
+	size int
+	lo   segment.ID // lowest ID currently covered by the window
+	have []bool     // have[i] reports presence of segment lo+i
+	held int        // number of true entries in have
+}
+
+// New returns an empty buffer of capacity size whose window starts at lo.
+func New(size int, lo segment.ID) *Buffer {
+	if size <= 0 {
+		panic(fmt.Sprintf("buffer: non-positive size %d", size))
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	return &Buffer{size: size, lo: lo, have: make([]bool, size)}
+}
+
+// Size returns the buffer capacity B.
+func (b *Buffer) Size() int { return b.size }
+
+// Lo returns the lowest ID covered by the window (the FIFO eviction end).
+func (b *Buffer) Lo() segment.ID { return b.lo }
+
+// Hi returns one past the highest ID covered by the window.
+func (b *Buffer) Hi() segment.ID { return b.lo + segment.ID(b.size) }
+
+// Window returns the ID range covered by the buffer.
+func (b *Buffer) Window() segment.Window {
+	return segment.Window{Lo: b.lo, Hi: b.Hi()}
+}
+
+// Held returns how many segments are currently present.
+func (b *Buffer) Held() int { return b.held }
+
+// Has reports whether segment id is present. IDs outside the window are
+// absent by definition.
+func (b *Buffer) Has(id segment.ID) bool {
+	if id < b.lo || id >= b.Hi() {
+		return false
+	}
+	return b.have[id-b.lo]
+}
+
+// Insert records segment id as present. It returns false without modifying
+// the buffer when id falls outside the current window (too old: already
+// evicted; too new: the window has not reached it — callers advance the
+// window with playback, not with receipt, mirroring the paper's FIFO
+// description). Inserting a segment that is already present is a no-op
+// returning false, so the return value means "newly stored".
+func (b *Buffer) Insert(id segment.ID) bool {
+	if id < b.lo || id >= b.Hi() {
+		return false
+	}
+	i := id - b.lo
+	if b.have[i] {
+		return false
+	}
+	b.have[i] = true
+	b.held++
+	return true
+}
+
+// AdvanceTo slides the window so that its lowest ID becomes lo, evicting
+// everything below. Moving backwards is a no-op. It returns the number of
+// evicted (present) segments.
+func (b *Buffer) AdvanceTo(lo segment.ID) int {
+	if lo <= b.lo {
+		return 0
+	}
+	shift := int(lo - b.lo)
+	if shift >= b.size {
+		evicted := b.held
+		for i := range b.have {
+			b.have[i] = false
+		}
+		b.held = 0
+		b.lo = lo
+		return evicted
+	}
+	evicted := 0
+	for i := 0; i < shift; i++ {
+		if b.have[i] {
+			evicted++
+		}
+	}
+	copy(b.have, b.have[shift:])
+	for i := b.size - shift; i < b.size; i++ {
+		b.have[i] = false
+	}
+	b.held -= evicted
+	b.lo = lo
+	return evicted
+}
+
+// PositionFromTail returns pij, the paper's FIFO position of segment id
+// measured from the insertion (newest) end of the window: old segments —
+// those about to be evicted — have positions near B, so pij/B is the
+// probability the segment is replaced soon. The second result is false when
+// the id is outside the window or absent.
+func (b *Buffer) PositionFromTail(id segment.ID) (int, bool) {
+	if !b.Has(id) {
+		return 0, false
+	}
+	return int(b.Hi() - id), true
+}
+
+// MissingIn returns the IDs in w (clipped to the buffer window) that are
+// absent, in ascending order. The result is freshly allocated.
+func (b *Buffer) MissingIn(w segment.Window) []segment.ID {
+	w = w.Intersect(b.Window())
+	var out []segment.ID
+	for id := w.Lo; id < w.Hi; id++ {
+		if !b.have[id-b.lo] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// CountIn returns how many segments in w (clipped to the window) are held.
+func (b *Buffer) CountIn(w segment.Window) int {
+	w = w.Intersect(b.Window())
+	n := 0
+	for id := w.Lo; id < w.Hi; id++ {
+		if b.have[id-b.lo] {
+			n++
+		}
+	}
+	return n
+}
+
+// HasAll reports whether every ID in w (not clipped) is held: an ID outside
+// the window counts as missing.
+func (b *Buffer) HasAll(w segment.Window) bool {
+	for id := w.Lo; id < w.Hi; id++ {
+		if !b.Has(id) {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot returns the buffer's availability as a Map suitable for
+// exchanging with neighbours.
+func (b *Buffer) Snapshot() Map {
+	m := Map{Lo: b.lo, Bits: make([]uint64, (b.size+63)/64), Size: b.size}
+	for i, ok := range b.have {
+		if ok {
+			m.Bits[i/64] |= 1 << (i % 64)
+		}
+	}
+	return m
+}

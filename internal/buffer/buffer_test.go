@@ -1,0 +1,297 @@
+package buffer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"continustreaming/internal/segment"
+)
+
+func TestNewBuffer(t *testing.T) {
+	b := New(600, 0)
+	if b.Size() != 600 || b.Lo() != 0 || b.Hi() != 600 || b.Held() != 0 {
+		t.Fatalf("fresh buffer: size=%d lo=%d hi=%d held=%d", b.Size(), b.Lo(), b.Hi(), b.Held())
+	}
+	if w := b.Window(); w.Lo != 0 || w.Hi != 600 {
+		t.Fatalf("window = %v", w)
+	}
+}
+
+func TestNewPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0, 0) did not panic")
+		}
+	}()
+	New(0, 0)
+}
+
+func TestNewClampsNegativeLo(t *testing.T) {
+	b := New(10, -5)
+	if b.Lo() != 0 {
+		t.Fatalf("Lo = %d, want 0", b.Lo())
+	}
+}
+
+func TestInsertAndHas(t *testing.T) {
+	b := New(10, 100)
+	if !b.Insert(105) {
+		t.Fatal("Insert(105) rejected")
+	}
+	if b.Insert(105) {
+		t.Fatal("duplicate Insert reported newly stored")
+	}
+	if !b.Has(105) || b.Has(104) {
+		t.Fatal("Has mismatch after insert")
+	}
+	if b.Insert(99) || b.Insert(110) {
+		t.Fatal("out-of-window insert accepted")
+	}
+	if b.Has(99) || b.Has(110) {
+		t.Fatal("out-of-window Has true")
+	}
+	if b.Held() != 1 {
+		t.Fatalf("Held = %d", b.Held())
+	}
+}
+
+func TestAdvanceToEvicts(t *testing.T) {
+	b := New(10, 0)
+	for id := segment.ID(0); id < 10; id++ {
+		b.Insert(id)
+	}
+	evicted := b.AdvanceTo(4)
+	if evicted != 4 {
+		t.Fatalf("evicted = %d, want 4", evicted)
+	}
+	if b.Lo() != 4 || b.Hi() != 14 || b.Held() != 6 {
+		t.Fatalf("after advance: lo=%d hi=%d held=%d", b.Lo(), b.Hi(), b.Held())
+	}
+	for id := segment.ID(4); id < 10; id++ {
+		if !b.Has(id) {
+			t.Fatalf("lost segment %d on advance", id)
+		}
+	}
+	if !b.Insert(12) {
+		t.Fatal("cannot insert into newly exposed slot")
+	}
+	// Backwards advance is a no-op.
+	if b.AdvanceTo(2) != 0 || b.Lo() != 4 {
+		t.Fatal("backwards AdvanceTo moved window")
+	}
+}
+
+func TestAdvancePastEverything(t *testing.T) {
+	b := New(10, 0)
+	for id := segment.ID(0); id < 10; id++ {
+		b.Insert(id)
+	}
+	if evicted := b.AdvanceTo(100); evicted != 10 {
+		t.Fatalf("evicted = %d, want 10", evicted)
+	}
+	if b.Held() != 0 || b.Lo() != 100 {
+		t.Fatalf("held=%d lo=%d", b.Held(), b.Lo())
+	}
+}
+
+func TestPositionFromTail(t *testing.T) {
+	b := New(600, 0)
+	b.Insert(0)
+	b.Insert(599)
+	// Oldest segment: about to be evicted, position = B.
+	if p, ok := b.PositionFromTail(0); !ok || p != 600 {
+		t.Fatalf("PositionFromTail(0) = %d,%v", p, ok)
+	}
+	// Newest slot: position 1.
+	if p, ok := b.PositionFromTail(599); !ok || p != 1 {
+		t.Fatalf("PositionFromTail(599) = %d,%v", p, ok)
+	}
+	if _, ok := b.PositionFromTail(300); ok {
+		t.Fatal("position for absent segment")
+	}
+}
+
+func TestMissingInAndCounts(t *testing.T) {
+	b := New(10, 0)
+	for _, id := range []segment.ID{1, 3, 5} {
+		b.Insert(id)
+	}
+	miss := b.MissingIn(segment.Window{Lo: 0, Hi: 6})
+	want := []segment.ID{0, 2, 4}
+	if len(miss) != len(want) {
+		t.Fatalf("MissingIn = %v", miss)
+	}
+	for i := range want {
+		if miss[i] != want[i] {
+			t.Fatalf("MissingIn = %v, want %v", miss, want)
+		}
+	}
+	if got := b.CountIn(segment.Window{Lo: 0, Hi: 6}); got != 3 {
+		t.Fatalf("CountIn = %d", got)
+	}
+	if b.HasAll(segment.Window{Lo: 1, Hi: 2}) != true {
+		t.Fatal("HasAll single present segment")
+	}
+	if b.HasAll(segment.Window{Lo: 1, Hi: 4}) {
+		t.Fatal("HasAll with a hole")
+	}
+	// Window beyond buffer counts as missing.
+	if b.HasAll(segment.Window{Lo: 8, Hi: 12}) {
+		t.Fatal("HasAll beyond window")
+	}
+}
+
+func TestSnapshotMatchesBuffer(t *testing.T) {
+	b := New(130, 1000) // straddles two bitmap words
+	ids := []segment.ID{1000, 1001, 1063, 1064, 1127, 1129}
+	for _, id := range ids {
+		b.Insert(id)
+	}
+	m := b.Snapshot()
+	if m.Count() != len(ids) {
+		t.Fatalf("snapshot count = %d", m.Count())
+	}
+	for id := segment.ID(1000); id < 1130; id++ {
+		if m.Has(id) != b.Has(id) {
+			t.Fatalf("snapshot mismatch at %d", id)
+		}
+	}
+	if p, ok := m.PositionFromTail(1000); !ok || p != 130 {
+		t.Fatalf("map PositionFromTail = %d,%v", p, ok)
+	}
+}
+
+func TestWireBits(t *testing.T) {
+	// The paper's 620-bit buffer map: 20-bit head + 600-bit bitmap.
+	if got := WireBits(600); got != 620 {
+		t.Fatalf("WireBits(600) = %d", got)
+	}
+}
+
+func TestMapMarshalRoundTrip(t *testing.T) {
+	b := New(600, 12345)
+	for id := segment.ID(12345); id < 12945; id += 7 {
+		b.Insert(id)
+	}
+	m := b.Snapshot()
+	data := m.Marshal()
+	got, err := UnmarshalMap(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Lo != m.Lo || got.Size != m.Size || got.Count() != m.Count() {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got.Lo, m.Lo)
+	}
+	for id := segment.ID(12345); id < 12945; id++ {
+		if got.Has(id) != m.Has(id) {
+			t.Fatalf("bit mismatch at %d", id)
+		}
+	}
+}
+
+func TestUnmarshalMapRejectsGarbage(t *testing.T) {
+	if _, err := UnmarshalMap(nil); err == nil {
+		t.Fatal("nil accepted")
+	}
+	if _, err := UnmarshalMap(make([]byte, 5)); err == nil {
+		t.Fatal("short accepted")
+	}
+	// Valid header but truncated bitmap.
+	m := New(600, 0).Snapshot()
+	data := m.Marshal()
+	if _, err := UnmarshalMap(data[:len(data)-8]); err == nil {
+		t.Fatal("truncated accepted")
+	}
+}
+
+func TestMapFreshIn(t *testing.T) {
+	b := New(10, 0)
+	for _, id := range []segment.ID{2, 4, 6, 8} {
+		b.Insert(id)
+	}
+	m := b.Snapshot()
+	local := New(10, 0)
+	local.Insert(4)
+	fresh := m.FreshIn(segment.Window{Lo: 0, Hi: 10}, func(id segment.ID) bool { return !local.Has(id) })
+	want := []segment.ID{2, 6, 8}
+	if len(fresh) != len(want) {
+		t.Fatalf("FreshIn = %v", fresh)
+	}
+	for i := range want {
+		if fresh[i] != want[i] {
+			t.Fatalf("FreshIn = %v, want %v", fresh, want)
+		}
+	}
+}
+
+// Property: Insert/AdvanceTo never corrupt the held counter, and Has agrees
+// with MissingIn for arbitrary operation sequences.
+func TestBufferInvariantsQuick(t *testing.T) {
+	f := func(ops []uint16) bool {
+		b := New(64, 0)
+		present := map[segment.ID]bool{}
+		lo := segment.ID(0)
+		for _, op := range ops {
+			id := segment.ID(op % 256)
+			switch op % 3 {
+			case 0, 1: // insert
+				ok := b.Insert(id)
+				inWindow := id >= lo && id < lo+64
+				if ok != (inWindow && !present[id]) {
+					return false
+				}
+				if ok {
+					present[id] = true
+				}
+			case 2: // advance by a small amount
+				nl := lo + segment.ID(op%5)
+				b.AdvanceTo(nl)
+				if nl > lo {
+					lo = nl
+					for pid := range present {
+						if pid < lo {
+							delete(present, pid)
+						}
+					}
+				}
+			}
+			if b.Held() != len(present) {
+				return false
+			}
+		}
+		for id := lo; id < lo+64; id++ {
+			if b.Has(id) != present[id] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: snapshot round-trips through the wire format bit-for-bit.
+func TestSnapshotRoundTripQuick(t *testing.T) {
+	f := func(seedIDs []uint16, loRaw uint16) bool {
+		lo := segment.ID(loRaw)
+		b := New(100, lo)
+		for _, raw := range seedIDs {
+			b.Insert(lo + segment.ID(raw%100))
+		}
+		m := b.Snapshot()
+		back, err := UnmarshalMap(m.Marshal())
+		if err != nil {
+			return false
+		}
+		for id := lo; id < lo+100; id++ {
+			if back.Has(id) != b.Has(id) {
+				return false
+			}
+		}
+		return back.Count() == b.Held()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

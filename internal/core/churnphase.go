@@ -1,0 +1,241 @@
+package core
+
+import (
+	"sort"
+
+	"continustreaming/internal/dht"
+	"continustreaming/internal/overlay"
+	"continustreaming/internal/sim"
+)
+
+// maintenancePhase applies the paper's neighbour replacement rule: a
+// neighbour "found to have failed or supplied little data" is replaced by
+// the lowest-latency overheard node (§4.1). Failure detection is the
+// failed map exchange; low supply comes from the Rate Controller's
+// estimate. The phase is sequential because it rewires the shared edge
+// set.
+func (w *World) maintenancePhase(clock *sim.Clock) {
+	warm := w.virtualPos(w.round) > 0
+	for _, id := range w.order {
+		n := w.nodes[id]
+		// Membership gossip: alongside the buffer-map exchange each node
+		// tells every neighbour about two of its other neighbours. This is
+		// the gossip membership protocol CoolStreaming builds on (its
+		// SCAMP-style reference [3]); without it a churned overlay has no
+		// way to regrow lost links. The few extra bytes ride inside the
+		// existing exchange and are excluded from the 620-bit control
+		// costing, matching the paper's accounting. The source both sends
+		// and receives: staying well connected at the stream's root is
+		// what keeps fresh segments entering the mesh under churn.
+		nbs := n.Table.NeighborIDs()
+		for _, nb := range nbs {
+			peer := w.nodes[nb]
+			if peer == nil {
+				continue
+			}
+			for c := 0; c < 2 && len(nbs) > 1; c++ {
+				cand := nbs[n.RNG.Intn(len(nbs))]
+				if cand != nb && w.nodes[cand] != nil {
+					peer.Table.Hear(cand, w.Latency(nb, cand))
+				}
+			}
+		}
+		// Drop dead neighbours.
+		for _, nb := range n.Table.NeighborIDs() {
+			if w.nodes[nb] == nil {
+				w.removeEdge(id, nb)
+				n.Table.ForgetOverheard(nb)
+			}
+		}
+		// Replace one low-supply neighbour per round once the system is
+		// past warm-up, if a better candidate is known. The source serves
+		// only and never judges supply.
+		if warm && !n.IsSource {
+			w.replaceLowSupply(n)
+		}
+		// Refill toward the M target from overheard candidates.
+		for len(w.edges[id]) < w.cfg.M {
+			cand, ok := n.Table.BestOverheard(func(c overlay.NodeID) bool {
+				return w.nodes[c] == nil || c == id || w.edges[id][c]
+			})
+			if !ok {
+				break
+			}
+			n.Table.TakeOverheard(cand.ID)
+			w.addEdge(id, cand.ID)
+		}
+	}
+	_ = clock
+}
+
+// replaceLowSupply swaps out the worst under-delivering neighbour when an
+// overheard candidate exists, at most once per cooldown window and only
+// while the node's own playback is suffering — a healthy node keeps its
+// stable links (rewiring discards learned rate estimates on both sides and
+// a real deployment pays TCP setup costs). The source is never dropped:
+// it is the root of all data.
+func (w *World) replaceLowSupply(n *Node) {
+	if !n.missedLastRound || w.round-n.lastReplace < w.cfg.ReplaceCooldownRounds {
+		return
+	}
+	var worst overlay.NodeID = -1
+	worstRate := w.cfg.LowSupplyThreshold
+	for _, nb := range n.Table.Neighbors() {
+		if nb.ID == w.source {
+			continue
+		}
+		// Only judge neighbours we have had time to observe; the long-run
+		// supply estimate is the "supplied little data" signal.
+		if !n.Ctrl.Known(int(nb.ID)) {
+			continue
+		}
+		if r := n.Ctrl.Supply(int(nb.ID)); r < worstRate {
+			worstRate = r
+			worst = nb.ID
+		}
+	}
+	if worst < 0 {
+		return
+	}
+	cand, ok := n.Table.BestOverheard(func(c overlay.NodeID) bool {
+		return w.nodes[c] == nil || c == n.ID || w.edges[n.ID][c]
+	})
+	if !ok {
+		return
+	}
+	n.lastReplace = w.round
+	w.removeEdge(n.ID, worst)
+	n.Table.TakeOverheard(cand.ID)
+	w.addEdge(n.ID, cand.ID)
+}
+
+// churnPhase executes the dynamic environment: the configured fractions
+// of leaves (graceful handover or abrupt failure) and joins (§5.2).
+func (w *World) churnPhase(clock *sim.Clock) {
+	if w.churnProc == nil {
+		return
+	}
+	candidates := make([]overlay.NodeID, 0, len(w.order)-1)
+	for _, id := range w.order {
+		if id != w.source {
+			candidates = append(candidates, id)
+		}
+	}
+	plan := w.churnProc.Next(w.round, len(candidates))
+	for _, idx := range plan.GracefulLeavers {
+		w.leave(candidates[idx], true)
+	}
+	for _, idx := range plan.AbruptLeavers {
+		w.leave(candidates[idx], false)
+	}
+	for j := 0; j < plan.Joins; j++ {
+		w.join(clock)
+	}
+	if plan.TotalLeavers() > 0 || plan.Joins > 0 {
+		w.rebuildOrder()
+	}
+}
+
+// leave removes a node. Graceful leavers hand their VoD backup to the
+// counter-clockwise closest node (§4.3) and deregister from the RP; abrupt
+// failures just vanish — neighbours and the RP discover it later.
+func (w *World) leave(id overlay.NodeID, graceful bool) {
+	n := w.nodes[id]
+	if n == nil || id == w.source {
+		return
+	}
+	if graceful {
+		// Predecessor: owner of the key just before our ID.
+		if pred, ok := w.dhtNet.Owner(w.space.Wrap(int(id) - 1)); ok && overlay.NodeID(pred) != id {
+			if pn := w.nodes[overlay.NodeID(pred)]; pn != nil {
+				pn.Backup.Merge(n.Backup.Drain())
+			}
+		}
+		w.rp.ReportFailure(id)
+	}
+	for _, nb := range w.neighborsOf(id) {
+		w.removeEdge(id, nb)
+	}
+	w.dhtNet.Leave(dht.ID(id))
+	delete(w.nodes, id)
+	delete(w.edges, id)
+	delete(w.outUsed, id)
+}
+
+// join admits one new node through the RP protocol: assign an ID, ping the
+// candidate list, adopt the nearest alive node's peer table as a base,
+// wire up to M neighbours, and join the DHT. The newcomer starts playback
+// once its buffer catches the shared position, "following its neighbours'
+// current steps" rather than fetching history.
+func (w *World) join(clock *sim.Clock) {
+	id := w.rp.AssignID(w.rng)
+	ping := 10*sim.Millisecond + sim.Time(w.rng.Intn(191))
+	n := w.buildNode(id, ping, false)
+	// The newcomer's buffer opens at the current playback position.
+	n.Buf.AdvanceTo(w.playbackPos(w.round))
+	cands := w.rp.Candidates(id, 6)
+	var donor *Node
+	for _, c := range cands {
+		if cn := w.nodes[c]; cn != nil {
+			if donor == nil || w.Latency(id, c) < w.Latency(id, donor.ID) {
+				donor = cn
+			}
+		} else {
+			w.rp.ReportFailure(c)
+		}
+	}
+	w.nodes[id] = n
+	w.rp.Register(id)
+	w.dhtNet.Join(dht.ID(id), w.rng)
+	if donor == nil {
+		// RP list was fully stale; fall back to a uniform alive node so
+		// the newcomer is never stranded.
+		alive := w.order
+		if len(alive) > 0 {
+			donor = w.nodes[alive[w.rng.Intn(len(alive))]]
+		}
+	}
+	if donor != nil {
+		n.Table.CloneFrom(donor.Table, func(o overlay.NodeID) sim.Time { return w.Latency(id, o) })
+		donor.Table.Hear(id, w.Latency(donor.ID, id))
+	}
+	// Connect up to M lowest-latency known peers.
+	type cand struct {
+		id  overlay.NodeID
+		lat sim.Time
+	}
+	var pool []cand
+	seen := map[overlay.NodeID]bool{id: true}
+	consider := func(c overlay.NodeID) {
+		if c < 0 || seen[c] || w.nodes[c] == nil {
+			return
+		}
+		seen[c] = true
+		pool = append(pool, cand{id: c, lat: w.Latency(id, c)})
+	}
+	if donor != nil {
+		consider(donor.ID)
+		for _, nb := range donor.Table.NeighborIDs() {
+			consider(nb)
+		}
+	}
+	for _, o := range n.Table.OverheardNodes() {
+		consider(o.ID)
+	}
+	for _, c := range cands {
+		consider(c)
+	}
+	sort.Slice(pool, func(i, j int) bool {
+		if pool[i].lat != pool[j].lat {
+			return pool[i].lat < pool[j].lat
+		}
+		return pool[i].id < pool[j].id
+	})
+	for _, c := range pool {
+		if len(w.edges[id]) >= w.cfg.M {
+			break
+		}
+		w.addEdge(id, c.id)
+	}
+	_ = clock
+}

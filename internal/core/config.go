@@ -1,0 +1,225 @@
+// Package core assembles the substrates into the complete streaming
+// system: per-node state machines (buffer, rate controller, urgent-line
+// predictor, VoD backup) and the World, a bulk-synchronous simulation of
+// the full overlay that executes the paper's scheduling periods phase by
+// phase. Both ContinuStreaming and the CoolStreaming baseline run on the
+// same World; they differ only in scheduling policy and whether the DHT
+// pre-fetch path is enabled, which is exactly the comparison the paper
+// makes.
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"continustreaming/internal/bandwidth"
+	"continustreaming/internal/churn"
+	"continustreaming/internal/segment"
+	"continustreaming/internal/sim"
+	"continustreaming/internal/topology"
+)
+
+// PolicyKind selects the data scheduling discipline.
+type PolicyKind int
+
+// Scheduling disciplines. UrgencyRarity is ContinuStreaming's Algorithm 1
+// ordering; RarestFirst is CoolStreaming's; the rest exist for ablations.
+const (
+	PolicyUrgencyRarity PolicyKind = iota
+	PolicyRarestFirst
+	PolicyRandom
+	PolicyUrgencyOnly
+	PolicyRarityOnly
+)
+
+// String names the policy for experiment output.
+func (p PolicyKind) String() string {
+	switch p {
+	case PolicyUrgencyRarity:
+		return "urgency-rarity"
+	case PolicyRarestFirst:
+		return "rarest-first"
+	case PolicyRandom:
+		return "random"
+	case PolicyUrgencyOnly:
+		return "urgency-only"
+	case PolicyRarityOnly:
+		return "rarity-only"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Profile bundles the two axes that distinguish the compared systems.
+type Profile struct {
+	Name     string
+	Policy   PolicyKind
+	Prefetch bool
+}
+
+// ProfileContinuStreaming is the paper's system: combined urgency+rarity
+// scheduling plus DHT-assisted on-demand retrieval.
+func ProfileContinuStreaming() Profile {
+	return Profile{Name: "ContinuStreaming", Policy: PolicyUrgencyRarity, Prefetch: true}
+}
+
+// ProfileCoolStreaming is the baseline: rarest-first pull gossip, no DHT.
+func ProfileCoolStreaming() Profile {
+	return Profile{Name: "CoolStreaming", Policy: PolicyRarestFirst, Prefetch: false}
+}
+
+// ProfileSchedulingOnly is ContinuStreaming's scheduler without the
+// pre-fetch path — the PC_old configuration of the §5.1 table.
+func ProfileSchedulingOnly() Profile {
+	return Profile{Name: "ContinuStreaming-noprefetch", Policy: PolicyUrgencyRarity, Prefetch: false}
+}
+
+// Config fully describes one simulated system instance.
+type Config struct {
+	// Nodes is the overlay population, including the source.
+	Nodes int
+	// M is the target number of connected neighbours (paper default 5);
+	// H the overheard-list capacity (paper default 20).
+	M int
+	H int
+	// Stream is the media stream; BufferSegments is B.
+	Stream         segment.Stream
+	BufferSegments int
+	// Tau is the scheduling period (paper: 1 s).
+	Tau sim.Time
+	// Bandwidth assigns inbound/outbound rates.
+	Bandwidth bandwidth.Profile
+	// Replicas is k (backup copies per segment); PrefetchLimit is l (max
+	// pre-fetches per node per period).
+	Replicas      int
+	PrefetchLimit int
+	// SpaceSize is the DHT ring size N; 0 selects the smallest power of
+	// two >= max(8192, 2·Nodes).
+	SpaceSize int
+	// PlaybackDelayRounds is D: every node plays D scheduling periods
+	// behind the live edge. The paper never states its startup buffering
+	// delay; D is the one free parameter we calibrate (see DESIGN.md §6).
+	PlaybackDelayRounds int
+	// PlaybackDelaySegments overrides the delay at segment granularity
+	// when positive (finer calibration than whole rounds); otherwise the
+	// delay is PlaybackDelayRounds · Stream.Rate segments.
+	PlaybackDelaySegments int
+	// THop is the expected one-hop latency used by the α initialiser
+	// (paper: ≈50 ms measured from its traces).
+	THop sim.Time
+	// Churn configures the dynamic environment (zero value = static).
+	Churn churn.Config
+	// Profile selects the system under test.
+	Profile Profile
+	// Seed drives all randomness.
+	Seed uint64
+	// Topology optionally supplies a pre-built trace graph; nil generates
+	// one from Seed with the paper's augmentation applied.
+	Topology *topology.Graph
+	// LowSupplyThreshold is the segments/s below which a neighbour counts
+	// as "supplied little data" and becomes replaceable (§4.1).
+	LowSupplyThreshold float64
+	// ReplaceCooldownRounds is the minimum spacing between two low-supply
+	// replacements by the same node. Without it a node re-judges its
+	// neighbours every period and keeps rewiring: each swap discards the
+	// rate estimates both sides learned, which measurably destabilises the
+	// mesh (scheduling quality drops and supplier drops double). A real
+	// deployment pays connection setup costs that impose the same pacing.
+	ReplaceCooldownRounds int
+	// RarityNoise perturbs rarity rankings per (node, segment) by up to
+	// ±RarityNoise, standing in for the measurement heterogeneity of a
+	// real deployment (see scheduler.Input.RarityNoise).
+	RarityNoise float64
+	// RoutingMessageBits is the wire size of one DHT routing message
+	// (paper: 10 bytes = 80 bits).
+	RoutingMessageBits int64
+}
+
+// DefaultConfig returns the paper's §5.2 defaults for n nodes.
+func DefaultConfig(n int) Config {
+	return Config{
+		Nodes:                 n,
+		M:                     5,
+		H:                     20,
+		Stream:                segment.DefaultStream(),
+		BufferSegments:        600,
+		Tau:                   sim.Second,
+		Bandwidth:             bandwidth.DefaultProfile(),
+		Replicas:              4,
+		PrefetchLimit:         5,
+		PlaybackDelayRounds:   7,
+		PlaybackDelaySegments: 65,
+		THop:                  50 * sim.Millisecond,
+		Profile:               ProfileContinuStreaming(),
+		Seed:                  1,
+		LowSupplyThreshold:    0,
+		ReplaceCooldownRounds: 8,
+		RarityNoise:           0.3,
+		RoutingMessageBits:    80,
+	}
+}
+
+// Validate reports the first configuration error.
+func (c Config) Validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("core: need at least 2 nodes, got %d", c.Nodes)
+	}
+	if c.M <= 0 {
+		return fmt.Errorf("core: non-positive M %d", c.M)
+	}
+	if err := c.Stream.Validate(); err != nil {
+		return err
+	}
+	if c.BufferSegments <= 0 {
+		return fmt.Errorf("core: non-positive buffer size %d", c.BufferSegments)
+	}
+	if c.Tau <= 0 {
+		return fmt.Errorf("core: non-positive tau %v", c.Tau)
+	}
+	if err := c.Bandwidth.Validate(); err != nil {
+		return err
+	}
+	if c.Replicas <= 0 || c.PrefetchLimit <= 0 {
+		return fmt.Errorf("core: replicas %d and prefetch limit %d must be positive", c.Replicas, c.PrefetchLimit)
+	}
+	if c.PlaybackDelayRounds <= 0 {
+		return fmt.Errorf("core: non-positive playback delay %d", c.PlaybackDelayRounds)
+	}
+	if c.THop <= 0 {
+		return fmt.Errorf("core: non-positive t_hop %v", c.THop)
+	}
+	if err := c.Churn.Validate(); err != nil {
+		return err
+	}
+	if c.RoutingMessageBits <= 0 {
+		return fmt.Errorf("core: non-positive routing message size %d", c.RoutingMessageBits)
+	}
+	if c.PlaybackDelaySegments < 0 {
+		return fmt.Errorf("core: negative playback delay %d segments", c.PlaybackDelaySegments)
+	}
+	return nil
+}
+
+// delaySegments resolves the playback delay in segments.
+func (c Config) delaySegments() int {
+	if c.PlaybackDelaySegments > 0 {
+		return c.PlaybackDelaySegments
+	}
+	return c.PlaybackDelayRounds * c.Stream.Rate
+}
+
+// spaceSize resolves the DHT ring size.
+func (c Config) spaceSize() int {
+	if c.SpaceSize > 0 {
+		return c.SpaceSize
+	}
+	n := 8192
+	for n < 2*c.Nodes {
+		n <<= 1
+	}
+	// Guard against pathological configs overflowing; powers of two only.
+	if bits.OnesCount(uint(n)) != 1 {
+		panic("core: computed space size not a power of two")
+	}
+	return n
+}

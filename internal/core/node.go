@@ -1,0 +1,223 @@
+package core
+
+import (
+	"continustreaming/internal/bandwidth"
+	"continustreaming/internal/buffer"
+	"continustreaming/internal/dht"
+	"continustreaming/internal/overlay"
+	"continustreaming/internal/prefetch"
+	"continustreaming/internal/scheduler"
+	"continustreaming/internal/segment"
+	"continustreaming/internal/sim"
+)
+
+// Node is one overlay peer: the software architecture of Figure 1 — P2P
+// Overlay Manager (PeerTable), Data Scheduler (policy), Buffer, Rate
+// Controller, and VoD Data Backup — plus the simulation-side bookkeeping
+// (pending requests, arrival timestamps) a real implementation would keep
+// in its transport layer.
+type Node struct {
+	// ID is the node's overlay identifier and its DHT ring position.
+	ID overlay.NodeID
+	// IsSource marks the single media source.
+	IsSource bool
+	// Rates is the node's access capacity.
+	Rates bandwidth.Rates
+	// Ping is the node's trace ping time; pairwise latency derives from
+	// ping differences (§5.2).
+	Ping sim.Time
+	// Table is the Peer Table (connected neighbours + DHT peers +
+	// overheard nodes).
+	Table *overlay.PeerTable
+	// Buf is the sliding segment buffer.
+	Buf *buffer.Buffer
+	// Ctrl estimates per-neighbour receiving rates.
+	Ctrl *bandwidth.Controller
+	// Alpha adapts the urgent ratio; Tags tracks pre-fetched segments for
+	// repeated-data detection. Both are nil for profiles without
+	// pre-fetch.
+	Alpha *prefetch.Alpha
+	Tags  *prefetch.Tags
+	// Backup is the node's VoD Data Backup store.
+	Backup *dht.Store
+	// RNG is the node's private randomness stream.
+	RNG *sim.RNG
+	// Policy is the node's scheduling discipline.
+	Policy scheduler.Policy
+
+	// Started reports whether playback has begun (§5.2: the system ramps
+	// up as nodes buffer enough to start; new joiners follow their
+	// neighbours' current position).
+	Started bool
+	// StartedRound records when playback began, for diagnostics.
+	StartedRound int
+
+	// pendingGossip maps requested-but-not-yet-arrived segment IDs to
+	// their request state (timeout round + expected arrival, used by the
+	// Urgent Line to decide whether a scheduled transfer will make its
+	// deadline).
+	pendingGossip map[segment.ID]pendingRequest
+	// pendingPrefetch maps in-flight pre-fetches to their expiry round.
+	pendingPrefetch map[segment.ID]int
+	// arrivedAt records delivery timestamps for deadline checks.
+	arrivedAt map[segment.ID]sim.Time
+
+	// overdue / repeated accumulate this round's α feedback.
+	overdue  int
+	repeated int
+	// lastReplace is the most recent round in which this node swapped a
+	// low-supply neighbour, enforcing the replacement cooldown.
+	lastReplace int
+	// missedLastRound records whether the previous round's playback was
+	// discontinuous; only struggling nodes rewire low-supply neighbours.
+	missedLastRound bool
+}
+
+// pendingRequest records one outstanding gossip ask.
+type pendingRequest struct {
+	expiry     int      // round after which the node retries
+	expectedAt sim.Time // absolute expected completion time
+}
+
+// pendingExpiryRounds is how many rounds a request stays pending before the
+// node gives up and becomes willing to re-request the segment.
+const pendingExpiryRounds = 2
+
+// initState allocates the maps shared by all constructors.
+func (n *Node) initState() {
+	n.pendingGossip = make(map[segment.ID]pendingRequest)
+	n.pendingPrefetch = make(map[segment.ID]int)
+	n.arrivedAt = make(map[segment.ID]sim.Time)
+}
+
+// Fresh reports whether the node should consider fetching id: absent from
+// the buffer and not pending on either path.
+func (n *Node) Fresh(id segment.ID, round int) bool {
+	if n.Buf.Has(id) {
+		return false
+	}
+	if p, ok := n.pendingGossip[id]; ok && p.expiry > round {
+		return false
+	}
+	if exp, ok := n.pendingPrefetch[id]; ok && exp > round {
+		return false
+	}
+	return true
+}
+
+// markGossipPending records a scheduled request with its expected arrival.
+func (n *Node) markGossipPending(id segment.ID, round int, expectedAt sim.Time) {
+	n.pendingGossip[id] = pendingRequest{expiry: round + pendingExpiryRounds, expectedAt: expectedAt}
+}
+
+// predictExcluded reports whether the Urgent Line should skip id: a
+// pre-fetch is already in flight, or a gossip request exists whose
+// expected arrival is still in the future AND beats the segment's
+// deadline. A scheduled transfer that will land too late — or whose
+// expected arrival has already passed without the segment showing up
+// (dropped at an overloaded supplier) — is NOT excluded: those are
+// precisely the segments "likely to be missed by the data scheduling
+// algorithm".
+func (n *Node) predictExcluded(id segment.ID, round int, now, deadline sim.Time) bool {
+	if n.prefetchInFlight(id, round) {
+		return true
+	}
+	p, ok := n.pendingGossip[id]
+	return ok && p.expiry > round && p.expectedAt >= now && p.expectedAt <= deadline
+}
+
+// markPrefetchPending records an in-flight pre-fetch and tags the segment.
+func (n *Node) markPrefetchPending(id segment.ID, round int) {
+	n.pendingPrefetch[id] = round + pendingExpiryRounds
+	n.Tags.Mark(id)
+}
+
+// prefetchInFlight reports whether id has an unexpired pre-fetch pending.
+func (n *Node) prefetchInFlight(id segment.ID, round int) bool {
+	exp, ok := n.pendingPrefetch[id]
+	return ok && exp > round
+}
+
+// receive ingests a delivered segment at time at. It returns true when the
+// segment was newly stored (false for duplicates or out-of-window
+// arrivals). The caller handles accounting.
+func (n *Node) receive(id segment.ID, at sim.Time) bool {
+	delete(n.pendingGossip, id)
+	delete(n.pendingPrefetch, id)
+	if !n.Buf.Insert(id) {
+		return false
+	}
+	if _, ok := n.arrivedAt[id]; !ok {
+		n.arrivedAt[id] = at
+	}
+	return true
+}
+
+// pruneBelow drops all per-segment state older than floor.
+func (n *Node) pruneBelow(floor segment.ID) {
+	for id := range n.arrivedAt {
+		if id < floor {
+			delete(n.arrivedAt, id)
+		}
+	}
+	for id := range n.pendingGossip {
+		if id < floor {
+			delete(n.pendingGossip, id)
+		}
+	}
+	for id := range n.pendingPrefetch {
+		if id < floor {
+			delete(n.pendingPrefetch, id)
+		}
+	}
+	if n.Tags != nil {
+		n.Tags.PruneBelow(floor)
+	}
+	n.Backup.PruneBelow(floor)
+}
+
+// expirePending clears request records whose expiry round has passed so
+// the node retries them.
+func (n *Node) expirePending(round int) {
+	for id, p := range n.pendingGossip {
+		if p.expiry <= round {
+			delete(n.pendingGossip, id)
+		}
+	}
+	for id, exp := range n.pendingPrefetch {
+		if exp <= round {
+			delete(n.pendingPrefetch, id)
+		}
+	}
+}
+
+// arrivedInTime reports whether id is buffered and arrived at or before
+// deadline.
+func (n *Node) arrivedInTime(id segment.ID, deadline sim.Time) bool {
+	if !n.Buf.Has(id) {
+		return false
+	}
+	at, ok := n.arrivedAt[id]
+	// Segments with no recorded arrival were present before tracking
+	// (source-generated); treat as in time.
+	return !ok || at <= deadline
+}
+
+// believedSuccessor returns the node's view of its clockwise successor —
+// the n1 bounding its backup arc (§4.3). Without any DHT peer the node
+// cannot delimit an arc and backs up nothing.
+func (n *Node) believedSuccessor() (dht.ID, bool) {
+	return n.Table.DHT().Successor()
+}
+
+// maybeBackup stores id in the VoD backup when the hash rule makes this
+// node responsible for it.
+func (n *Node) maybeBackup(space dht.Space, id segment.ID, replicas int) {
+	succ, ok := n.believedSuccessor()
+	if !ok {
+		return
+	}
+	if dht.Responsible(space, dht.ID(n.ID), succ, id, replicas) {
+		n.Backup.Put(id)
+	}
+}

@@ -1,0 +1,606 @@
+package core
+
+import (
+	"sort"
+
+	"continustreaming/internal/buffer"
+	"continustreaming/internal/dht"
+	"continustreaming/internal/metrics"
+	"continustreaming/internal/overlay"
+	"continustreaming/internal/prefetch"
+	"continustreaming/internal/scheduler"
+	"continustreaming/internal/segment"
+	"continustreaming/internal/sim"
+)
+
+// Step executes one scheduling period as a sequence of barrier-separated
+// phases. Phases that touch only per-node state fan out over the worker
+// pool; phases that rewire shared structures (transfers, DHT lookups,
+// churn) run deterministically single-threaded.
+func (w *World) Step(clock *sim.Clock) {
+	w.round = clock.Round()
+	sample := metrics.RoundSample{Round: w.round}
+
+	w.beginRound(clock)
+	snaps := w.exchangePhase(&sample)
+	// The Urgent Line runs before scheduling: segments it predicts missed
+	// — holes at the deadline edge that no in-flight transfer will cover
+	// (§1's three motivating cases) — go to the DHT retrieval path, and
+	// the gossip scheduler then treats them as already in flight. Letting
+	// gossip chase those same at-deadline holes instead would burn the
+	// inbound budget that must keep the pipeline of future segments
+	// flowing; off-loading deadline rescue to the DHT is exactly the
+	// division of labour the paper's design argues for.
+	plans := w.predictPhase(clock)
+	prefetchDeliveries := w.resolvePrefetch(clock, plans, &sample)
+	requests := w.schedulePhase(clock, snaps)
+	for _, reqs := range requests {
+		sample.Requests += int64(len(reqs))
+	}
+	deliveries := w.resolveTransfers(clock, requests, &sample)
+	deliveries = append(deliveries, prefetchDeliveries...)
+	deliveries = append(deliveries, w.dueInflight(clock)...)
+	w.applyDeliveries(clock, deliveries, &sample)
+	w.playbackPhase(clock, &sample)
+	w.maintenancePhase(clock)
+	w.churnPhase(clock)
+	w.collector.Record(sample)
+}
+
+// beginRound advances buffer windows to the round's playback position,
+// expires stale request state, resets outbound accounting, and lets the
+// source ingest the segments generated before this round started.
+func (w *World) beginRound(clock *sim.Clock) {
+	pos := w.playbackPos(w.round)
+	live := w.liveEdge(w.round)
+	clear(w.outUsed)
+	src := w.nodes[w.source]
+	w.pool.ForEach(len(w.order), func(i int) {
+		n := w.nodes[w.order[i]]
+		n.Buf.AdvanceTo(pos)
+		n.pruneBelow(pos)
+		n.expirePending(w.round)
+		n.overdue, n.repeated = 0, 0
+	})
+	// Source ingestion happens after the window advance so new segments
+	// land inside the window: the source disseminates segments within the
+	// same period it generates them.
+	for id := live; id < w.fetchEdge(w.round); id++ {
+		if id < 0 {
+			continue
+		}
+		if src.Buf.Insert(id) {
+			src.arrivedAt[id] = w.cfg.Stream.GeneratedAt(id)
+			src.maybeBackup(w.space, id, w.cfg.Replicas)
+		}
+	}
+	_ = clock
+}
+
+// fetchEdge returns one past the newest segment obtainable during round r:
+// everything the source emits before the round ends.
+func (w *World) fetchEdge(round int) segment.ID {
+	return segment.ID((round + 1) * w.cfg.Stream.Rate)
+}
+
+// exchangePhase snapshots every node's buffer map (the per-round "periodic
+// buffer information exchange") and accounts its control cost: each node
+// receives one 620-bit map from every connected neighbour.
+func (w *World) exchangePhase(sample *metrics.RoundSample) []buffer.Map {
+	snaps := make([]buffer.Map, len(w.order))
+	w.pool.ForEach(len(w.order), func(i int) {
+		snaps[i] = w.nodes[w.order[i]].Buf.Snapshot()
+	})
+	var control int64
+	for _, id := range w.order {
+		if id == w.source {
+			continue
+		}
+		control += int64(len(w.edges[id])) * buffer.WireBits(w.cfg.BufferSegments)
+	}
+	sample.ControlBits = control
+	return snaps
+}
+
+// predictPhase runs the Urgent Line on every pre-fetch-enabled node.
+// Returned decisions align with w.order; nodes without pre-fetch get zero
+// decisions.
+func (w *World) predictPhase(clock *sim.Clock) []prefetch.Decision {
+	plans := make([]prefetch.Decision, len(w.order))
+	if !w.cfg.Profile.Prefetch {
+		return plans
+	}
+	pos := w.playbackPos(w.round)
+	p := w.cfg.Stream.Rate
+	now := clock.Now()
+	round := w.round
+	w.pool.ForEach(len(w.order), func(i int) {
+		n := w.nodes[w.order[i]]
+		if n.IsSource || n.Alpha == nil || !n.Started {
+			// The Urgent Line protects an active playback; a node that
+			// has not started yet has no deadlines to defend.
+			return
+		}
+		plans[i] = prefetch.Predict(n.Buf, pos, n.Alpha.Value(), w.cfg.PrefetchLimit,
+			func(id segment.ID) bool {
+				deadline := w.deadlineOf(id, pos, p, now)
+				return n.predictExcluded(id, round, now, deadline)
+			})
+	})
+	return plans
+}
+
+// schedulePhase runs each node's scheduling policy against its neighbours'
+// snapshots. The inbound budget reserves room for this round's pre-fetches
+// ("the on-demand data retrieval algorithm shares the inbound rate with
+// the data scheduling algorithm").
+func (w *World) schedulePhase(clock *sim.Clock, snaps []buffer.Map) [][]scheduler.Request {
+	index := make(map[overlay.NodeID]int, len(w.order))
+	for i, id := range w.order {
+		index[id] = i
+	}
+	pos := w.playbackPos(w.round)
+	vpos := w.virtualPos(w.round)
+	fetchWin := segment.Window{Lo: pos, Hi: w.fetchEdge(w.round)}
+	out := make([][]scheduler.Request, len(w.order))
+	round := w.round
+	w.pool.ForEach(len(w.order), func(i int) {
+		n := w.nodes[w.order[i]]
+		if n.IsSource {
+			return
+		}
+		budget := n.Rates.In
+		if budget <= 0 {
+			return
+		}
+		cands := w.candidatesFor(n, index, snaps, fetchWin, round)
+		if len(cands) == 0 {
+			return
+		}
+		in := scheduler.Input{
+			PriorityInput: scheduler.PriorityInput{
+				Play:         vpos,
+				PlaybackRate: w.cfg.Stream.Rate,
+				BufferSize:   w.cfg.BufferSegments,
+				NoPlayback:   !n.Started,
+			},
+			Tau:           w.cfg.Tau,
+			InboundBudget: budget,
+			Candidates:    cands,
+			JitterSeed:    w.cfg.Seed ^ uint64(n.ID)*0x9e3779b97f4a7c15,
+			RarityNoise:   w.cfg.RarityNoise,
+		}
+		reqs := n.Policy.Schedule(in)
+		perSupplier := map[int]int{}
+		for _, r := range reqs {
+			n.markGossipPending(r.ID, round, clock.Now()+r.ExpectedAt)
+			perSupplier[r.Supplier]++
+		}
+		for s, count := range perSupplier {
+			n.Ctrl.NoteRequested(s, count)
+		}
+		out[i] = reqs
+	})
+	return out
+}
+
+// candidatesFor enumerates the fresh segments any connected neighbour
+// advertises inside the fetch window, with per-supplier rate estimates and
+// FIFO positions.
+func (w *World) candidatesFor(n *Node, index map[overlay.NodeID]int, snaps []buffer.Map, win segment.Window, round int) []scheduler.Candidate {
+	type entry struct {
+		suppliers []scheduler.Supplier
+	}
+	found := make(map[segment.ID]*entry)
+	var ids []segment.ID
+	for _, nb := range w.neighborsOf(n.ID) {
+		j, ok := index[nb]
+		if !ok {
+			continue // neighbour died this round; maintenance will repair
+		}
+		snap := snaps[j]
+		wn := win.Intersect(snap.Window())
+		for id := wn.Lo; id < wn.Hi; id++ {
+			if !snap.Has(id) || !n.Fresh(id, round) {
+				continue
+			}
+			pft, _ := snap.PositionFromTail(id)
+			e := found[id]
+			if e == nil {
+				e = &entry{}
+				found[id] = e
+				ids = append(ids, id)
+			}
+			e.suppliers = append(e.suppliers, scheduler.Supplier{
+				Node:             int(nb),
+				Rate:             n.Ctrl.Rate(int(nb)),
+				PositionFromTail: pft,
+			})
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	cands := make([]scheduler.Candidate, 0, len(ids))
+	for _, id := range ids {
+		cands = append(cands, scheduler.Candidate{ID: id, Suppliers: found[id].suppliers})
+	}
+	return cands
+}
+
+// transferReq is one requester->supplier ask, ordered deterministically.
+type transferReq struct {
+	supplier  overlay.NodeID
+	requester overlay.NodeID
+	id        segment.ID
+	expected  sim.Time
+}
+
+// resolveTransfers enforces supplier outbound budgets. Each supplier
+// serves its round's requests in expected-time order at its real service
+// rate; like a pipelined TCP supplier it keeps transmitting into the next
+// period (slots past τ arrive next round via the in-flight queue) up to
+// one extra period's worth of backlog, beyond which requests are dropped
+// and the requester times out and retries.
+func (w *World) resolveTransfers(clock *sim.Clock, requests [][]scheduler.Request, sample *metrics.RoundSample) []delivery {
+	bySupplier := make(map[overlay.NodeID][]transferReq)
+	var suppliers []overlay.NodeID
+	for i, reqs := range requests {
+		requester := w.order[i]
+		for _, r := range reqs {
+			s := overlay.NodeID(r.Supplier)
+			if _, ok := bySupplier[s]; !ok {
+				suppliers = append(suppliers, s)
+			}
+			bySupplier[s] = append(bySupplier[s], transferReq{
+				supplier: s, requester: requester, id: r.ID, expected: r.ExpectedAt,
+			})
+		}
+	}
+	sort.Slice(suppliers, func(i, j int) bool { return suppliers[i] < suppliers[j] })
+	results := make([][]delivery, len(suppliers))
+	start := clock.Now()
+	tau := int64(w.cfg.Tau)
+	w.pool.ForEach(len(suppliers), func(si int) {
+		s := suppliers[si]
+		sn := w.nodes[s]
+		if sn == nil {
+			return
+		}
+		reqs := bySupplier[s]
+		// Fair queueing: a real supplier transmits to its requesters'
+		// connections concurrently, so service interleaves round-robin
+		// across requesters (each requester's own asks stay in its
+		// priority order). Serving in global priority order instead would
+		// starve exactly the low-priority frontier requests that keep new
+		// content multiplying — a system-wide death spiral under load.
+		sort.SliceStable(reqs, func(a, b int) bool {
+			if reqs[a].requester != reqs[b].requester {
+				return reqs[a].requester < reqs[b].requester
+			}
+			if reqs[a].expected != reqs[b].expected {
+				return reqs[a].expected < reqs[b].expected
+			}
+			return reqs[a].id < reqs[b].id
+		})
+		perRequester := make(map[overlay.NodeID][]transferReq)
+		var order []overlay.NodeID
+		for _, r := range reqs {
+			if _, ok := perRequester[r.requester]; !ok {
+				order = append(order, r.requester)
+			}
+			perRequester[r.requester] = append(perRequester[r.requester], r)
+		}
+		capacity := sn.Rates.Out
+		if capacity <= 0 {
+			return
+		}
+		perSegmentMS := tau / int64(capacity)
+		if perSegmentMS < 1 {
+			perSegmentMS = 1
+		}
+		// Backlog spill: up to one extra period of queued transmissions.
+		limit := 2 * capacity
+		served := 0
+		var out []delivery
+		for depth := 0; served < limit; depth++ {
+			progressed := false
+			for _, req := range order {
+				q := perRequester[req]
+				if depth >= len(q) {
+					continue
+				}
+				progressed = true
+				if served >= limit {
+					break
+				}
+				served++
+				r := q[depth]
+				done := sim.Time(int64(served) * perSegmentMS)
+				at := start + done + w.Latency(s, r.requester)
+				out = append(out, delivery{to: r.requester, from: s, id: r.id, at: at})
+			}
+			if !progressed {
+				break
+			}
+		}
+		results[si] = out
+	})
+	// Record outbound usage and drops sequentially (shared state).
+	var all []delivery
+	for si, s := range suppliers {
+		w.outUsed[s] += len(results[si])
+		sample.Dropped += int64(len(bySupplier[s]) - len(results[si]))
+		all = append(all, results[si]...)
+	}
+	return all
+}
+
+// worldDirectory adapts the world to the prefetch.Directory interface:
+// whether a ring node holds a backup and how much outbound it can still
+// spare this round.
+type worldDirectory struct{ w *World }
+
+func (d worldDirectory) HasBackup(node dht.ID, id segment.ID) bool {
+	n := d.w.nodes[overlay.NodeID(node)]
+	if n == nil {
+		return false
+	}
+	// The source trivially holds every segment it has generated — it is
+	// the retrieval path of last resort exactly as in a real deployment.
+	if n.IsSource {
+		return n.Buf.Has(id)
+	}
+	return n.Backup.Has(id)
+}
+
+func (d worldDirectory) AvailableRate(node dht.ID) float64 {
+	n := d.w.nodes[overlay.NodeID(node)]
+	if n == nil {
+		return 0
+	}
+	// The outbound ledger spans the gossip backlog horizon (2·O per
+	// round); whatever is left of it is spare capacity a pre-fetch may
+	// claim, reported as an effective sending rate capped at the line
+	// rate.
+	spare := 2*n.Rates.Out - d.w.outUsed[overlay.NodeID(node)]
+	if spare <= 0 {
+		return 0
+	}
+	if spare > n.Rates.Out {
+		spare = n.Rates.Out
+	}
+	return float64(spare)
+}
+
+// resolvePrefetch executes Algorithm 2 for every triggered node. The
+// phase is sequential: DHT routing evicts dead table entries and consumes
+// supplier leftovers, both shared state.
+func (w *World) resolvePrefetch(clock *sim.Clock, plans []prefetch.Decision, sample *metrics.RoundSample) []delivery {
+	if !w.cfg.Profile.Prefetch {
+		return nil
+	}
+	retr := &prefetch.Retriever{
+		Space:    w.space,
+		Replicas: w.cfg.Replicas,
+		Locator:  w.dhtNet,
+		Dir:      worldDirectory{w},
+	}
+	start := clock.Now()
+	var out []delivery
+	for i, plan := range plans {
+		if !plan.Triggered {
+			continue
+		}
+		n := w.nodes[w.order[i]]
+		results := retr.LocateAll(dht.ID(n.ID), plan.Missed)
+		sample.LookupAttempts += int64(len(results))
+		for _, res := range results {
+			sample.PrefetchRoutingBits += int64(res.RoutingMessages) * w.cfg.RoutingMessageBits
+			if !res.Found {
+				continue
+			}
+			sample.LookupFound++
+			supplier := overlay.NodeID(res.Supplier)
+			if w.outUsed[supplier] >= 2*w.nodes[supplier].Rates.Out {
+				continue // leftover vanished since the lookup
+			}
+			w.outUsed[supplier]++
+			n.markPrefetchPending(res.ID, w.round)
+			// t_fetch = locate + reply + request + retrieve (eq. 6): the
+			// locate leg walks the routed path; the remaining three legs
+			// are direct exchanges with the chosen supplier.
+			direct := w.Latency(n.ID, supplier)
+			transfer := sim.Time(int64(sim.Second) / int64(maxInt(1, int(res.Rate))))
+			at := start + sim.Time(res.LocateHops)*w.cfg.THop + 2*direct + transfer + direct
+			out = append(out, delivery{to: n.ID, from: supplier, id: res.ID, at: at, prefetch: true})
+			// Everyone on the winning route overhears the exchange.
+			w.overhearRoute(n.ID, res)
+		}
+	}
+	return out
+}
+
+// overhearRoute feeds routing-path observations into peer tables: each
+// node its level peers, the paper's zero-cost maintenance channel.
+func (w *World) overhearRoute(origin overlay.NodeID, res prefetch.LookupResult) {
+	for _, owner := range res.Owners {
+		oid := overlay.NodeID(owner)
+		if on := w.nodes[oid]; on != nil {
+			on.Table.Hear(origin, w.Latency(oid, origin))
+		}
+		if n := w.nodes[origin]; n != nil {
+			n.Table.Hear(oid, w.Latency(origin, oid))
+		}
+	}
+}
+
+// dueInflight drains cross-round deliveries that land during this round.
+func (w *World) dueInflight(clock *sim.Clock) []delivery {
+	events := w.inflight.PopUntil(clock.RoundEnd())
+	out := make([]delivery, 0, len(events))
+	for _, ev := range events {
+		out = append(out, ev.Payload)
+	}
+	return out
+}
+
+// applyDeliveries ingests every arrival of the round, in timestamp order
+// per receiver, updating buffers, backup stores, α feedback and the
+// traffic counters. Deliveries landing after the round boundary go to the
+// in-flight queue instead.
+func (w *World) applyDeliveries(clock *sim.Clock, deliveries []delivery, sample *metrics.RoundSample) {
+	end := clock.RoundEnd()
+	byReceiver := make(map[overlay.NodeID][]delivery)
+	for _, d := range deliveries {
+		if d.at > end {
+			w.inflight.Push(d.at, d)
+			continue
+		}
+		byReceiver[d.to] = append(byReceiver[d.to], d)
+	}
+	var receivers []overlay.NodeID
+	for id := range byReceiver {
+		receivers = append(receivers, id)
+	}
+	sort.Slice(receivers, func(i, j int) bool { return receivers[i] < receivers[j] })
+	pos := w.playbackPos(w.round)
+	p := w.cfg.Stream.Rate
+	segBits := w.cfg.Stream.BitsPerSegment
+	results := make([]metrics.RoundSample, len(receivers))
+	w.pool.ForEach(len(receivers), func(ri int) {
+		n := w.nodes[receivers[ri]]
+		if n == nil {
+			return
+		}
+		ds := byReceiver[receivers[ri]]
+		sort.Slice(ds, func(a, b int) bool {
+			if ds[a].at != ds[b].at {
+				return ds[a].at < ds[b].at
+			}
+			return ds[a].id < ds[b].id
+		})
+		local := &results[ri]
+		for _, d := range ds {
+			deadline := w.deadlineOf(d.id, pos, p, clock.Now())
+			if d.prefetch {
+				local.PrefetchDataBits += segBits
+				local.Prefetches++
+				already := n.Buf.Has(d.id)
+				stored := n.receive(d.id, d.at)
+				switch {
+				case already:
+					// Gossip beat the pre-fetch: repeated data.
+					local.Repeated++
+					n.repeated++
+					n.Tags.Clear(d.id)
+				case stored && d.at > deadline && d.id >= pos:
+					// Arrived, but after its play moment: overdue.
+					local.Overdue++
+					n.overdue++
+				}
+				if stored {
+					n.maybeBackup(w.space, d.id, w.cfg.Replicas)
+				}
+				continue
+			}
+			local.DataBits += segBits
+			local.Deliveries++
+			tagged := n.Tags != nil && n.Tags.Tagged(d.id)
+			already := n.Buf.Has(d.id)
+			stored := n.receive(d.id, d.at)
+			n.Ctrl.ObserveDelivery(int(d.from), (d.at - clock.Now()).Seconds())
+			if tagged && (already || (stored && d.at <= deadline)) {
+				// The scheduler delivered a segment the pre-fetch also
+				// handled (or is handling): repeated data.
+				local.Repeated++
+				n.repeated++
+				n.Tags.Clear(d.id)
+			}
+			if stored {
+				n.maybeBackup(w.space, d.id, w.cfg.Replicas)
+			}
+		}
+	})
+	for _, r := range results {
+		sample.DataBits += r.DataBits
+		sample.PrefetchDataBits += r.PrefetchDataBits
+		sample.Deliveries += r.Deliveries
+		sample.Prefetches += r.Prefetches
+		sample.Overdue += r.Overdue
+		sample.Repeated += r.Repeated
+	}
+}
+
+// deadlineOf returns the latest useful arrival time of segment id for a
+// node at position pos at round start `now`: the end of the scheduling
+// period in which the segment plays. Sub-period timing is below the
+// model's resolution (real peers jitter-buffer within the period; the
+// paper's t_fetch < τ rescue depends on mid-period arrivals counting).
+func (w *World) deadlineOf(id segment.ID, pos segment.ID, p int, now sim.Time) sim.Time {
+	if id < pos {
+		return now // already due
+	}
+	roundsAhead := sim.Time(int(id-pos) / p)
+	return now + (roundsAhead+1)*w.cfg.Tau
+}
+
+// playbackPhase evaluates the continuity metric, starts nodes whose
+// buffers have caught up, and applies α feedback.
+func (w *World) playbackPhase(clock *sim.Clock, sample *metrics.RoundSample) {
+	pos := w.playbackPos(w.round)
+	p := w.cfg.Stream.Rate
+	roundEnd := clock.RoundEnd()
+	playingBegun := w.virtualPos(w.round) >= 0
+	type result struct {
+		playing    bool
+		continuous bool
+	}
+	results := make([]result, len(w.order))
+	round := w.round
+	w.pool.ForEach(len(w.order), func(i int) {
+		n := w.nodes[w.order[i]]
+		if n.IsSource {
+			return
+		}
+		if !n.Started && playingBegun && n.Buf.Has(pos) {
+			n.Started = true
+			n.StartedRound = round
+		}
+		results[i].playing = n.Started
+		if n.Started {
+			// The node played this round continuously iff every due
+			// segment arrived by the end of the round it played in.
+			continuous := true
+			for off := 0; off < p; off++ {
+				if !n.arrivedInTime(pos+segment.ID(off), roundEnd) {
+					continuous = false
+					break
+				}
+			}
+			results[i].continuous = continuous
+			n.missedLastRound = !continuous
+		}
+		if n.Alpha != nil {
+			n.Alpha.Apply(n.overdue, n.repeated)
+		}
+		n.Ctrl.Tick()
+		for _, nb := range n.Table.Neighbors() {
+			n.Table.UpdateSupply(nb.ID, n.Ctrl.Supply(int(nb.ID)))
+		}
+	})
+	for i, id := range w.order {
+		if id == w.source {
+			continue
+		}
+		sample.PlayingNodes++ // denominator: every alive non-source node
+		if results[i].playing && results[i].continuous {
+			sample.ContinuousNodes++
+		}
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,306 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"continustreaming/internal/bandwidth"
+	"continustreaming/internal/buffer"
+	"continustreaming/internal/churn"
+	"continustreaming/internal/dht"
+	"continustreaming/internal/metrics"
+	"continustreaming/internal/overlay"
+	"continustreaming/internal/prefetch"
+	"continustreaming/internal/scheduler"
+	"continustreaming/internal/segment"
+	"continustreaming/internal/sim"
+	"continustreaming/internal/topology"
+)
+
+// World is the simulated overlay: every alive node, the connected-neighbour
+// edge set, the DHT network, the RP server and the per-round metric
+// counters. It implements sim.System; one Step is one scheduling period.
+type World struct {
+	cfg   Config
+	space dht.Space
+
+	nodes  map[overlay.NodeID]*Node
+	order  []overlay.NodeID // alive IDs, ascending (rebuilt on churn)
+	edges  map[overlay.NodeID]map[overlay.NodeID]bool
+	dhtNet *dht.Network
+	rp     *overlay.Rendezvous
+	source overlay.NodeID
+
+	pool      *sim.Pool
+	rng       *sim.RNG // world-level stream: construction, churn, joins
+	churnProc *churn.Process
+	collector *metrics.Collector
+
+	// inflight holds deliveries that arrive in a future round.
+	inflight *sim.EventQueue[delivery]
+	// outUsed tracks each node's outbound spend within the current round
+	// (gossip serving first, then pre-fetch takes the leftovers).
+	outUsed map[overlay.NodeID]int
+
+	// round mirrors the engine clock for code that needs the index between
+	// phases.
+	round int
+}
+
+// delivery is one segment transfer in flight.
+type delivery struct {
+	to, from overlay.NodeID
+	id       segment.ID
+	at       sim.Time
+	prefetch bool
+}
+
+// NewWorld builds a world from the configuration: synthesizes (or accepts)
+// the trace topology, augments it to the target degree, assigns ring IDs
+// via the RP server, wires connected neighbours from the augmented graph,
+// and populates every DHT peer table.
+func NewWorld(cfg Config) (*World, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	space := dht.NewSpace(cfg.spaceSize())
+	w := &World{
+		cfg:       cfg,
+		space:     space,
+		nodes:     make(map[overlay.NodeID]*Node),
+		edges:     make(map[overlay.NodeID]map[overlay.NodeID]bool),
+		dhtNet:    dht.NewNetwork(space),
+		rp:        overlay.NewRendezvous(space),
+		pool:      sim.NewPool(0),
+		rng:       sim.DeriveRNG(cfg.Seed, 0x0571d),
+		collector: metrics.NewCollector(),
+		inflight:  sim.NewEventQueue[delivery](),
+		outUsed:   make(map[overlay.NodeID]int),
+	}
+	graph := cfg.Topology
+	if graph == nil {
+		graph = topology.Generate(topology.GenerateConfig{
+			N:         cfg.Nodes,
+			AvgDegree: 2.5,
+			Seed:      cfg.Seed,
+		})
+	}
+	if graph.N() != cfg.Nodes {
+		return nil, fmt.Errorf("core: topology has %d nodes, config wants %d", graph.N(), cfg.Nodes)
+	}
+	topology.Augment(graph, cfg.M, sim.DeriveRNG(cfg.Seed, 0xa06))
+
+	// Assign ring IDs to trace indices.
+	ringOf := make([]overlay.NodeID, graph.N())
+	for i := range ringOf {
+		ringOf[i] = w.rp.AssignID(w.rng)
+	}
+	// The source is trace index 0.
+	for i := 0; i < graph.N(); i++ {
+		id := ringOf[i]
+		n := w.buildNode(id, graph.Nodes[i].Ping, i == 0)
+		w.nodes[id] = n
+		w.rp.Register(id)
+		w.dhtNet.Join(dht.ID(id), w.rng)
+	}
+	w.source = ringOf[0]
+	// Wire connected neighbours from the augmented trace graph.
+	for u := 0; u < graph.N(); u++ {
+		for _, v := range graph.Adj[u] {
+			if u < v {
+				w.addEdge(ringOf[u], ringOf[v])
+			}
+		}
+	}
+	// Converged DHT tables at start (the overlay has been up a while).
+	for _, id := range w.dhtNet.IDs() {
+		w.dhtNet.FillTable(w.dhtNet.Table(id), w.rng)
+	}
+	w.rebuildOrder()
+	if cfg.Churn.Enabled() {
+		w.churnProc = churn.NewProcess(cfg.Churn, sim.DeriveRNG(cfg.Seed, 0xc402))
+	}
+	return w, nil
+}
+
+// buildNode constructs a node with profile-appropriate components.
+func (w *World) buildNode(id overlay.NodeID, ping sim.Time, isSource bool) *Node {
+	cfg := w.cfg
+	var rates bandwidth.Rates
+	nodeRNG := sim.DeriveRNG(cfg.Seed, uint64(id)+0x9000)
+	if isSource {
+		rates = cfg.Bandwidth.Source()
+	} else {
+		rates = cfg.Bandwidth.Draw(nodeRNG)
+	}
+	n := &Node{
+		ID:       id,
+		IsSource: isSource,
+		Rates:    rates,
+		Ping:     ping,
+		Table:    overlay.NewPeerTable(w.space, id, cfg.M, cfg.H),
+		Buf:      buffer.New(cfg.BufferSegments, 0),
+		Ctrl:     bandwidth.NewController(0.3, float64(cfg.Stream.Rate)),
+		Backup:   dht.NewStore(),
+		RNG:      nodeRNG,
+	}
+	n.initState()
+	if cfg.Profile.Prefetch && !isSource {
+		n.Alpha = prefetch.NewAlpha(prefetch.AlphaConfig{
+			PlaybackRate:  cfg.Stream.Rate,
+			BufferSize:    cfg.BufferSegments,
+			Tau:           cfg.Tau,
+			THop:          cfg.THop,
+			ExpectedNodes: cfg.Nodes,
+		})
+		n.Tags = prefetch.NewTags()
+	}
+	n.Policy = w.policyFor(n)
+	return n
+}
+
+// policyFor instantiates the node's scheduling policy.
+func (w *World) policyFor(n *Node) scheduler.Policy {
+	switch w.cfg.Profile.Policy {
+	case PolicyRarestFirst:
+		return scheduler.RarestFirst{}
+	case PolicyRandom:
+		return &scheduler.Random{RNG: sim.DeriveRNG(w.cfg.Seed, uint64(n.ID)+0x7a4d)}
+	case PolicyUrgencyOnly:
+		return scheduler.UrgencyOnly{}
+	case PolicyRarityOnly:
+		return scheduler.RarityOnly{}
+	default:
+		return scheduler.Greedy{}
+	}
+}
+
+// Config returns the active configuration.
+func (w *World) Config() Config { return w.cfg }
+
+// Space returns the DHT identifier space.
+func (w *World) Space() dht.Space { return w.space }
+
+// Collector exposes the per-round metric samples.
+func (w *World) Collector() *metrics.Collector { return w.collector }
+
+// Source returns the media source's ID.
+func (w *World) Source() overlay.NodeID { return w.source }
+
+// Size returns the number of alive nodes (including the source).
+func (w *World) Size() int { return len(w.order) }
+
+// Node returns the node with the given ID, or nil.
+func (w *World) Node(id overlay.NodeID) *Node { return w.nodes[id] }
+
+// Nodes returns alive node IDs in ascending order; callers must not mutate.
+func (w *World) Nodes() []overlay.NodeID { return w.order }
+
+// DHTNetwork exposes the structured overlay (read-mostly; tests and the
+// experiment harness use it).
+func (w *World) DHTNetwork() *dht.Network { return w.dhtNet }
+
+// Latency returns the simulated one-way latency between two alive nodes:
+// the trace rule |ping_u − ping_v| with the topology package's floor.
+func (w *World) Latency(u, v overlay.NodeID) sim.Time {
+	nu, nv := w.nodes[u], w.nodes[v]
+	if nu == nil || nv == nil {
+		return topology.MinLatency
+	}
+	d := nu.Ping - nv.Ping
+	if d < 0 {
+		d = -d
+	}
+	if d < topology.MinLatency {
+		return topology.MinLatency
+	}
+	return d
+}
+
+// addEdge connects two nodes as gossip neighbours (symmetric).
+func (w *World) addEdge(u, v overlay.NodeID) {
+	if u == v {
+		return
+	}
+	if w.edges[u] == nil {
+		w.edges[u] = make(map[overlay.NodeID]bool)
+	}
+	if w.edges[v] == nil {
+		w.edges[v] = make(map[overlay.NodeID]bool)
+	}
+	if w.edges[u][v] {
+		return
+	}
+	w.edges[u][v] = true
+	w.edges[v][u] = true
+	lat := w.Latency(u, v)
+	w.nodes[u].Table.AddNeighborLink(overlay.PeerInfo{ID: v, Latency: lat})
+	w.nodes[v].Table.AddNeighborLink(overlay.PeerInfo{ID: u, Latency: lat})
+}
+
+// removeEdge disconnects two nodes.
+func (w *World) removeEdge(u, v overlay.NodeID) {
+	if w.edges[u] != nil {
+		delete(w.edges[u], v)
+	}
+	if w.edges[v] != nil {
+		delete(w.edges[v], u)
+	}
+	if n := w.nodes[u]; n != nil {
+		n.Table.RemoveNeighbor(v)
+		n.Ctrl.Forget(int(v))
+	}
+	if n := w.nodes[v]; n != nil {
+		n.Table.RemoveNeighbor(u)
+		n.Ctrl.Forget(int(u))
+	}
+}
+
+// neighborsOf returns u's connected neighbours, ascending, from the edge
+// set (the authoritative view; peer tables mirror it).
+func (w *World) neighborsOf(u overlay.NodeID) []overlay.NodeID {
+	set := w.edges[u]
+	out := make([]overlay.NodeID, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// rebuildOrder refreshes the dense iteration order after membership
+// changes.
+func (w *World) rebuildOrder() {
+	w.order = w.order[:0]
+	for id := range w.nodes {
+		w.order = append(w.order, id)
+	}
+	sort.Slice(w.order, func(i, j int) bool { return w.order[i] < w.order[j] })
+}
+
+// playbackPos returns the synchronized playback position for round r:
+// D periods behind the live edge (clamped to the stream start). Nodes
+// start playing individually, but the *position* every playing node
+// targets is shared — new joiners "follow their neighbours' current
+// steps".
+func (w *World) playbackPos(round int) segment.ID {
+	pos := w.virtualPos(round)
+	if pos < 0 {
+		pos = 0
+	}
+	return pos
+}
+
+// virtualPos is the unclamped playback position. Before playback begins it
+// is negative, which matters for urgency: segment 0's deadline is round D,
+// not "now", so its pre-start slack must include the remaining warm-up
+// time.
+func (w *World) virtualPos(round int) segment.ID {
+	return segment.ID(round*w.cfg.Stream.Rate - w.cfg.delaySegments())
+}
+
+// liveEdge returns one past the newest segment that exists at the start of
+// round r.
+func (w *World) liveEdge(round int) segment.ID {
+	return segment.ID(round * w.cfg.Stream.Rate)
+}

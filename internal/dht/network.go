@@ -1,0 +1,206 @@
+package dht
+
+import (
+	"sort"
+
+	"continustreaming/internal/sim"
+)
+
+// Network is the simulated structured overlay: the set of alive nodes with
+// their peer tables, plus the ground-truth sorted membership used to define
+// arc ownership. It backs both the standalone DHT experiments (Figure 3)
+// and the on-demand retrieval path of the streaming system.
+//
+// Network is not safe for concurrent mutation; the simulation mutates it
+// only between parallel phases.
+type Network struct {
+	space  Space
+	tables map[ID]*Table
+	sorted []ID // alive IDs, ascending
+}
+
+// NewNetwork returns an empty network over space.
+func NewNetwork(space Space) *Network {
+	return &Network{space: space, tables: make(map[ID]*Table)}
+}
+
+// Space returns the identifier space.
+func (n *Network) Space() Space { return n.space }
+
+// Size returns the number of alive nodes.
+func (n *Network) Size() int { return len(n.sorted) }
+
+// Alive reports whether id is currently a member.
+func (n *Network) Alive(id ID) bool {
+	_, ok := n.tables[id]
+	return ok
+}
+
+// Table returns the peer table of an alive node, or nil.
+func (n *Network) Table(id ID) *Table { return n.tables[id] }
+
+// IDs returns the alive membership in ascending order. Callers must not
+// mutate the returned slice.
+func (n *Network) IDs() []ID { return n.sorted }
+
+// Join adds a node and fills its peer table with one uniformly random alive
+// node per non-empty level arc — the "loose" organisation: any node in the
+// arc is a legal peer. Existing members are *not* told about the joiner
+// here; in the full system they learn of it through overhearing and the
+// join notification, which callers drive via Consider on individual tables.
+// Join returns the new table, or nil if the id was already present.
+func (n *Network) Join(id ID, rng *sim.RNG) *Table {
+	n.space.check(id)
+	if n.Alive(id) {
+		return nil
+	}
+	t := NewTable(n.space, id)
+	n.insertSorted(id)
+	n.tables[id] = t
+	n.FillTable(t, rng)
+	return t
+}
+
+// FillTable (re)fills every level of t with a uniformly random alive node
+// from that level's arc, when one exists. Levels whose arcs hold no alive
+// node are left vacant.
+func (n *Network) FillTable(t *Table, rng *sim.RNG) {
+	for level := 1; level <= n.space.Levels(); level++ {
+		lo, hi := n.space.LevelArc(t.Self(), level)
+		if p, ok := n.randomInArc(lo, hi, rng); ok {
+			t.Consider(p)
+		}
+	}
+}
+
+// Leave removes a node. Other nodes' tables may still point at it; routing
+// treats dead next-hops as failures unless the caller repairs tables, which
+// mirrors reality and is what makes query success dip below 1.0 under churn.
+func (n *Network) Leave(id ID) {
+	if !n.Alive(id) {
+		return
+	}
+	delete(n.tables, id)
+	i := sort.Search(len(n.sorted), func(i int) bool { return n.sorted[i] >= id })
+	n.sorted = append(n.sorted[:i], n.sorted[i+1:]...)
+}
+
+func (n *Network) insertSorted(id ID) {
+	i := sort.Search(len(n.sorted), func(i int) bool { return n.sorted[i] >= id })
+	n.sorted = append(n.sorted, 0)
+	copy(n.sorted[i+1:], n.sorted[i:])
+	n.sorted[i] = id
+}
+
+// Owner returns the alive node that owns key: the node counter-clockwise
+// closest to it (the largest alive ID <= key, wrapping). The second result
+// is false when the network is empty.
+func (n *Network) Owner(key ID) (ID, bool) {
+	if len(n.sorted) == 0 {
+		return 0, false
+	}
+	// First alive ID strictly greater than key, then step back one.
+	i := sort.Search(len(n.sorted), func(i int) bool { return n.sorted[i] > key })
+	if i == 0 {
+		return n.sorted[len(n.sorted)-1], true // wrap
+	}
+	return n.sorted[i-1], true
+}
+
+// TrueSuccessor returns the alive node clockwise-closest after id (itself
+// excluded). Used for graceful-leave handover targets and invariant checks.
+func (n *Network) TrueSuccessor(id ID) (ID, bool) {
+	if len(n.sorted) == 0 || (len(n.sorted) == 1 && n.sorted[0] == id) {
+		return 0, false
+	}
+	i := sort.Search(len(n.sorted), func(i int) bool { return n.sorted[i] > id })
+	if i == len(n.sorted) {
+		i = 0
+	}
+	return n.sorted[i], true
+}
+
+// randomInArc picks a uniformly random alive node in the (possibly wrapped)
+// arc [lo, hi).
+func (n *Network) randomInArc(lo, hi ID, rng *sim.RNG) (ID, bool) {
+	ids := n.sorted
+	if len(ids) == 0 {
+		return 0, false
+	}
+	pickRange := func(a, b ID) (int, int) { // indices of alive ids in [a,b)
+		i := sort.Search(len(ids), func(i int) bool { return ids[i] >= a })
+		j := sort.Search(len(ids), func(i int) bool { return ids[i] >= b })
+		return i, j
+	}
+	if lo < hi {
+		i, j := pickRange(lo, hi)
+		if j <= i {
+			return 0, false
+		}
+		return ids[i+rng.Intn(j-i)], true
+	}
+	// Wrapped arc: [lo, N) ∪ [0, hi).
+	i1, j1 := pickRange(lo, ID(n.space.N()))
+	i2, j2 := pickRange(0, hi)
+	total := (j1 - i1) + (j2 - i2)
+	if total == 0 {
+		return 0, false
+	}
+	k := rng.Intn(total)
+	if k < j1-i1 {
+		return ids[i1+k], true
+	}
+	return ids[i2+k-(j1-i1)], true
+}
+
+// RouteResult describes one greedy routing attempt.
+type RouteResult struct {
+	// Path holds every node visited, starting with the origin and ending
+	// with the node where routing stopped.
+	Path []ID
+	// Target is the key that was routed toward.
+	Target ID
+	// Final is the node where greedy routing stopped.
+	Final ID
+	// Success reports whether Final is the true owner of Target.
+	Success bool
+}
+
+// Hops returns the number of forwarding steps taken.
+func (r RouteResult) Hops() int { return len(r.Path) - 1 }
+
+// Route performs greedy clockwise routing from the alive node from toward
+// key target, walking real peer tables. A hop to a dead peer evicts the
+// entry from the forwarding table and the walk retries from the same node;
+// if no alive closer peer remains, routing stops there. The walk is bounded
+// by 4·log₂N + 4 hops (comfortably above the appendix bound of 2.41·log₂N)
+// as a defensive guard against table corruption.
+func (n *Network) Route(from, target ID) RouteResult {
+	res := RouteResult{Target: target, Path: []ID{from}}
+	cur := from
+	maxHops := 4*n.space.Levels() + 4
+	for hops := 0; hops < maxHops; hops++ {
+		t := n.tables[cur]
+		if t == nil {
+			break // origin died mid-route; count as failure
+		}
+		next, ok := t.NextHop(target)
+		for ok && !n.Alive(next) {
+			t.Evict(next)
+			next, ok = t.NextHop(target)
+		}
+		if !ok {
+			break
+		}
+		cur = next
+		res.Path = append(res.Path, cur)
+		// Arrived exactly on the target ID: the owner by definition.
+		if cur == target {
+			break
+		}
+	}
+	res.Final = cur
+	owner, ok := n.Owner(target)
+	res.Success = ok && owner == cur
+	return res
+}

@@ -1,0 +1,127 @@
+package dht
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSpace(t *testing.T) {
+	s := NewSpace(8192)
+	if s.N() != 8192 || s.Levels() != 13 {
+		t.Fatalf("N=%d levels=%d", s.N(), s.Levels())
+	}
+}
+
+func TestNewSpaceRejectsNonPowers(t *testing.T) {
+	for _, n := range []int{0, 1, 3, 100, -8} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("NewSpace(%d) did not panic", n)
+				}
+			}()
+			NewSpace(n)
+		}()
+	}
+}
+
+func TestWrap(t *testing.T) {
+	s := NewSpace(16)
+	cases := map[int]ID{0: 0, 15: 15, 16: 0, 17: 1, -1: 15, -16: 0, 33: 1}
+	for in, want := range cases {
+		if got := s.Wrap(in); got != want {
+			t.Fatalf("Wrap(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestClockwise(t *testing.T) {
+	s := NewSpace(16)
+	if s.Clockwise(3, 7) != 4 {
+		t.Fatal("Clockwise(3,7)")
+	}
+	if s.Clockwise(7, 3) != 12 {
+		t.Fatal("Clockwise(7,3)")
+	}
+	if s.Clockwise(5, 5) != 0 {
+		t.Fatal("Clockwise(5,5)")
+	}
+}
+
+func TestInArc(t *testing.T) {
+	s := NewSpace(16)
+	if !s.InArc(5, 3, 8) || s.InArc(8, 3, 8) || s.InArc(2, 3, 8) {
+		t.Fatal("plain arc")
+	}
+	// Wrapped arc [14, 2): contains 14,15,0,1.
+	for _, x := range []ID{14, 15, 0, 1} {
+		if !s.InArc(x, 14, 2) {
+			t.Fatalf("wrapped arc should contain %d", x)
+		}
+	}
+	for _, x := range []ID{2, 7, 13} {
+		if s.InArc(x, 14, 2) {
+			t.Fatalf("wrapped arc should not contain %d", x)
+		}
+	}
+	if s.InArc(5, 5, 5) {
+		t.Fatal("empty arc contains nothing")
+	}
+}
+
+func TestLevelArcTilesRing(t *testing.T) {
+	s := NewSpace(64)
+	self := ID(13)
+	covered := map[ID]bool{}
+	for level := 1; level <= s.Levels(); level++ {
+		lo, hi := s.LevelArc(self, level)
+		// Width of level arc is 2^(level-1).
+		want := 1 << (level - 1)
+		if got := s.Clockwise(lo, hi); got != want {
+			t.Fatalf("level %d width %d, want %d", level, got, want)
+		}
+		for x := 0; x < s.N(); x++ {
+			if s.InArc(ID(x), lo, hi) {
+				if covered[ID(x)] {
+					t.Fatalf("id %d covered by two levels", x)
+				}
+				covered[ID(x)] = true
+			}
+		}
+	}
+	// Levels tile everything except self.
+	if len(covered) != s.N()-1 || covered[self] {
+		t.Fatalf("levels cover %d ids", len(covered))
+	}
+}
+
+func TestLevelArcPanicsOutOfRange(t *testing.T) {
+	s := NewSpace(16)
+	for _, lvl := range []int{0, 5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("LevelArc level %d did not panic", lvl)
+				}
+			}()
+			s.LevelArc(0, lvl)
+		}()
+	}
+}
+
+func TestLevelOfConsistentWithLevelArc(t *testing.T) {
+	s := NewSpace(128)
+	f := func(selfRaw, otherRaw uint8) bool {
+		self := s.Wrap(int(selfRaw))
+		other := s.Wrap(int(otherRaw))
+		level := s.LevelOf(self, other)
+		if self == other {
+			return level == 0
+		}
+		lo, hi := s.LevelArc(self, level)
+		return s.InArc(other, lo, hi)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,123 @@
+package dht
+
+// Table is one node's levelled DHT peer list. Level i (1-based) holds at
+// most one peer drawn from the arc [self+2^(i-1), self+2^i); the paper
+// stresses the node "has much freedom in choosing its DHT peers", so any
+// alive node in the arc is valid and entries are refreshed opportunistically
+// from overheard routing traffic.
+type Table struct {
+	space Space
+	self  ID
+	peers []ID // index level-1; Vacant marks an empty slot
+}
+
+// Vacant marks an unfilled peer level.
+const Vacant ID = -1
+
+// NewTable returns an empty peer table for node self.
+func NewTable(space Space, self ID) *Table {
+	space.check(self)
+	peers := make([]ID, space.Levels())
+	for i := range peers {
+		peers[i] = Vacant
+	}
+	return &Table{space: space, self: self, peers: peers}
+}
+
+// Self returns the owning node's ID.
+func (t *Table) Self() ID { return t.self }
+
+// Peer returns the current peer at the 1-based level, or Vacant.
+func (t *Table) Peer(level int) ID {
+	return t.peers[level-1]
+}
+
+// Peers returns all non-vacant peers in level order. The slice is freshly
+// allocated.
+func (t *Table) Peers() []ID {
+	out := make([]ID, 0, len(t.peers))
+	for _, p := range t.peers {
+		if p != Vacant {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Filled returns the number of non-vacant levels.
+func (t *Table) Filled() int {
+	n := 0
+	for _, p := range t.peers {
+		if p != Vacant {
+			n++
+		}
+	}
+	return n
+}
+
+// Consider offers a (possibly overheard) node to the table. If the node
+// falls in some level's arc the slot is refreshed to it — "All the DHT peers
+// are periodically updated by the overheard nodes for renewal" — and
+// Consider reports true. Offering self or an out-of-space ID is a no-op.
+func (t *Table) Consider(id ID) bool {
+	if id == t.self || id < 0 || int(id) >= t.space.N() {
+		return false
+	}
+	level := t.space.LevelOf(t.self, id)
+	if level == 0 {
+		return false
+	}
+	t.peers[level-1] = id
+	return true
+}
+
+// Evict removes id from whatever level it occupies (used when a peer is
+// discovered dead). It reports whether anything changed.
+func (t *Table) Evict(id ID) bool {
+	level := t.space.LevelOf(t.self, id)
+	if level == 0 || t.peers[level-1] != id {
+		return false
+	}
+	t.peers[level-1] = Vacant
+	return true
+}
+
+// Successor returns the clockwise-closest peer in the table — the node n1 of
+// §4.3 that delimits this node's backup arc [self, n1). The second result is
+// false when the table is empty.
+func (t *Table) Successor() (ID, bool) {
+	best := Vacant
+	bestDist := t.space.N() + 1
+	for _, p := range t.peers {
+		if p == Vacant {
+			continue
+		}
+		if d := t.space.Clockwise(t.self, p); d < bestDist {
+			bestDist = d
+			best = p
+		}
+	}
+	return best, best != Vacant
+}
+
+// NextHop returns the peer that is clockwise-closest to target and strictly
+// closer than self, implementing the greedy routing rule of §4.1. The second
+// result is false when no peer improves on self ("until no closer peer can
+// be found").
+func (t *Table) NextHop(target ID) (ID, bool) {
+	// Moving clockwise toward the target means shrinking the clockwise
+	// distance Clockwise(node, target); a peer past the target wraps to a
+	// huge distance and is never chosen.
+	best := Vacant
+	bestDist := t.space.Clockwise(t.self, target)
+	for _, p := range t.peers {
+		if p == Vacant {
+			continue
+		}
+		if d := t.space.Clockwise(p, target); d < bestDist {
+			bestDist = d
+			best = p
+		}
+	}
+	return best, best != Vacant
+}

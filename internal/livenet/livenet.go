@@ -1,0 +1,314 @@
+// Package livenet runs the streaming protocol over real message passing:
+// one goroutine per peer, channels as links, and a wall-clock ticker
+// driving scheduling periods (scaled down so demos finish in seconds). It
+// exercises the same scheduler and buffer substrates as the deterministic
+// simulation, demonstrating the protocol outside the BSP harness — the
+// repro target the paper left to future work (their PlanetLab plan),
+// scaled to a single process.
+package livenet
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"continustreaming/internal/buffer"
+	"continustreaming/internal/scheduler"
+	"continustreaming/internal/segment"
+	"continustreaming/internal/sim"
+)
+
+// Message is the union of protocol messages exchanged between peers.
+type Message struct {
+	From int
+	// Map is a buffer-availability announcement (non-nil at period start).
+	Map *buffer.Map
+	// Request asks the receiver for one segment; HasRequest marks it
+	// valid (segment 0 is a legal ID).
+	Request    segment.ID
+	HasRequest bool
+	// Data delivers one segment; HasData marks it valid.
+	Data    segment.ID
+	HasData bool
+}
+
+// Config parameterises a live session.
+type Config struct {
+	// Peers is the number of receivers (the source is extra).
+	Peers int
+	// Neighbors is M.
+	Neighbors int
+	// Period is the real-time scheduling period (scaled-down τ).
+	Period time.Duration
+	// Rate is p in segments per period.
+	Rate int
+	// BufferSegments is B.
+	BufferSegments int
+	// OutboundPerPeriod bounds how many segments a peer serves per period.
+	OutboundPerPeriod int
+	// SourceOutbound bounds the source's serving capacity (the paper's
+	// source has a much fatter uplink, O = 100).
+	SourceOutbound int
+	// PlaybackLagPeriods is how many periods playback trails the live
+	// edge; real message passing needs a few periods of pipeline.
+	PlaybackLagPeriods int
+	// Seed drives topology and policy randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns a laptop-friendly live session.
+func DefaultConfig() Config {
+	return Config{
+		Peers:              24,
+		Neighbors:          5,
+		Period:             50 * time.Millisecond,
+		Rate:               10,
+		BufferSegments:     600,
+		OutboundPerPeriod:  15,
+		SourceOutbound:     100,
+		PlaybackLagPeriods: 6,
+		Seed:               1,
+	}
+}
+
+// Stats summarises a finished session.
+type Stats struct {
+	// Periods is how many scheduling periods ran.
+	Periods int
+	// Delivered counts segment deliveries across all peers.
+	Delivered int64
+	// Continuity is the fraction of peer-periods in which a peer held
+	// every segment due that period.
+	Continuity float64
+}
+
+// peer is one goroutine's state.
+type peer struct {
+	id      int
+	buf     *buffer.Buffer
+	inbox   chan Message
+	links   map[int]chan Message
+	nbrMaps map[int]buffer.Map
+	pending map[segment.ID]bool
+	rng     *sim.RNG
+	served  int
+
+	mu sync.Mutex
+}
+
+// Run executes a live session for the given number of periods and returns
+// its stats. The source emits cfg.Rate fresh segments per period; peers
+// exchange maps, schedule with the paper's urgency+rarity policy, and pull
+// segments over channels. Run blocks until the session drains.
+func Run(ctx context.Context, cfg Config, periods int) Stats {
+	n := cfg.Peers + 1 // index 0 is the source
+	peers := make([]*peer, n)
+	for i := range peers {
+		peers[i] = &peer{
+			id:      i,
+			buf:     buffer.New(cfg.BufferSegments, 0),
+			inbox:   make(chan Message, 16*n),
+			links:   make(map[int]chan Message),
+			nbrMaps: make(map[int]buffer.Map),
+			pending: make(map[segment.ID]bool),
+			rng:     sim.DeriveRNG(cfg.Seed, uint64(i)),
+		}
+	}
+	// Random M-regular-ish wiring; every peer links to the source's ring
+	// position with small probability, and the first M peers link to the
+	// source directly so content has an exit.
+	rng := sim.DeriveRNG(cfg.Seed, 0x11fe)
+	connect := func(a, b int) {
+		if a == b {
+			return
+		}
+		peers[a].links[b] = peers[b].inbox
+		peers[b].links[a] = peers[a].inbox
+	}
+	for i := 1; i < n; i++ {
+		if i <= cfg.Neighbors {
+			connect(i, 0)
+		}
+		for len(peers[i].links) < cfg.Neighbors {
+			connect(i, 1+rng.Intn(cfg.Peers))
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var delivered int64
+	var deliveredMu sync.Mutex
+	// Receiver loops: apply incoming messages to peer state.
+	for _, p := range peers {
+		wg.Add(1)
+		go func(p *peer) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				case m := <-p.inbox:
+					p.handle(m, cfg, &delivered, &deliveredMu)
+				}
+			}
+		}(p)
+	}
+
+	// Driver: wall-clock periods.
+	ticker := time.NewTicker(cfg.Period)
+	defer ticker.Stop()
+	continuous, playingSamples := 0, 0
+	pos := segment.ID(0)
+	ran := 0
+	for period := 0; period < periods; period++ {
+		select {
+		case <-ctx.Done():
+			periods = period
+		case <-ticker.C:
+		}
+		if ran = period + 1; ctx.Err() != nil {
+			break
+		}
+		// Source ingests this period's fresh segments.
+		src := peers[0]
+		src.mu.Lock()
+		for s := segment.ID(period * cfg.Rate); s < segment.ID((period+1)*cfg.Rate); s++ {
+			src.buf.Insert(s)
+		}
+		src.mu.Unlock()
+		// Everyone announces, schedules, requests.
+		for _, p := range peers {
+			p.period(cfg, pos)
+		}
+		// Playback bookkeeping after the pipeline warm-up.
+		lag := cfg.PlaybackLagPeriods
+		if lag <= 0 {
+			lag = 6
+		}
+		if period >= lag {
+			pos = segment.ID((period - lag) * cfg.Rate)
+			win := segment.Window{Lo: pos, Hi: pos + segment.ID(cfg.Rate)}
+			for _, p := range peers[1:] {
+				p.mu.Lock()
+				ok := p.buf.HasAll(win)
+				p.buf.AdvanceTo(pos)
+				p.mu.Unlock()
+				playingSamples++
+				if ok {
+					continuous++
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	st := Stats{Periods: ran, Delivered: delivered}
+	if playingSamples > 0 {
+		st.Continuity = float64(continuous) / float64(playingSamples)
+	}
+	return st
+}
+
+// handle applies one message under the peer's lock.
+func (p *peer) handle(m Message, cfg Config, delivered *int64, mu *sync.Mutex) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch {
+	case m.Map != nil:
+		p.nbrMaps[m.From] = *m.Map
+	case m.HasData:
+		delete(p.pending, m.Data)
+		if p.buf.Insert(m.Data) {
+			mu.Lock()
+			*delivered++
+			mu.Unlock()
+		}
+	case m.HasRequest:
+		limit := cfg.OutboundPerPeriod
+		if p.id == 0 {
+			limit = cfg.SourceOutbound
+		}
+		if p.served < limit && p.buf.Has(m.Request) {
+			p.served++
+			if ch, ok := p.links[m.From]; ok {
+				select {
+				case ch <- Message{From: p.id, Data: m.Request, HasData: true}:
+				default: // receiver saturated: drop, requester retries
+				}
+			}
+		}
+	}
+}
+
+// period runs one scheduling period for the peer: announce the buffer map
+// to all neighbours, then schedule requests against the latest maps.
+func (p *peer) period(cfg Config, pos segment.ID) {
+	p.mu.Lock()
+	p.served = 0
+	// Unanswered requests from the previous period are retried: a dropped
+	// channel send or saturated supplier must not wedge the segment.
+	clear(p.pending)
+	snap := p.buf.Snapshot()
+	maps := make(map[int]buffer.Map, len(p.nbrMaps))
+	for id, m := range p.nbrMaps {
+		maps[id] = m
+	}
+	p.mu.Unlock()
+	for id, ch := range p.links {
+		m := snap
+		select {
+		case ch <- Message{From: p.id, Map: &m}:
+		default:
+		}
+		_ = id
+	}
+	if p.id == 0 {
+		return // the source only serves
+	}
+	// Build candidates from the latest neighbour maps.
+	found := map[segment.ID][]scheduler.Supplier{}
+	p.mu.Lock()
+	for nb, m := range maps {
+		w := m.Window()
+		for id := w.Lo; id < w.Hi; id++ {
+			if !m.Has(id) || p.buf.Has(id) || p.pending[id] {
+				continue
+			}
+			pft, _ := m.PositionFromTail(id)
+			found[id] = append(found[id], scheduler.Supplier{
+				Node: nb, Rate: float64(cfg.OutboundPerPeriod), PositionFromTail: pft,
+			})
+		}
+	}
+	p.mu.Unlock()
+	var cands []scheduler.Candidate
+	for id, sup := range found {
+		cands = append(cands, scheduler.Candidate{ID: id, Suppliers: sup})
+	}
+	in := scheduler.Input{
+		PriorityInput: scheduler.PriorityInput{
+			Play:         pos,
+			PlaybackRate: cfg.Rate,
+			BufferSize:   cfg.BufferSegments,
+		},
+		Tau:           sim.Second,
+		InboundBudget: cfg.OutboundPerPeriod,
+		Candidates:    cands,
+		JitterSeed:    uint64(p.id) * 0x9e3779b97f4a7c15,
+		RarityNoise:   0.3,
+	}
+	reqs := (scheduler.Greedy{}).Schedule(in)
+	p.mu.Lock()
+	for _, r := range reqs {
+		p.pending[r.ID] = true
+	}
+	p.mu.Unlock()
+	for _, r := range reqs {
+		if ch, ok := p.links[r.Supplier]; ok {
+			select {
+			case ch <- Message{From: p.id, Request: r.ID, HasRequest: true}:
+			default:
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package metrics implements the paper's three evaluation metrics (§5.3)
+// and the collectors the experiment harness samples every round:
+//
+//  1. Playback continuity — the per-round ratio of nodes that hold all the
+//     segments they must play that round (the paper argues this node-level
+//     definition is stricter and more accurate than the per-segment
+//     "continuity index").
+//  2. Control overhead — buffer-map exchange bits divided by delivered
+//     stream bits.
+//  3. Pre-fetch overhead — DHT routing-message bits plus pre-fetched
+//     segment bits, divided by delivered stream bits.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// RoundSample aggregates one scheduling period's raw counters across the
+// whole overlay. The world fills one of these per round; the collectors
+// derive the paper's ratios from it.
+type RoundSample struct {
+	Round int
+	// PlayingNodes is the number of nodes with an active playback position;
+	// ContinuousNodes of them held every segment due this round.
+	PlayingNodes    int
+	ContinuousNodes int
+	// ControlBits counts buffer-map exchange traffic; DataBits counts
+	// gossip-delivered stream payload; PrefetchRoutingBits counts DHT
+	// routing messages; PrefetchDataBits counts pre-fetched payloads.
+	ControlBits         int64
+	DataBits            int64
+	PrefetchRoutingBits int64
+	PrefetchDataBits    int64
+	// Deliveries and Prefetches count segments received by each path;
+	// Overdue and Repeated feed the α controller aggregate view.
+	Deliveries int64
+	Prefetches int64
+	Overdue    int64
+	Repeated   int64
+	// Requests counts scheduled gossip asks; Dropped counts the ones
+	// suppliers could not serve even with backlog spill.
+	Requests int64
+	Dropped  int64
+	// LookupAttempts counts Urgent-Line segments handed to Algorithm 2;
+	// LookupFound counts those for which a usable backup holder emerged.
+	LookupAttempts int64
+	LookupFound    int64
+}
+
+// Continuity returns the round's playback continuity in [0,1]; rounds with
+// no playing nodes report 0 (the system has not started).
+func (s RoundSample) Continuity() float64 {
+	if s.PlayingNodes == 0 {
+		return 0
+	}
+	return float64(s.ContinuousNodes) / float64(s.PlayingNodes)
+}
+
+// ControlOverhead returns control bits over data bits (0 when no data
+// flowed yet).
+func (s RoundSample) ControlOverhead() float64 {
+	if s.DataBits == 0 {
+		return 0
+	}
+	return float64(s.ControlBits) / float64(s.DataBits)
+}
+
+// PrefetchOverhead returns pre-fetch bits (routing + payload) over data
+// bits transferred by the gossip path.
+func (s RoundSample) PrefetchOverhead() float64 {
+	if s.DataBits == 0 {
+		return 0
+	}
+	return float64(s.PrefetchRoutingBits+s.PrefetchDataBits) / float64(s.DataBits)
+}
+
+// Series is an ordered per-round trace of one scalar metric.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// Append adds the next round's value.
+func (s *Series) Append(v float64) { s.Values = append(s.Values, v) }
+
+// Len returns the number of recorded rounds.
+func (s Series) Len() int { return len(s.Values) }
+
+// Mean returns the arithmetic mean over the whole series (0 when empty).
+func (s Series) Mean() float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.Values {
+		sum += v
+	}
+	return sum / float64(len(s.Values))
+}
+
+// TailMean returns the mean over the final n values — the "stable phase"
+// average the paper quotes. When n exceeds the length the whole series is
+// used.
+func (s Series) TailMean(n int) float64 {
+	if len(s.Values) == 0 || n <= 0 {
+		return 0
+	}
+	if n > len(s.Values) {
+		n = len(s.Values)
+	}
+	sum := 0.0
+	for _, v := range s.Values[len(s.Values)-n:] {
+		sum += v
+	}
+	return sum / float64(n)
+}
+
+// StableRound returns the first round index from which the series stays
+// within tol of its tail mean — the paper's "enters its stable phase in N
+// seconds". Returns -1 when the series never settles.
+func (s Series) StableRound(tailN int, tol float64) int {
+	if len(s.Values) == 0 {
+		return -1
+	}
+	target := s.TailMean(tailN)
+	for i, v := range s.Values {
+		if math.Abs(v-target) <= tol {
+			stable := true
+			for _, w := range s.Values[i:] {
+				if math.Abs(w-target) > tol {
+					stable = false
+					break
+				}
+			}
+			if stable {
+				return i
+			}
+		}
+	}
+	return -1
+}
+
+// Collector accumulates RoundSamples and exposes the three metric series.
+type Collector struct {
+	samples []RoundSample
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Record appends one round's sample.
+func (c *Collector) Record(s RoundSample) { c.samples = append(c.samples, s) }
+
+// Samples returns the raw per-round samples.
+func (c *Collector) Samples() []RoundSample { return c.samples }
+
+// Rounds reports how many rounds were recorded.
+func (c *Collector) Rounds() int { return len(c.samples) }
+
+// ContinuitySeries returns the playback-continuity trace.
+func (c *Collector) ContinuitySeries() Series {
+	s := Series{Name: "playback-continuity"}
+	for _, smp := range c.samples {
+		s.Append(smp.Continuity())
+	}
+	return s
+}
+
+// ControlOverheadSeries returns the control-overhead trace.
+func (c *Collector) ControlOverheadSeries() Series {
+	s := Series{Name: "control-overhead"}
+	for _, smp := range c.samples {
+		s.Append(smp.ControlOverhead())
+	}
+	return s
+}
+
+// PrefetchOverheadSeries returns the pre-fetch-overhead trace.
+func (c *Collector) PrefetchOverheadSeries() Series {
+	s := Series{Name: "prefetch-overhead"}
+	for _, smp := range c.samples {
+		s.Append(smp.PrefetchOverhead())
+	}
+	return s
+}
+
+// Totals sums the raw counters across all rounds.
+func (c *Collector) Totals() RoundSample {
+	var t RoundSample
+	for _, s := range c.samples {
+		t.ControlBits += s.ControlBits
+		t.DataBits += s.DataBits
+		t.PrefetchRoutingBits += s.PrefetchRoutingBits
+		t.PrefetchDataBits += s.PrefetchDataBits
+		t.Deliveries += s.Deliveries
+		t.Prefetches += s.Prefetches
+		t.Overdue += s.Overdue
+		t.Repeated += s.Repeated
+		t.Requests += s.Requests
+		t.Dropped += s.Dropped
+		t.LookupAttempts += s.LookupAttempts
+		t.LookupFound += s.LookupFound
+	}
+	return t
+}
+
+// AggregateControlOverhead returns total control bits over total data bits.
+func (c *Collector) AggregateControlOverhead() float64 {
+	t := c.Totals()
+	return t.ControlOverhead()
+}
+
+// AggregatePrefetchOverhead returns total pre-fetch bits over total data
+// bits.
+func (c *Collector) AggregatePrefetchOverhead() float64 {
+	t := c.Totals()
+	return t.PrefetchOverhead()
+}
+
+// Quantile returns the q-quantile (0..1) of the series values using
+// nearest-rank; it is used by dispersion checks in tests.
+func (s Series) Quantile(q float64) float64 {
+	if len(s.Values) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), s.Values...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return sorted[idx]
+}
+
+// String summarizes a series for logs.
+func (s Series) String() string {
+	return fmt.Sprintf("%s{n=%d mean=%.4f}", s.Name, s.Len(), s.Mean())
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a small text-table builder used by the experiment harness to
+// print paper-style rows (one per figure point or table line) to stdout
+// and into EXPERIMENTS.md.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are formatted with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		case float32:
+			row[i] = fmt.Sprintf("%.4f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render returns the aligned text form.
+func (t *Table) Render() string {
+	cols := len(t.Headers)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(cells) {
+				cell = cells[i]
+			}
+			fmt.Fprintf(&b, "| %-*s ", widths[i], cell)
+		}
+		b.WriteString("|\n")
+	}
+	writeRow(t.Headers)
+	for i := 0; i < cols; i++ {
+		fmt.Fprintf(&b, "|%s", strings.Repeat("-", widths[i]+2))
+	}
+	b.WriteString("|\n")
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// RenderCSV returns the table as comma-separated values (headers first),
+// for plotting tools.
+func (t *Table) RenderCSV() string {
+	var b strings.Builder
+	b.WriteString(strings.Join(t.Headers, ","))
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		b.WriteString(strings.Join(r, ","))
+		b.WriteString("\n")
+	}
+	return b.String()
+}

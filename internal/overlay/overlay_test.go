@@ -1,0 +1,288 @@
+package overlay
+
+import (
+	"testing"
+	"testing/quick"
+
+	"continustreaming/internal/dht"
+	"continustreaming/internal/sim"
+)
+
+func space() dht.Space { return dht.NewSpace(1024) }
+
+func TestNewPeerTable(t *testing.T) {
+	pt := NewPeerTable(space(), 7, 5, 20)
+	if pt.Self() != 7 || pt.M() != 5 || pt.NeighborSlots() != 5 {
+		t.Fatalf("fresh table wrong: self=%d m=%d", pt.Self(), pt.M())
+	}
+	if pt.DHT() == nil || pt.DHT().Self() != 7 {
+		t.Fatal("DHT table missing or misowned")
+	}
+}
+
+func TestNewPeerTablePanicsOnBadM(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("m=0 did not panic")
+		}
+	}()
+	NewPeerTable(space(), 1, 0, 20)
+}
+
+func TestNewPeerTableDefaultsH(t *testing.T) {
+	pt := NewPeerTable(space(), 1, 5, 0)
+	for i := 0; i < 50; i++ {
+		pt.Hear(NodeID(100+i), sim.Time(i+1))
+	}
+	if got := len(pt.OverheardNodes()); got != DefaultH {
+		t.Fatalf("overheard capacity = %d, want %d", got, DefaultH)
+	}
+}
+
+func TestAddRemoveNeighbors(t *testing.T) {
+	pt := NewPeerTable(space(), 0, 3, 20)
+	for _, id := range []NodeID{30, 10, 20} {
+		if !pt.AddNeighbor(PeerInfo{ID: id, Latency: sim.Time(id)}) {
+			t.Fatalf("AddNeighbor(%d) failed", id)
+		}
+	}
+	ids := pt.NeighborIDs()
+	if len(ids) != 3 || ids[0] != 10 || ids[1] != 20 || ids[2] != 30 {
+		t.Fatalf("neighbours not sorted: %v", ids)
+	}
+	if pt.AddNeighbor(PeerInfo{ID: 40}) {
+		t.Fatal("over-capacity add succeeded")
+	}
+	if pt.AddNeighbor(PeerInfo{ID: 20}) {
+		t.Fatal("duplicate add succeeded")
+	}
+	if pt.AddNeighbor(PeerInfo{ID: 0}) {
+		t.Fatal("self add succeeded")
+	}
+	if !pt.RemoveNeighbor(20) || pt.IsNeighbor(20) {
+		t.Fatal("remove failed")
+	}
+	if pt.RemoveNeighbor(20) {
+		t.Fatal("double remove succeeded")
+	}
+	if pt.NeighborSlots() != 1 {
+		t.Fatalf("slots = %d", pt.NeighborSlots())
+	}
+}
+
+func TestUpdateSupply(t *testing.T) {
+	pt := NewPeerTable(space(), 0, 3, 20)
+	pt.AddNeighbor(PeerInfo{ID: 5})
+	pt.UpdateSupply(5, 12.5)
+	pt.UpdateSupply(99, 3.0) // unknown: no-op
+	if got := pt.Neighbors()[0].SupplyRate; got != 12.5 {
+		t.Fatalf("supply = %v", got)
+	}
+}
+
+func TestHearMaintainsRecencyAndCapacity(t *testing.T) {
+	pt := NewPeerTable(space(), 0, 2, 3)
+	pt.Hear(1, 10)
+	pt.Hear(2, 20)
+	pt.Hear(3, 30)
+	pt.Hear(4, 40) // evicts oldest (1)
+	list := pt.OverheardNodes()
+	if len(list) != 3 {
+		t.Fatalf("overheard size = %d", len(list))
+	}
+	if list[0].ID != 4 || list[2].ID != 2 {
+		t.Fatalf("recency order wrong: %+v", list)
+	}
+	for _, o := range list {
+		if o.ID == 1 {
+			t.Fatal("oldest entry not evicted")
+		}
+	}
+	// Re-hearing refreshes recency instead of duplicating.
+	pt.Hear(2, 25)
+	list = pt.OverheardNodes()
+	if list[0].ID != 2 || list[0].Latency != 25 || len(list) != 3 {
+		t.Fatalf("refresh wrong: %+v", list)
+	}
+}
+
+func TestHearSelfAndNeighborsExcluded(t *testing.T) {
+	pt := NewPeerTable(space(), 9, 2, 5)
+	pt.AddNeighbor(PeerInfo{ID: 5})
+	pt.Hear(9, 10) // self
+	pt.Hear(5, 10) // neighbour
+	if len(pt.OverheardNodes()) != 0 {
+		t.Fatal("self/neighbour entered overheard list")
+	}
+	// But hearing a non-neighbour still refreshes the DHT levels.
+	pt.Hear(700, 10)
+	if pt.DHT().Filled() == 0 {
+		t.Fatal("Hear did not refresh DHT peers")
+	}
+}
+
+func TestBestOverheard(t *testing.T) {
+	pt := NewPeerTable(space(), 0, 2, 5)
+	pt.Hear(1, 30)
+	pt.Hear(2, 10)
+	pt.Hear(3, 20)
+	best, ok := pt.BestOverheard(nil)
+	if !ok || best.ID != 2 {
+		t.Fatalf("best = %+v", best)
+	}
+	best, ok = pt.BestOverheard(func(id NodeID) bool { return id == 2 })
+	if !ok || best.ID != 3 {
+		t.Fatalf("filtered best = %+v", best)
+	}
+	_, ok = pt.BestOverheard(func(NodeID) bool { return true })
+	if ok {
+		t.Fatal("all-excluded returned a candidate")
+	}
+}
+
+func TestBestOverheardTieBreaksByID(t *testing.T) {
+	pt := NewPeerTable(space(), 0, 2, 5)
+	pt.Hear(9, 10)
+	pt.Hear(4, 10)
+	best, ok := pt.BestOverheard(nil)
+	if !ok || best.ID != 4 {
+		t.Fatalf("tie break = %+v", best)
+	}
+}
+
+func TestTakeAndForgetOverheard(t *testing.T) {
+	pt := NewPeerTable(space(), 0, 2, 5)
+	pt.Hear(1, 10)
+	pt.Hear(2, 20)
+	o, ok := pt.TakeOverheard(1)
+	if !ok || o.ID != 1 || len(pt.OverheardNodes()) != 1 {
+		t.Fatal("take failed")
+	}
+	if _, ok := pt.TakeOverheard(1); ok {
+		t.Fatal("double take succeeded")
+	}
+	pt.ForgetOverheard(2)
+	if len(pt.OverheardNodes()) != 0 {
+		t.Fatal("forget failed")
+	}
+	pt.ForgetOverheard(2) // idempotent
+}
+
+func TestCloneFrom(t *testing.T) {
+	donor := NewPeerTable(space(), 50, 3, 10)
+	donor.AddNeighbor(PeerInfo{ID: 60})
+	donor.AddNeighbor(PeerInfo{ID: 70})
+	donor.Hear(80, 15)
+	joiner := NewPeerTable(space(), 51, 3, 10)
+	joiner.CloneFrom(donor, func(id NodeID) sim.Time { return sim.Time(id) })
+	heard := joiner.OverheardNodes()
+	want := map[NodeID]bool{60: true, 70: true, 80: true, 50: true}
+	if len(heard) != len(want) {
+		t.Fatalf("clone heard %d nodes: %+v", len(heard), heard)
+	}
+	for _, o := range heard {
+		if !want[o.ID] {
+			t.Fatalf("unexpected overheard %d", o.ID)
+		}
+	}
+	if joiner.IsNeighbor(60) {
+		t.Fatal("clone copied TCP connections")
+	}
+	if joiner.DHT().Filled() == 0 {
+		t.Fatal("clone did not seed DHT levels")
+	}
+}
+
+func TestRendezvousAssignUnique(t *testing.T) {
+	rp := NewRendezvous(dht.NewSpace(64))
+	rng := sim.NewRNG(1)
+	seen := map[NodeID]bool{}
+	for i := 0; i < 64; i++ {
+		id := rp.AssignID(rng)
+		if seen[id] {
+			t.Fatalf("duplicate ID %d", id)
+		}
+		seen[id] = true
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("exhausted space did not panic")
+		}
+	}()
+	rp.AssignID(rng)
+}
+
+func TestRendezvousCandidatesClosest(t *testing.T) {
+	rp := NewRendezvous(dht.NewSpace(64))
+	for _, id := range []NodeID{10, 20, 30, 60} {
+		rp.Register(id)
+	}
+	got := rp.Candidates(12, 2)
+	if len(got) != 2 || got[0] != 10 || got[1] != 20 {
+		t.Fatalf("candidates = %v", got)
+	}
+	// Wrap-around distance: 60 is 12 away from 8 counter-clockwise? No:
+	// |8-60| on ring of 64 is min(52, 12) = 12; 10 is 2 away; 20 is 12.
+	got = rp.Candidates(8, 3)
+	if got[0] != 10 {
+		t.Fatalf("closest to 8 = %v", got)
+	}
+	if rp.Candidates(5, 0) != nil {
+		t.Fatal("max=0 returned candidates")
+	}
+	// Excludes the asking ID itself.
+	got = rp.Candidates(10, 10)
+	for _, id := range got {
+		if id == 10 {
+			t.Fatal("candidate list includes the joiner")
+		}
+	}
+}
+
+func TestRendezvousRegisterFailure(t *testing.T) {
+	rp := NewRendezvous(dht.NewSpace(64))
+	rp.Register(5)
+	rp.Register(5)
+	if rp.KnownCount() != 1 {
+		t.Fatal("duplicate register")
+	}
+	rp.ReportFailure(5)
+	rp.ReportFailure(5)
+	if rp.KnownCount() != 0 {
+		t.Fatal("failure not removed")
+	}
+	if rp.String() == "" {
+		t.Fatal("empty String")
+	}
+}
+
+// Property: overheard list never exceeds H, never contains self, and
+// BestOverheard is always the minimum-latency entry.
+func TestOverheardInvariantsQuick(t *testing.T) {
+	f := func(events []uint16) bool {
+		pt := NewPeerTable(dht.NewSpace(256), 0, 2, 5)
+		for _, e := range events {
+			pt.Hear(NodeID(e%256), sim.Time(e%97)+1)
+		}
+		list := pt.OverheardNodes()
+		if len(list) > 5 {
+			return false
+		}
+		var min sim.Time = 1 << 60
+		for _, o := range list {
+			if o.ID == 0 {
+				return false
+			}
+			if o.Latency < min {
+				min = o.Latency
+			}
+		}
+		if best, ok := pt.BestOverheard(nil); ok && best.Latency != min {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,109 @@
+package overlay
+
+import (
+	"fmt"
+	"sort"
+
+	"continustreaming/internal/dht"
+	"continustreaming/internal/sim"
+)
+
+// Rendezvous is the RP server of §4.1: it hands each joining node a unique
+// overlay ID and a short list of existing nodes with nearby IDs. It keeps
+// only a partial membership list — joiners report failures back ("tells the
+// RP server E's failure"), which is the server's only liveness feedback.
+type Rendezvous struct {
+	space dht.Space
+	// known is the partial list of nodes the RP believes are alive, sorted.
+	known []NodeID
+	// used tracks every ID ever assigned so assignments stay unique even
+	// after the node dies (a dead node's ID is not recycled within a run).
+	used map[NodeID]bool
+}
+
+// NewRendezvous returns an RP server for the given ring space.
+func NewRendezvous(space dht.Space) *Rendezvous {
+	return &Rendezvous{space: space, used: make(map[NodeID]bool)}
+}
+
+// KnownCount reports how many nodes the RP currently lists.
+func (rp *Rendezvous) KnownCount() int { return len(rp.known) }
+
+// AssignID allocates a previously unused uniformly random ring ID. It
+// panics when the space is exhausted, which no experiment approaches.
+func (rp *Rendezvous) AssignID(rng *sim.RNG) NodeID {
+	if len(rp.used) >= rp.space.N() {
+		panic("overlay: ID space exhausted")
+	}
+	for {
+		id := NodeID(rng.Intn(rp.space.N()))
+		if !rp.used[id] {
+			rp.used[id] = true
+			return id
+		}
+	}
+}
+
+// Candidates returns up to max known nodes with IDs closest to id on the
+// ring (by minimum of the two arc distances), closest first — the "short
+// list of several existing nodes which have close IDs".
+func (rp *Rendezvous) Candidates(id NodeID, max int) []NodeID {
+	if max <= 0 || len(rp.known) == 0 {
+		return nil
+	}
+	type cand struct {
+		id   NodeID
+		dist int
+	}
+	cands := make([]cand, 0, len(rp.known))
+	for _, k := range rp.known {
+		if k == id {
+			continue
+		}
+		cw := rp.space.Clockwise(dht.ID(id), dht.ID(k))
+		ccw := rp.space.N() - cw
+		d := cw
+		if ccw < d {
+			d = ccw
+		}
+		cands = append(cands, cand{id: k, dist: d})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].id < cands[j].id
+	})
+	if len(cands) > max {
+		cands = cands[:max]
+	}
+	out := make([]NodeID, len(cands))
+	for i, c := range cands {
+		out[i] = c.id
+	}
+	return out
+}
+
+// Register adds a successfully joined node to the partial list.
+func (rp *Rendezvous) Register(id NodeID) {
+	i := sort.Search(len(rp.known), func(i int) bool { return rp.known[i] >= id })
+	if i < len(rp.known) && rp.known[i] == id {
+		return
+	}
+	rp.known = append(rp.known, 0)
+	copy(rp.known[i+1:], rp.known[i:])
+	rp.known[i] = id
+}
+
+// ReportFailure removes a node a joiner found dead.
+func (rp *Rendezvous) ReportFailure(id NodeID) {
+	i := sort.Search(len(rp.known), func(i int) bool { return rp.known[i] >= id })
+	if i < len(rp.known) && rp.known[i] == id {
+		rp.known = append(rp.known[:i], rp.known[i+1:]...)
+	}
+}
+
+// String summarizes the RP state for logs.
+func (rp *Rendezvous) String() string {
+	return fmt.Sprintf("rendezvous{known=%d assigned=%d space=%d}", len(rp.known), len(rp.used), rp.space.N())
+}

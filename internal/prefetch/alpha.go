@@ -1,0 +1,124 @@
+// Package prefetch implements the on-demand data retrieval side of
+// ContinuStreaming (§4.3): the Urgent Line predictor that decides which
+// segments the gossip scheduling is about to miss, the adaptive urgent
+// ratio α with its overdue/repeated feedback rules, and Algorithm 2 — the
+// parallel k-way DHT lookup that picks the backup holder with the highest
+// available sending rate as the on-demand supplier.
+package prefetch
+
+import (
+	"fmt"
+	"math"
+
+	"continustreaming/internal/sim"
+)
+
+// EstimateFetchTime returns t_fetch per equations (6)-(7): locating the
+// owner costs about (log₂ n)/2 routed hops, and the reply, the direct
+// request and the retrieval each cost roughly one hop more, so
+// t_fetch ≈ (log₂(n)/2 + 3)·t_hop. n is the *expected* overlay population —
+// the paper notes it "does not need to be configured accurately".
+func EstimateFetchTime(thop sim.Time, n int) sim.Time {
+	if n < 2 {
+		n = 2
+	}
+	hops := math.Log2(float64(n))/2 + 3
+	return sim.Time(hops * float64(thop))
+}
+
+// AlphaConfig holds the constants feeding the urgent-ratio controller.
+type AlphaConfig struct {
+	// PlaybackRate is p (segments/s); BufferSize is B.
+	PlaybackRate int
+	BufferSize   int
+	// Tau is the scheduling period, THop the expected per-hop latency.
+	Tau  sim.Time
+	THop sim.Time
+	// ExpectedNodes is the population estimate used for t_fetch.
+	ExpectedNodes int
+}
+
+// Alpha is the adaptive urgent ratio of §4.3. The initial (and minimum)
+// value comes from inequality (9): α must give a predicted-missed segment
+// enough time to be fetched before its deadline, so
+// α ≥ p/B · max(τ, t_fetch). Feedback then trims it:
+//
+//   - overdue pre-fetches (arrived after the deadline) push α up by
+//     p·t_hop/B, widening the prediction horizon;
+//   - repeated data (pre-fetched segments the scheduler also delivered in
+//     time) pull α down by the same step, saving pre-fetch traffic.
+type Alpha struct {
+	value float64
+	min   float64
+	step  float64
+}
+
+// NewAlpha builds the controller. The floor is the paper's inequality-(9)
+// bound p/B·max(τ, t_fetch) — 1/60 with the default parameters (p=10,
+// B=600, τ=1 s, t_hop=50 ms, n=1000) — and the step is p·t_hop/B = 1/1200.
+//
+// The *initial* value sits one t_fetch of playback above the floor:
+// p/B·(max(τ, t_fetch) + t_fetch). A segment predicted missed for the
+// first time enters the urgent window at its rightmost edge, so the window
+// must extend at least t_fetch of playback past the fetch-time horizon for
+// that first prediction to still be retrievable before its deadline.
+// Starting exactly at the floor satisfies inequality (9) but makes every
+// early prediction overdue; the Case-1 feedback (+p·t_hop/B per overdue
+// segment) would drift α up to this value anyway, far more slowly than a
+// 30-round experiment can wait.
+func NewAlpha(cfg AlphaConfig) *Alpha {
+	if cfg.PlaybackRate <= 0 || cfg.BufferSize <= 0 || cfg.Tau <= 0 || cfg.THop <= 0 {
+		panic(fmt.Sprintf("prefetch: invalid alpha config %+v", cfg))
+	}
+	tfetch := EstimateFetchTime(cfg.THop, cfg.ExpectedNodes)
+	horizon := cfg.Tau
+	if tfetch > horizon {
+		horizon = tfetch
+	}
+	p, b := float64(cfg.PlaybackRate), float64(cfg.BufferSize)
+	min := p / b * horizon.Seconds()
+	return &Alpha{
+		value: p / b * (horizon + tfetch).Seconds(),
+		min:   min,
+		step:  p * cfg.THop.Seconds() / b,
+	}
+}
+
+// Value returns the current urgent ratio in (0, 1].
+func (a *Alpha) Value() float64 { return a.value }
+
+// Min returns the lower bound from inequality (9).
+func (a *Alpha) Min() float64 { return a.min }
+
+// Step returns the adjustment quantum p·t_hop/B.
+func (a *Alpha) Step() float64 { return a.step }
+
+// OnOverdue widens the horizon after a pre-fetch that arrived too late
+// (Case 1 of the α update rules). α is capped at 1: the urgent line cannot
+// pass the end of the buffer.
+func (a *Alpha) OnOverdue() {
+	a.value += a.step
+	if a.value > 1 {
+		a.value = 1
+	}
+}
+
+// OnRepeated narrows the horizon after a redundant pre-fetch (Case 2),
+// never dropping below the inequality-(9) floor.
+func (a *Alpha) OnRepeated() {
+	a.value -= a.step
+	if a.value < a.min {
+		a.value = a.min
+	}
+}
+
+// Apply folds a whole period's feedback in at once: one step per overdue
+// segment up, one per repeated segment down, preserving the bounds.
+func (a *Alpha) Apply(overdue, repeated int) {
+	for i := 0; i < overdue; i++ {
+		a.OnOverdue()
+	}
+	for i := 0; i < repeated; i++ {
+		a.OnRepeated()
+	}
+}

@@ -1,0 +1,143 @@
+package prefetch
+
+import (
+	"sort"
+
+	"continustreaming/internal/dht"
+	"continustreaming/internal/segment"
+)
+
+// Locator abstracts the DHT routing substrate Algorithm 2 runs on. In the
+// simulation it is *dht.Network; the livenet runtime provides its own
+// implementation over real message passing.
+type Locator interface {
+	// Route performs greedy routing from the alive node `from` toward ring
+	// key `key` and reports the walk.
+	Route(from, key dht.ID) dht.RouteResult
+}
+
+// Directory answers what Algorithm 2's routed messages discover at the arc
+// owner: whether it holds the wanted segment in its VoD backup, and the
+// sending rate it can spare for a direct UDP transfer.
+type Directory interface {
+	HasBackup(node dht.ID, id segment.ID) bool
+	AvailableRate(node dht.ID) float64
+}
+
+// LookupResult describes the k-way location of one missed segment.
+type LookupResult struct {
+	ID segment.ID
+	// Supplier is the chosen backup holder; Found reports whether any of
+	// the k owners held the segment with positive spare rate.
+	Supplier dht.ID
+	Rate     float64
+	Found    bool
+	// RoutingMessages counts every routed hop across the k parallel
+	// lookups plus the final direct request, for the pre-fetch overhead
+	// metric (§5.3 estimates k·(log n/2 + 1) + 1 messages).
+	RoutingMessages int
+	// LocateHops is the hop count of the path that reached the chosen
+	// supplier (the longest successful path when several replied), used to
+	// compute the fetch completion time.
+	LocateHops int
+	// Owners lists the distinct arc owners that were successfully located,
+	// whether or not they held the segment (visible for diagnostics).
+	Owners []dht.ID
+}
+
+// Retriever executes Algorithm 2 against a Locator and Directory.
+type Retriever struct {
+	Space dht.Space
+	// Replicas is k, the number of hashed backup keys per segment.
+	Replicas int
+	Locator  Locator
+	Dir      Directory
+}
+
+// Locate runs the k parallel lookups for one missed segment from node
+// `from` and picks the owner with the highest available sending rate among
+// those that actually hold the segment. Determinism: replicas are probed in
+// index order and ties broken toward the lower node ID.
+func (r *Retriever) Locate(from dht.ID, id segment.ID) LookupResult {
+	res := LookupResult{ID: id, Rate: 0}
+	seen := map[dht.ID]bool{}
+	for i := 1; i <= r.Replicas; i++ {
+		key := dht.HashKey(r.Space, id, i)
+		route := r.Locator.Route(from, key)
+		res.RoutingMessages += route.Hops()
+		if !route.Success {
+			continue
+		}
+		owner := route.Final
+		if !seen[owner] {
+			seen[owner] = true
+			res.Owners = append(res.Owners, owner)
+		}
+		if !r.Dir.HasBackup(owner, id) {
+			continue
+		}
+		rate := r.Dir.AvailableRate(owner)
+		if rate <= 0 {
+			continue
+		}
+		if !res.Found || rate > res.Rate || (rate == res.Rate && owner < res.Supplier) {
+			res.Found = true
+			res.Supplier = owner
+			res.Rate = rate
+			res.LocateHops = route.Hops()
+		}
+	}
+	sort.Slice(res.Owners, func(i, j int) bool { return res.Owners[i] < res.Owners[j] })
+	if res.Found {
+		// The direct UDP request to the supplier is one more message.
+		res.RoutingMessages++
+	}
+	return res
+}
+
+// LocateAll runs Locate for every missed segment in ascending ID order
+// (Algorithm 2's input ordering) and returns the per-segment results.
+func (r *Retriever) LocateAll(from dht.ID, missed []segment.ID) []LookupResult {
+	ordered := append([]segment.ID(nil), missed...)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	out := make([]LookupResult, 0, len(ordered))
+	for _, id := range ordered {
+		out = append(out, r.Locate(from, id))
+	}
+	return out
+}
+
+// Tags tracks which locally received segments arrived via pre-fetch, so
+// the scheduler can recognise "repeated data" (§4.3 Case 2): a tagged
+// segment later delivered by gossip in time means the pre-fetch was
+// unnecessary and α should shrink.
+type Tags struct {
+	tagged map[segment.ID]bool
+}
+
+// NewTags returns an empty tag set.
+func NewTags() *Tags { return &Tags{tagged: make(map[segment.ID]bool)} }
+
+// Mark tags id as pre-fetched.
+func (t *Tags) Mark(id segment.ID) { t.tagged[id] = true }
+
+// Tagged reports whether id was pre-fetched.
+func (t *Tags) Tagged(id segment.ID) bool { return t.tagged[id] }
+
+// Clear removes the tag for id (after the repeat decision is made).
+func (t *Tags) Clear(id segment.ID) { delete(t.tagged, id) }
+
+// PruneBelow drops tags older than floor and returns how many were removed.
+func (t *Tags) PruneBelow(floor segment.ID) int {
+	n := 0
+	for id := range t.tagged {
+		if id < floor {
+			delete(t.tagged, id)
+			n++
+		}
+	}
+	return n
+}
+
+// Len reports the number of live tags.
+func (t *Tags) Len() int { return len(t.tagged) }

@@ -1,0 +1,107 @@
+package scheduler
+
+import (
+	"sort"
+
+	"continustreaming/internal/sim"
+)
+
+// RarestFirst is the CoolStreaming scheduling rule the paper compares
+// against: "assign data segments which own fewer suppliers with higher
+// priority". Ties (equal supplier counts) are broken by earliest deadline
+// so the baseline is not handicapped by arbitrary ordering, then by ID for
+// determinism. Supplier selection reuses the same earliest-completion
+// greedy assignment as Algorithm 1 — the systems differ only in ordering,
+// mirroring the papers.
+type RarestFirst struct{}
+
+// Name implements Policy.
+func (RarestFirst) Name() string { return "rarest-first" }
+
+// Schedule implements Policy.
+func (RarestFirst) Schedule(in Input) []Request {
+	scored := make([]scoredCandidate, 0, len(in.Candidates))
+	for _, c := range in.Candidates {
+		if len(c.Suppliers) == 0 {
+			continue
+		}
+		scored = append(scored, scoredCandidate{c: c})
+	}
+	sort.Slice(scored, func(i, j int) bool {
+		ni, nj := len(scored[i].c.Suppliers), len(scored[j].c.Suppliers)
+		if ni != nj {
+			return ni < nj // fewer suppliers = rarer = first
+		}
+		// Equal rarity: jittered order (see Input.JitterSeed), then ID.
+		ji := jitter(in.JitterSeed, uint64(scored[i].c.ID), 0)
+		jj := jitter(in.JitterSeed, uint64(scored[j].c.ID), 0)
+		if ji != jj {
+			return ji < jj
+		}
+		return scored[i].c.ID < scored[j].c.ID
+	})
+	return assignGreedy(in, scored)
+}
+
+// Random schedules candidates in uniformly random order; it exists as an
+// ablation floor showing how much the priority functions matter.
+type Random struct {
+	RNG *sim.RNG
+}
+
+// Name implements Policy.
+func (r *Random) Name() string { return "random-order" }
+
+// Schedule implements Policy.
+func (r *Random) Schedule(in Input) []Request {
+	scored := make([]scoredCandidate, 0, len(in.Candidates))
+	for _, c := range in.Candidates {
+		if len(c.Suppliers) == 0 {
+			continue
+		}
+		scored = append(scored, scoredCandidate{c: c})
+	}
+	// Deterministic order first, then a seeded shuffle.
+	sort.Slice(scored, func(i, j int) bool { return scored[i].c.ID < scored[j].c.ID })
+	r.RNG.Shuffle(len(scored), func(i, j int) { scored[i], scored[j] = scored[j], scored[i] })
+	return assignGreedy(in, scored)
+}
+
+// UrgencyOnly orders purely by urgency; RarityOnly purely by rarity. Both
+// exist for the ablation benches that justify equation (3)'s max().
+type UrgencyOnly struct{}
+
+// Name implements Policy.
+func (UrgencyOnly) Name() string { return "urgency-only" }
+
+// Schedule implements Policy.
+func (UrgencyOnly) Schedule(in Input) []Request {
+	scored := make([]scoredCandidate, 0, len(in.Candidates))
+	for _, c := range in.Candidates {
+		if len(c.Suppliers) == 0 {
+			continue
+		}
+		scored = append(scored, scoredCandidate{c: c, priority: noisyUrgency(in, c)})
+	}
+	sortByPriority(in, scored)
+	return assignGreedy(in, scored)
+}
+
+// RarityOnly orders purely by rarity.
+type RarityOnly struct{}
+
+// Name implements Policy.
+func (RarityOnly) Name() string { return "rarity-only" }
+
+// Schedule implements Policy.
+func (RarityOnly) Schedule(in Input) []Request {
+	scored := make([]scoredCandidate, 0, len(in.Candidates))
+	for _, c := range in.Candidates {
+		if len(c.Suppliers) == 0 {
+			continue
+		}
+		scored = append(scored, scoredCandidate{c: c, priority: noisyRarity(in, c)})
+	}
+	sortByPriority(in, scored)
+	return assignGreedy(in, scored)
+}

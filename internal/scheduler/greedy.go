@@ -1,0 +1,130 @@
+package scheduler
+
+import (
+	"sort"
+
+	"continustreaming/internal/segment"
+	"continustreaming/internal/sim"
+)
+
+// Greedy is Algorithm 1: candidates are sorted by descending requesting
+// priority, then each is assigned the supplier that can deliver it earliest
+// — the supplier minimising queueing time τ(j) plus transfer time 1/R(j) —
+// subject to the whole transfer completing inside the scheduling period.
+// Assigning a segment advances that supplier's queueing time, so later
+// (lower-priority) segments see the contention their predecessors created.
+// The underlying exact problem is NP-hard (parallel machine scheduling), so
+// greedy is the paper's chosen approximation.
+type Greedy struct{}
+
+// Name implements Policy.
+func (Greedy) Name() string { return "urgency-rarity-greedy" }
+
+// Schedule implements Policy.
+func (Greedy) Schedule(in Input) []Request {
+	scored := scoreCandidates(in)
+	sortByPriority(in, scored)
+	return assignGreedy(in, scored)
+}
+
+type scoredCandidate struct {
+	c        Candidate
+	priority float64
+}
+
+// sortByPriority orders candidates by descending priority, breaking ties
+// with the node's jitter so neighbouring peers diverge, then by ID for
+// full determinism.
+func sortByPriority(in Input, scored []scoredCandidate) {
+	sort.Slice(scored, func(i, j int) bool {
+		if scored[i].priority != scored[j].priority {
+			return scored[i].priority > scored[j].priority
+		}
+		ji := jitter(in.JitterSeed, uint64(scored[i].c.ID), 0)
+		jj := jitter(in.JitterSeed, uint64(scored[j].c.ID), 0)
+		if ji != jj {
+			return ji < jj
+		}
+		return scored[i].c.ID < scored[j].c.ID
+	})
+}
+
+func scoreCandidates(in Input) []scoredCandidate {
+	out := make([]scoredCandidate, 0, len(in.Candidates))
+	for _, c := range in.Candidates {
+		if len(c.Suppliers) == 0 {
+			continue
+		}
+		u := noisyUrgency(in, c)
+		r := noisyRarity(in, c)
+		p := u
+		if r > p {
+			p = r
+		}
+		out = append(out, scoredCandidate{c: c, priority: p})
+	}
+	return out
+}
+
+// assignGreedy runs the supplier-selection loop shared by every policy:
+// only the candidate ORDER differs between policies, which is exactly the
+// paper's framing (CoolStreaming orders by rarity alone; ContinuStreaming
+// by the combined priority).
+func assignGreedy(in Input, ordered []scoredCandidate) []Request {
+	limit := in.InboundBudget
+	if len(ordered) < limit {
+		limit = len(ordered)
+	}
+	if limit <= 0 {
+		return nil
+	}
+	tauMS := float64(in.Tau)
+	queue := map[int]float64{}        // supplier -> queueing time τ(j) in ms
+	assigned := map[segment.ID]bool{} // guards against duplicate candidates
+	var reqs []Request
+	for _, sc := range ordered {
+		if len(reqs) >= limit {
+			break
+		}
+		if assigned[sc.c.ID] {
+			continue
+		}
+		bestAt := math_inf
+		bestSupplier := -1
+		bestJitter := uint64(0)
+		for _, s := range sc.c.Suppliers {
+			if s.Rate <= 0 {
+				continue
+			}
+			trans := 1000.0 / s.Rate // ms per segment
+			at := queue[s.Node] + trans
+			// Algorithm 1 line 7: the transfer must beat both the current
+			// best and the period boundary. Exact ties on expected time
+			// (common when rate estimates match) break via node jitter so
+			// requesters spread across suppliers instead of piling onto
+			// the lowest ID.
+			if at >= tauMS {
+				continue
+			}
+			j := jitter(in.JitterSeed, uint64(sc.c.ID), uint64(s.Node)+1)
+			if at < bestAt || (at == bestAt && j < bestJitter) {
+				bestAt = at
+				bestSupplier = s.Node
+				bestJitter = j
+			}
+		}
+		if bestSupplier < 0 {
+			continue // supplier_i = null: nobody can deliver in time
+		}
+		assigned[sc.c.ID] = true
+		queue[bestSupplier] = bestAt
+		reqs = append(reqs, Request{
+			ID:         sc.c.ID,
+			Supplier:   bestSupplier,
+			ExpectedAt: sim.Time(bestAt),
+		})
+	}
+	return reqs
+}
+
+const math_inf = 1e18

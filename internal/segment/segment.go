@@ -1,0 +1,138 @@
+// Package segment models the media stream that ContinuStreaming
+// disseminates: a totally ordered sequence of fixed-size data segments
+// produced by a single source at a constant playback rate. The paper's
+// defaults are a 300 Kbps stream cut into 30 Kb segments, i.e. p = 10
+// segments per second (§5.2).
+package segment
+
+import (
+	"fmt"
+
+	"continustreaming/internal/sim"
+)
+
+// ID identifies a data segment. IDs are assigned consecutively from 0 in
+// generation order, so comparisons on IDs are comparisons on stream time.
+type ID int64
+
+// None is the sentinel "no segment" value used where an optional ID is
+// needed (e.g. empty buffers).
+const None ID = -1
+
+// String renders the ID for logs and error messages.
+func (id ID) String() string { return fmt.Sprintf("seg#%d", int64(id)) }
+
+// Stream describes the source media stream.
+type Stream struct {
+	// Rate is the playback rate p in segments per second. The paper uses 10.
+	Rate int
+	// BitsPerSegment is the payload size of one segment in bits. The paper
+	// uses 30 Kb = 30*1024 bits, giving a 300 Kbps stream at p = 10.
+	BitsPerSegment int64
+}
+
+// DefaultStream returns the paper's stream parameters.
+func DefaultStream() Stream {
+	return Stream{Rate: 10, BitsPerSegment: 30 * 1024}
+}
+
+// Validate reports a descriptive error for non-physical parameters.
+func (s Stream) Validate() error {
+	if s.Rate <= 0 {
+		return fmt.Errorf("segment: stream rate %d must be positive", s.Rate)
+	}
+	if s.BitsPerSegment <= 0 {
+		return fmt.Errorf("segment: segment size %d bits must be positive", s.BitsPerSegment)
+	}
+	return nil
+}
+
+// Interval returns the wall time between consecutive segments.
+func (s Stream) Interval() sim.Time {
+	return sim.Second / sim.Time(s.Rate)
+}
+
+// GeneratedAt returns the virtual time at which the source emits segment id.
+// Segment 0 is emitted at time 0.
+func (s Stream) GeneratedAt(id ID) sim.Time {
+	return sim.Time(id) * s.Interval()
+}
+
+// LatestAt returns the newest segment that exists at time t (i.e. has been
+// emitted by the source), or None when t precedes segment 0.
+func (s Stream) LatestAt(t sim.Time) ID {
+	if t < 0 {
+		return None
+	}
+	return ID(t / s.Interval())
+}
+
+// CountIn returns how many segments the source emits in a half-open virtual
+// time window [from, to).
+func (s Stream) CountIn(from, to sim.Time) int {
+	if to <= from {
+		return 0
+	}
+	first := firstAtOrAfter(s, from)
+	last := firstAtOrAfter(s, to)
+	return int(last - first)
+}
+
+// firstAtOrAfter returns the first segment generated at or after t.
+func firstAtOrAfter(s Stream, t sim.Time) ID {
+	if t <= 0 {
+		return 0
+	}
+	iv := s.Interval()
+	return ID((t + iv - 1) / iv)
+}
+
+// BitsPerRound returns the stream bits produced per scheduling period tau.
+func (s Stream) BitsPerRound(tau sim.Time) int64 {
+	return int64(s.Rate) * s.BitsPerSegment * int64(tau) / int64(sim.Second)
+}
+
+// Window is a half-open interval of segment IDs [Lo, Hi). It is used for
+// playback rounds ("the p segments due this round") and buffer coverage.
+type Window struct {
+	Lo, Hi ID
+}
+
+// Len returns the number of IDs in the window.
+func (w Window) Len() int {
+	if w.Hi <= w.Lo {
+		return 0
+	}
+	return int(w.Hi - w.Lo)
+}
+
+// Contains reports whether id lies in the window.
+func (w Window) Contains(id ID) bool { return id >= w.Lo && id < w.Hi }
+
+// Empty reports whether the window contains no IDs.
+func (w Window) Empty() bool { return w.Hi <= w.Lo }
+
+// Intersect returns the overlap of two windows (possibly empty).
+func (w Window) Intersect(o Window) Window {
+	lo, hi := w.Lo, w.Hi
+	if o.Lo > lo {
+		lo = o.Lo
+	}
+	if o.Hi < hi {
+		hi = o.Hi
+	}
+	if hi < lo {
+		hi = lo
+	}
+	return Window{Lo: lo, Hi: hi}
+}
+
+// String renders the window as "[lo,hi)".
+func (w Window) String() string { return fmt.Sprintf("[%d,%d)", w.Lo, w.Hi) }
+
+// PlaybackWindow returns the IDs a node at playback position play consumes
+// during one period of the stream: [play, play + p·tau).
+func (s Stream) PlaybackWindow(play ID, tau sim.Time) Window {
+	n := ID(s.CountIn(s.GeneratedAt(play), s.GeneratedAt(play)+tau))
+	return Window{Lo: play, Hi: play + n}
+}

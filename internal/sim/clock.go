@@ -1,0 +1,59 @@
+package sim
+
+import "fmt"
+
+// Time is a virtual timestamp in integer milliseconds since the start of the
+// simulation. Integer time keeps arithmetic exact and comparisons total,
+// which the deterministic engine depends on.
+type Time int64
+
+// Common durations used throughout the system. The paper's scheduling period
+// is one second.
+const (
+	Millisecond Time = 1
+	Second      Time = 1000
+)
+
+// Seconds reports the timestamp as floating-point seconds, for display.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// String renders the time as e.g. "12.345s".
+func (t Time) String() string { return fmt.Sprintf("%.3fs", t.Seconds()) }
+
+// Clock is the simulation's virtual clock. It only ever moves forward, in
+// whole-round steps driven by the Engine, so reads never need locking inside
+// round phases (phases observe a frozen now).
+type Clock struct {
+	now   Time
+	round int
+	tau   Time // scheduling period length (one round)
+}
+
+// NewClock returns a clock at time zero with the given round length.
+// tau must be positive.
+func NewClock(tau Time) *Clock {
+	if tau <= 0 {
+		panic("sim: non-positive scheduling period")
+	}
+	return &Clock{tau: tau}
+}
+
+// Now returns the current virtual time (the start of the current round).
+func (c *Clock) Now() Time { return c.now }
+
+// Round returns the index of the current round, starting at 0.
+func (c *Clock) Round() int { return c.round }
+
+// Tau returns the scheduling period (round length).
+func (c *Clock) Tau() Time { return c.tau }
+
+// RoundEnd returns the virtual time at which the current round ends.
+func (c *Clock) RoundEnd() Time { return c.now + c.tau }
+
+// Advance moves the clock to the start of the next round and returns the new
+// round index.
+func (c *Clock) Advance() int {
+	c.now += c.tau
+	c.round++
+	return c.round
+}

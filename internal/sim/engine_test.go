@@ -1,0 +1,166 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock(Second)
+	if c.Now() != 0 || c.Round() != 0 {
+		t.Fatalf("fresh clock not at zero: %v round %d", c.Now(), c.Round())
+	}
+	if c.RoundEnd() != Second {
+		t.Fatalf("RoundEnd = %v, want 1s", c.RoundEnd())
+	}
+	c.Advance()
+	c.Advance()
+	if c.Now() != 2*Second || c.Round() != 2 {
+		t.Fatalf("after 2 advances: %v round %d", c.Now(), c.Round())
+	}
+}
+
+func TestClockPanicsOnBadTau(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewClock(0) did not panic")
+		}
+	}()
+	NewClock(0)
+}
+
+func TestTimeString(t *testing.T) {
+	if got := (12345 * Millisecond).String(); got != "12.345s" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (1500 * Millisecond).Seconds(); got != 1.5 {
+		t.Fatalf("Seconds = %v", got)
+	}
+}
+
+type countingSystem struct {
+	steps int
+	times []Time
+}
+
+func (s *countingSystem) Step(c *Clock) {
+	s.steps++
+	s.times = append(s.times, c.Now())
+}
+
+func TestEngineRunsRounds(t *testing.T) {
+	sys := &countingSystem{}
+	e := NewEngine(sys, Second)
+	observed := 0
+	e.Observe(func(c *Clock) { observed++ })
+	end := e.Run(5)
+	if sys.steps != 5 {
+		t.Fatalf("steps = %d, want 5", sys.steps)
+	}
+	if observed != 5 {
+		t.Fatalf("observer ran %d times, want 5", observed)
+	}
+	if end != 5*Second {
+		t.Fatalf("end time = %v", end)
+	}
+	for i, at := range sys.times {
+		if at != Time(i)*Second {
+			t.Fatalf("round %d ran at %v", i, at)
+		}
+	}
+}
+
+func TestPoolForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 0} {
+		p := NewPool(workers)
+		const n = 1000
+		var hits [n]atomic.Int32
+		p.ForEach(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if hits[i].Load() != 1 {
+				t.Fatalf("workers=%d index %d hit %d times", workers, i, hits[i].Load())
+			}
+		}
+	}
+}
+
+func TestPoolForEachEmpty(t *testing.T) {
+	p := NewPool(4)
+	called := false
+	p.ForEach(0, func(i int) { called = true })
+	p.ForEach(-3, func(i int) { called = true })
+	if called {
+		t.Fatal("ForEach called fn for non-positive n")
+	}
+}
+
+func TestPoolMapOrdering(t *testing.T) {
+	p := NewPool(8)
+	out := Map(p, 100, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("Map[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestEventQueueOrdering(t *testing.T) {
+	q := NewEventQueue[string]()
+	q.Push(30, "c")
+	q.Push(10, "a")
+	q.Push(20, "b")
+	q.Push(10, "a2") // tie: preserves push order
+	got := q.PopUntil(25)
+	want := []string{"a", "a2", "b"}
+	if len(got) != len(want) {
+		t.Fatalf("PopUntil returned %d events, want %d", len(got), len(want))
+	}
+	for i, ev := range got {
+		if ev.Payload != want[i] {
+			t.Fatalf("event %d = %q, want %q", i, ev.Payload, want[i])
+		}
+	}
+	if q.Len() != 1 {
+		t.Fatalf("queue has %d left, want 1", q.Len())
+	}
+	if at, ok := q.PeekTime(); !ok || at != 30 {
+		t.Fatalf("PeekTime = %v, %v", at, ok)
+	}
+	ev, ok := q.Pop()
+	if !ok || ev.Payload != "c" {
+		t.Fatalf("Pop = %+v, %v", ev, ok)
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("Pop on empty queue returned ok")
+	}
+	if _, ok := q.PeekTime(); ok {
+		t.Fatal("PeekTime on empty queue returned ok")
+	}
+}
+
+func TestEventQueueSortedProperty(t *testing.T) {
+	// Property: popping everything yields non-decreasing timestamps,
+	// regardless of push order.
+	f := func(times []int16) bool {
+		q := NewEventQueue[int]()
+		for i, tt := range times {
+			q.Push(Time(tt), i)
+		}
+		prev := Time(-1 << 20)
+		for {
+			ev, ok := q.Pop()
+			if !ok {
+				break
+			}
+			if ev.At < prev {
+				return false
+			}
+			prev = ev.At
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

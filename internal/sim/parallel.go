@@ -1,0 +1,84 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Pool is a reusable goroutine worker pool for the bulk-synchronous round
+// phases. Each phase fans a pure per-index function out over the node set
+// and waits for all workers; because every worker writes only to its own
+// index's state, the result is independent of interleaving and therefore
+// deterministic for a fixed seed.
+type Pool struct {
+	workers int
+}
+
+// NewPool returns a pool using the given number of workers; workers <= 0
+// selects GOMAXPROCS. The pool itself holds no goroutines between calls, so
+// it is trivially safe to share.
+func NewPool(workers int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Pool{workers: workers}
+}
+
+// Workers reports the configured parallel width.
+func (p *Pool) Workers() int { return p.workers }
+
+// ForEach invokes fn(i) for every i in [0, n), distributing indices over the
+// pool's workers in contiguous-ish chunks via an atomic cursor. It returns
+// only after every call has finished. fn must not invoke ForEach on the same
+// pool recursively with interleaved writes to shared state.
+func (p *Pool) ForEach(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	// Chunked work stealing: grabbing batches amortises the atomic add while
+	// still balancing uneven per-node costs (e.g. nodes that trigger DHT
+	// routing do far more work than idle ones).
+	const chunk = 16
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				start := int(cursor.Add(chunk)) - chunk
+				if start >= n {
+					return
+				}
+				end := start + chunk
+				if end > n {
+					end = n
+				}
+				for i := start; i < end; i++ {
+					fn(i)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Map applies fn to every index and collects the results into a slice,
+// preserving index order. It is a convenience over ForEach for phases that
+// produce one value per node.
+func Map[T any](p *Pool, n int, fn func(i int) T) []T {
+	out := make([]T, n)
+	p.ForEach(n, func(i int) { out[i] = fn(i) })
+	return out
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewRNGDeterministic(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("stream diverged at %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestNewRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 64; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 1 and 2 produced %d identical outputs of 64", same)
+	}
+}
+
+func TestDeriveRNGIndependentStreams(t *testing.T) {
+	a := DeriveRNG(7, 0)
+	b := DeriveRNG(7, 1)
+	if a.Uint64() == b.Uint64() {
+		t.Fatal("derived streams 0 and 1 start identically")
+	}
+	c := DeriveRNG(7, 1)
+	b2 := DeriveRNG(7, 1)
+	for i := 0; i < 100; i++ {
+		if c.Uint64() != b2.Uint64() {
+			t.Fatalf("same (seed,stream) diverged at %d", i)
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d out of range", v)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestIntRangeInclusive(t *testing.T) {
+	r := NewRNG(5)
+	seen := map[int]bool{}
+	for i := 0; i < 10000; i++ {
+		v := r.IntRange(10, 33)
+		if v < 10 || v > 33 {
+			t.Fatalf("IntRange(10,33) = %d out of range", v)
+		}
+		seen[v] = true
+	}
+	for v := 10; v <= 33; v++ {
+		if !seen[v] {
+			t.Fatalf("IntRange never produced %d in 10000 draws", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(9)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestUint64nUnbiasedQuick(t *testing.T) {
+	// Property: Uint64n(n) < n for arbitrary positive n.
+	f := func(seed uint64, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		r := NewRNG(seed)
+		for i := 0; i < 10; i++ {
+			if r.Uint64n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	for _, n := range []int{0, 1, 2, 17, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleIntsPreservesMultiset(t *testing.T) {
+	r := NewRNG(13)
+	s := []int{1, 2, 2, 3, 5, 8}
+	count := map[int]int{}
+	for _, v := range s {
+		count[v]++
+	}
+	r.ShuffleInts(s)
+	for _, v := range s {
+		count[v]--
+	}
+	for k, c := range count {
+		if c != 0 {
+			t.Fatalf("shuffle changed multiplicity of %d by %d", k, c)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRNG(17)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.05) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if math.Abs(rate-0.05) > 0.005 {
+		t.Fatalf("Bool(0.05) rate = %v", rate)
+	}
+}

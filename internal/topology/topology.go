@@ -1,0 +1,230 @@
+// Package topology synthesizes the "real-trace overlay topologies" the
+// paper's evaluation runs on (§5.2). The original data — 30 Gnutella crawls
+// collected between Dec 2000 and Jun 2001 from dss.clip2.com — has been
+// offline for two decades, so this package generates topologies with the
+// same consumed properties instead:
+//
+//   - each node carries an ID, an IPv4 address, and a ping time measured
+//     from a central vantage point (the only trace fields the paper uses);
+//   - graph sizes span 100 to 10000 nodes with average degree below 1 up to
+//     3.5 and a heavy-tailed degree distribution, like the crawls;
+//   - the paper then *augments* the sparse trace graph with random edges
+//     until every node has M connected neighbours, which Augment reproduces.
+//
+// The pairwise latency model also follows §5.2: latency(u,v) is the absolute
+// difference of the two nodes' trace ping times, floored to a small positive
+// value so co-located nodes are not free to reach.
+package topology
+
+import (
+	"fmt"
+	"sort"
+
+	"continustreaming/internal/sim"
+)
+
+// Node is one trace record.
+type Node struct {
+	// ID is the node's overlay identifier, unique within the trace.
+	ID int
+	// IP is a synthesized IPv4 address in dotted-quad form.
+	IP string
+	// Ping is the node's measured round-trip time from the crawl's central
+	// vantage point. The paper estimates one-way latency as RTT/2 and
+	// derives pairwise latency from ping-time differences.
+	Ping sim.Time
+}
+
+// Graph is an undirected overlay topology over a set of trace nodes.
+// Adjacency is stored as sorted neighbour ID slices for deterministic
+// iteration.
+type Graph struct {
+	Nodes []Node
+	// Adj maps a node index (position in Nodes) to the indices of its
+	// neighbours, sorted ascending.
+	Adj [][]int
+}
+
+// N returns the number of nodes.
+func (g *Graph) N() int { return len(g.Nodes) }
+
+// AvgDegree returns the mean number of neighbours per node.
+func (g *Graph) AvgDegree() float64 {
+	if len(g.Nodes) == 0 {
+		return 0
+	}
+	edges := 0
+	for _, nb := range g.Adj {
+		edges += len(nb)
+	}
+	return float64(edges) / float64(len(g.Nodes))
+}
+
+// HasEdge reports whether nodes at indices u and v are adjacent.
+func (g *Graph) HasEdge(u, v int) bool {
+	nb := g.Adj[u]
+	i := sort.SearchInts(nb, v)
+	return i < len(nb) && nb[i] == v
+}
+
+// addEdge inserts the undirected edge (u, v), keeping adjacency sorted.
+// It is a no-op for self-loops and existing edges.
+func (g *Graph) addEdge(u, v int) bool {
+	if u == v || g.HasEdge(u, v) {
+		return false
+	}
+	g.Adj[u] = insertSorted(g.Adj[u], v)
+	g.Adj[v] = insertSorted(g.Adj[v], u)
+	return true
+}
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// Latency returns the simulated one-way latency between the nodes at
+// indices u and v: |ping_u - ping_v|, floored at MinLatency (§5.2 notes the
+// estimate "may be not accurate but reasonable").
+func (g *Graph) Latency(u, v int) sim.Time {
+	d := g.Nodes[u].Ping - g.Nodes[v].Ping
+	if d < 0 {
+		d = -d
+	}
+	if d < MinLatency {
+		return MinLatency
+	}
+	return d
+}
+
+// MinLatency is the floor applied to pairwise latencies.
+const MinLatency = 5 * sim.Millisecond
+
+// Validate checks structural invariants: adjacency symmetry, sortedness,
+// no self-loops, indices in range. It returns a descriptive error on the
+// first violation.
+func (g *Graph) Validate() error {
+	if len(g.Adj) != len(g.Nodes) {
+		return fmt.Errorf("topology: %d adjacency rows for %d nodes", len(g.Adj), len(g.Nodes))
+	}
+	for u, nb := range g.Adj {
+		for i, v := range nb {
+			if v < 0 || v >= len(g.Nodes) {
+				return fmt.Errorf("topology: node %d has out-of-range neighbour %d", u, v)
+			}
+			if v == u {
+				return fmt.Errorf("topology: node %d has a self-loop", u)
+			}
+			if i > 0 && nb[i-1] >= v {
+				return fmt.Errorf("topology: node %d adjacency not strictly sorted", u)
+			}
+			if !g.HasEdge(v, u) {
+				return fmt.Errorf("topology: edge (%d,%d) not symmetric", u, v)
+			}
+		}
+	}
+	return nil
+}
+
+// GenerateConfig controls synthetic trace generation.
+type GenerateConfig struct {
+	// N is the number of nodes (100..10000 in the paper's trace set).
+	N int
+	// AvgDegree is the target mean degree of the raw crawl graph; the
+	// clip2 crawls ranged from under 1 to 3.5.
+	AvgDegree float64
+	// Seed selects the deterministic trace instance.
+	Seed uint64
+	// PingMin/PingMax bound the synthesized ping times. Defaults (when both
+	// are zero) are 10ms..200ms, which yields pairwise latencies with the
+	// paper's t_hop ≈ 50ms scale.
+	PingMin, PingMax sim.Time
+}
+
+// Generate synthesizes a Gnutella-like trace graph. Edges follow a
+// preferential-attachment sweep (heavy-tailed degrees, many leaf nodes)
+// until the target average degree is met. The graph may be disconnected and
+// some nodes may be isolated — exactly like the raw crawls, which is why the
+// paper augments them before streaming (see Augment).
+func Generate(cfg GenerateConfig) *Graph {
+	if cfg.N <= 0 {
+		panic(fmt.Sprintf("topology: non-positive N %d", cfg.N))
+	}
+	if cfg.PingMin == 0 && cfg.PingMax == 0 {
+		cfg.PingMin, cfg.PingMax = 10*sim.Millisecond, 200*sim.Millisecond
+	}
+	if cfg.PingMax < cfg.PingMin {
+		cfg.PingMax = cfg.PingMin
+	}
+	rng := sim.DeriveRNG(cfg.Seed, 0x70706f)
+	g := &Graph{
+		Nodes: make([]Node, cfg.N),
+		Adj:   make([][]int, cfg.N),
+	}
+	for i := range g.Nodes {
+		g.Nodes[i] = Node{
+			ID:   i,
+			IP:   synthesizeIP(rng),
+			Ping: cfg.PingMin + sim.Time(rng.Uint64n(uint64(cfg.PingMax-cfg.PingMin+1))),
+		}
+	}
+	targetEdges := int(cfg.AvgDegree * float64(cfg.N) / 2)
+	// Preferential attachment with a uniform escape hatch: endpoints are
+	// drawn from a growing multiset of previous endpoints (rich get richer)
+	// mixed with uniform draws, yielding the heavy tail plus leaves.
+	endpoints := make([]int, 0, 2*targetEdges+2)
+	edges := 0
+	for attempts := 0; edges < targetEdges && attempts < 20*targetEdges+100; attempts++ {
+		u := pickEndpoint(rng, endpoints, cfg.N)
+		v := pickEndpoint(rng, endpoints, cfg.N)
+		if g.addEdge(u, v) {
+			edges++
+			endpoints = append(endpoints, u, v)
+		}
+	}
+	return g
+}
+
+func pickEndpoint(rng *sim.RNG, endpoints []int, n int) int {
+	// 40% uniform keeps leaves appearing; 60% preferential grows hubs.
+	if len(endpoints) == 0 || rng.Bool(0.4) {
+		return rng.Intn(n)
+	}
+	return endpoints[rng.Intn(len(endpoints))]
+}
+
+func synthesizeIP(rng *sim.RNG) string {
+	// Public-looking addresses; avoids 0/10/127/224+ first octets.
+	first := 1 + rng.Intn(222)
+	for first == 10 || first == 127 {
+		first = 1 + rng.Intn(222)
+	}
+	return fmt.Sprintf("%d.%d.%d.%d", first, rng.Intn(256), rng.Intn(256), 1+rng.Intn(254))
+}
+
+// Augment adds random edges until every node has at least minDegree
+// neighbours, reproducing §5.2: "Because the average node degree is too
+// small for media streaming, we add random edges into the overlay to let
+// every node hold M=5 connected neighbors." Peers are drawn uniformly;
+// the function is deterministic for a fixed rng state.
+func Augment(g *Graph, minDegree int, rng *sim.RNG) {
+	if minDegree <= 0 || g.N() <= 1 {
+		return
+	}
+	maxDeg := g.N() - 1
+	want := minDegree
+	if want > maxDeg {
+		want = maxDeg
+	}
+	for u := 0; u < g.N(); u++ {
+		guard := 0
+		for len(g.Adj[u]) < want && guard < 100*g.N() {
+			v := rng.Intn(g.N())
+			g.addEdge(u, v)
+			guard++
+		}
+	}
+}

@@ -1,0 +1,166 @@
+package topology
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"continustreaming/internal/sim"
+)
+
+// This file implements a plain-text trace format so that synthesized
+// topologies can be written to disk, inspected, and read back — standing in
+// for the downloadable crawl files the paper used. The format is
+// line-oriented:
+//
+//	# comment
+//	node <id> <ip> <ping-ms>
+//	edge <id> <id>
+//
+// Node lines must precede edge lines that reference them.
+
+// WriteTrace serializes g to w in the trace format.
+func WriteTrace(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# synthetic gnutella-like trace: %d nodes, avg degree %.2f\n", g.N(), g.AvgDegree())
+	for _, n := range g.Nodes {
+		fmt.Fprintf(bw, "node %d %s %d\n", n.ID, n.IP, int64(n.Ping))
+	}
+	for u, nb := range g.Adj {
+		for _, v := range nb {
+			if u < v { // each undirected edge once
+				fmt.Fprintf(bw, "edge %d %d\n", g.Nodes[u].ID, g.Nodes[v].ID)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses a trace previously written by WriteTrace (or hand-
+// authored in the same format). Unknown directives and malformed lines are
+// errors; the resulting graph is validated before being returned.
+func ReadTrace(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	g := &Graph{}
+	index := map[int]int{} // trace ID -> node index
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "node":
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("topology: line %d: node needs 3 fields", lineNo)
+			}
+			id, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("topology: line %d: bad node id: %v", lineNo, err)
+			}
+			ping, err := strconv.ParseInt(fields[3], 10, 64)
+			if err != nil || ping < 0 {
+				return nil, fmt.Errorf("topology: line %d: bad ping %q", lineNo, fields[3])
+			}
+			if _, dup := index[id]; dup {
+				return nil, fmt.Errorf("topology: line %d: duplicate node %d", lineNo, id)
+			}
+			index[id] = len(g.Nodes)
+			g.Nodes = append(g.Nodes, Node{ID: id, IP: fields[2], Ping: sim.Time(ping)})
+			g.Adj = append(g.Adj, nil)
+		case "edge":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("topology: line %d: edge needs 2 fields", lineNo)
+			}
+			a, err1 := strconv.Atoi(fields[1])
+			b, err2 := strconv.Atoi(fields[2])
+			if err1 != nil || err2 != nil {
+				return nil, fmt.Errorf("topology: line %d: bad edge endpoints", lineNo)
+			}
+			ui, ok1 := index[a]
+			vi, ok2 := index[b]
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("topology: line %d: edge references unknown node", lineNo)
+			}
+			if ui == vi {
+				return nil, fmt.Errorf("topology: line %d: self-loop on node %d", lineNo, a)
+			}
+			g.addEdge(ui, vi)
+		default:
+			return nil, fmt.Errorf("topology: line %d: unknown directive %q", lineNo, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("topology: reading trace: %w", err)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// Registry describes the deterministic library of 30 synthetic traces that
+// stands in for the paper's 30 clip2 crawls: sizes sweep 100..10000 and raw
+// average degrees sweep the reported <1..3.5 range.
+type Registry struct {
+	Entries []RegistryEntry
+}
+
+// RegistryEntry names one reproducible trace.
+type RegistryEntry struct {
+	Name      string
+	N         int
+	AvgDegree float64
+	Seed      uint64
+}
+
+// DefaultRegistry returns the standard 30-trace library. Entries are sorted
+// by size then seed, and generation from an entry is fully deterministic.
+func DefaultRegistry() Registry {
+	sizes := []int{100, 200, 500, 1000, 2000, 4000, 8000, 10000}
+	degrees := []float64{0.8, 1.5, 2.5, 3.5}
+	var entries []RegistryEntry
+	seed := uint64(0xc11b2)
+	for _, n := range sizes {
+		for _, d := range degrees {
+			if len(entries) == 30 {
+				break
+			}
+			entries = append(entries, RegistryEntry{
+				Name:      fmt.Sprintf("trace-n%d-d%.1f", n, d),
+				N:         n,
+				AvgDegree: d,
+				Seed:      seed,
+			})
+			seed = seed*6364136223846793005 + 1442695040888963407
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].N != entries[j].N {
+			return entries[i].N < entries[j].N
+		}
+		return entries[i].AvgDegree < entries[j].AvgDegree
+	})
+	return Registry{Entries: entries}
+}
+
+// Build generates the trace for entry e.
+func (e RegistryEntry) Build() *Graph {
+	return Generate(GenerateConfig{N: e.N, AvgDegree: e.AvgDegree, Seed: e.Seed})
+}
+
+// Lookup returns the entry with the given name.
+func (r Registry) Lookup(name string) (RegistryEntry, bool) {
+	for _, e := range r.Entries {
+		if e.Name == name {
+			return e, true
+		}
+	}
+	return RegistryEntry{}, false
+}
