@@ -21,18 +21,19 @@ import (
 
 func main() {
 	var (
-		which    = flag.String("experiment", "all", "experiment to run: fig3|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|all")
+		which    = flag.String("experiment", "all", "experiment to run: fig3|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|flashcrowd10k|all (all = the paper's figures; flashcrowd10k runs only on request)")
 		rounds   = flag.Int("rounds", 40, "scheduling periods per run")
 		tail     = flag.Int("tail", 10, "rounds in the stable-phase average")
 		seed     = flag.Uint64("seed", 1, "master random seed")
 		sizes    = flag.String("sizes", "", "comma-separated network sizes for the sweeps (default paper sweep)")
 		delay    = flag.Int("delay", 0, "playback delay D in rounds (0 = default)")
 		delaySeg = flag.Int("delayseg", 0, "playback delay in segments (overrides -delay)")
+		workers  = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS; results are identical at any setting)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 	)
 	flag.Parse()
 
-	opts := experiment.Options{Rounds: *rounds, StableTail: *tail, Seed: *seed, Delay: *delay, DelaySegments: *delaySeg}
+	opts := experiment.Options{Rounds: *rounds, StableTail: *tail, Seed: *seed, Delay: *delay, DelaySegments: *delaySeg, Workers: *workers}
 	if *sizes != "" {
 		for _, part := range strings.Split(*sizes, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))
@@ -92,8 +93,14 @@ func main() {
 			r, err := experiment.RunFigure11(opts)
 			return r.Table(), err
 		},
+		"flashcrowd10k": func() (*metrics.Table, error) {
+			r, err := experiment.RunFlashCrowd10k(opts)
+			return r.Table(), err
+		},
 	}
 
+	// "all" reproduces the paper's evaluation; the flash-crowd scale-out
+	// scenario is heavy and runs only when named explicitly.
 	order := []string{"fig3", "table1", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11"}
 	if *which == "all" {
 		for _, name := range order {
@@ -103,7 +110,7 @@ func main() {
 	}
 	fn, ok := experiments[*which]
 	if !ok {
-		fatalf("unknown experiment %q (want one of %s, all)", *which, strings.Join(order, ", "))
+		fatalf("unknown experiment %q (want one of %s, flashcrowd10k, all)", *which, strings.Join(order, ", "))
 	}
 	run(*which, fn)
 }

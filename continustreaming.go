@@ -74,6 +74,10 @@ type Config struct {
 	Neighbors int
 	// Seed drives all randomness; runs are fully deterministic per seed.
 	Seed uint64
+	// Workers caps the simulation worker pool (0 = GOMAXPROCS). The round
+	// pipeline is sharded deterministically, so results are bit-identical
+	// for a fixed seed at any worker count.
+	Workers int
 }
 
 // DefaultConfig returns the paper's configuration for n nodes.
@@ -132,6 +136,7 @@ func Run(cfg Config, rounds int) (Result, error) {
 	if cfg.Seed != 0 {
 		inner.Seed = cfg.Seed
 	}
+	inner.Workers = cfg.Workers
 	if cfg.Dynamic {
 		inner.Churn = churn.DefaultConfig()
 	}

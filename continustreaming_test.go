@@ -88,6 +88,33 @@ func TestRunDeterministicPerSeed(t *testing.T) {
 	}
 }
 
+func TestRunWorkerCountInvariant(t *testing.T) {
+	base := DefaultConfig(150)
+	base.Dynamic = true
+	base.Seed = 11
+	one := base
+	one.Workers = 1
+	a, err := Run(one, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	many := base
+	many.Workers = 8
+	b, err := Run(many, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Continuity.Values {
+		if a.Continuity.Values[i] != b.Continuity.Values[i] {
+			t.Fatalf("round %d differs between 1 and 8 workers", i)
+		}
+	}
+	if a.StableControlOverhead() != b.StableControlOverhead() ||
+		a.StablePrefetchOverhead() != b.StablePrefetchOverhead() {
+		t.Fatal("overhead metrics differ between worker counts")
+	}
+}
+
 func TestRunDynamicEnvironment(t *testing.T) {
 	cfg := DefaultConfig(150)
 	cfg.Dynamic = true

@@ -1,0 +1,3 @@
+module continustreaming
+
+go 1.21

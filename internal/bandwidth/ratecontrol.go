@@ -80,7 +80,7 @@ func (c *Controller) ObserveDelivery(id int, offsetSeconds float64) {
 // Tick folds the period's observations into the running estimates.
 func (c *Controller) Tick() {
 	// Service rate: only neighbours we exercised this period carry signal.
-	for id, req := range c.requested {
+	for id := range c.requested {
 		got := c.delivered[id]
 		cur, known := c.service[id]
 		if !known {
@@ -102,7 +102,6 @@ func (c *Controller) Tick() {
 			next = serviceFloor
 		}
 		c.service[id] = next
-		_ = req
 	}
 	// Idle neighbours drift back toward the prior so they get retried.
 	for id, cur := range c.service {

@@ -14,7 +14,7 @@ import (
 // failed map exchange; low supply comes from the Rate Controller's
 // estimate. The phase is sequential because it rewires the shared edge
 // set.
-func (w *World) maintenancePhase(clock *sim.Clock) {
+func (w *World) maintenancePhase() {
 	warm := w.virtualPos(w.round) > 0
 	for _, id := range w.order {
 		n := w.nodes[id]
@@ -65,7 +65,6 @@ func (w *World) maintenancePhase(clock *sim.Clock) {
 			w.addEdge(id, cand.ID)
 		}
 	}
-	_ = clock
 }
 
 // replaceLowSupply swaps out the worst under-delivering neighbour when an
@@ -111,7 +110,7 @@ func (w *World) replaceLowSupply(n *Node) {
 
 // churnPhase executes the dynamic environment: the configured fractions
 // of leaves (graceful handover or abrupt failure) and joins (§5.2).
-func (w *World) churnPhase(clock *sim.Clock) {
+func (w *World) churnPhase() {
 	if w.churnProc == nil {
 		return
 	}
@@ -128,8 +127,17 @@ func (w *World) churnPhase(clock *sim.Clock) {
 	for _, idx := range plan.AbruptLeavers {
 		w.leave(candidates[idx], false)
 	}
+	if plan.TotalLeavers() > 0 {
+		// Drop cross-round deliveries addressed to this round's departed
+		// nodes in one pass: their connections are gone, and a joiner
+		// recycling a ring slot must not inherit them. One Filter per
+		// round (not per leaver) keeps churn O(queue + leavers). Transfers
+		// the dead sent while alive still arrive — packets already on the
+		// wire — matching the pre-recycling behaviour.
+		w.inflight.Filter(func(d delivery) bool { return w.nodes[d.to] != nil })
+	}
 	for j := 0; j < plan.Joins; j++ {
-		w.join(clock)
+		w.join()
 	}
 	if plan.TotalLeavers() > 0 || plan.Joins > 0 {
 		w.rebuildOrder()
@@ -159,7 +167,21 @@ func (w *World) leave(id overlay.NodeID, graceful bool) {
 	w.dhtNet.Leave(dht.ID(id))
 	delete(w.nodes, id)
 	delete(w.edges, id)
-	delete(w.outUsed, id)
+	delete(w.outUsed[w.shardOf(id)], id)
+	// The ring slot is free again; without recycling, sustained churn
+	// exhausts the ID space long before the paper's 40-round tracks end.
+	// churnPhase purges the in-flight deliveries addressed to this round's
+	// leavers before any joiner can reuse a slot. Other nodes' views of
+	// the ID (overheard peer-table entries, decaying rate estimates) are
+	// deliberately NOT scrubbed: that would cost a world scan per leaver,
+	// and the staleness models address reuse — rankings self-correct
+	// because addEdge measures latency fresh and supply credit decays
+	// every Tick, while the recycled node's own state is fully fresh
+	// (generation-salted streams below, empty buffers and ledgers).
+	w.rp.Release(id)
+	// A future joiner reusing this slot must not replay the dead node's
+	// random streams; the generation counter salts its derivations.
+	w.idGen[id]++
 }
 
 // join admits one new node through the RP protocol: assign an ID, ping the
@@ -167,7 +189,7 @@ func (w *World) leave(id overlay.NodeID, graceful bool) {
 // wire up to M neighbours, and join the DHT. The newcomer starts playback
 // once its buffer catches the shared position, "following its neighbours'
 // current steps" rather than fetching history.
-func (w *World) join(clock *sim.Clock) {
+func (w *World) join() {
 	id := w.rp.AssignID(w.rng)
 	ping := 10*sim.Millisecond + sim.Time(w.rng.Intn(191))
 	n := w.buildNode(id, ping, false)
@@ -237,5 +259,4 @@ func (w *World) join(clock *sim.Clock) {
 		}
 		w.addEdge(id, c.id)
 	}
-	_ = clock
 }

@@ -133,6 +133,11 @@ type Config struct {
 	// RoutingMessageBits is the wire size of one DHT routing message
 	// (paper: 10 bytes = 80 bits).
 	RoutingMessageBits int64
+	// Workers caps the worker-pool width of the parallel round phases;
+	// <= 0 selects GOMAXPROCS. The sharded pipeline's shard count is fixed
+	// independently of this, so results are bit-identical for a fixed seed
+	// at any setting — Workers is purely a throughput knob.
+	Workers int
 }
 
 // DefaultConfig returns the paper's §5.2 defaults for n nodes.

@@ -19,6 +19,10 @@ import (
 type Node struct {
 	// ID is the node's overlay identifier and its DHT ring position.
 	ID overlay.NodeID
+	// Gen is the assignment generation of this ring ID (0 = first use).
+	// It salts the ID-keyed random streams so a recycled slot never
+	// replays its dead predecessor's randomness.
+	Gen uint64
 	// IsSource marks the single media source.
 	IsSource bool
 	// Rates is the node's access capacity.

@@ -13,15 +13,40 @@ import (
 	"continustreaming/internal/sim"
 )
 
+// phaseShards is the fixed shard count of the sharded round phases
+// (transfer resolution, delivery application, outbound accounting). It is
+// a constant — never derived from the worker count — so shard assignment,
+// per-shard accumulation, and the shard-order merges are identical no
+// matter how many workers execute them; that invariant is what makes a
+// run's output bit-identical for a fixed seed at any parallelism.
+const phaseShards = 64
+
+// Phase tags keying the sharded phases' RNG streams.
+const (
+	phaseScatter = 0x7c41
+	phaseServe   = 0x5e12
+	phaseApply   = 0xde11
+)
+
+// phaseSeed keys one sharded-phase invocation's RNG streams by (master
+// seed, round, phase), so no two MapReduce calls ever share a shard
+// stream. It is a pure function of configuration and round index, which
+// preserves the worker-count independence of the pipeline.
+func (w *World) phaseSeed(phase uint64) uint64 {
+	return w.cfg.Seed ^ (uint64(w.round)+1)*0x9e3779b97f4a7c15 ^ phase*0xd1342543de82ef95
+}
+
 // Step executes one scheduling period as a sequence of barrier-separated
 // phases. Phases that touch only per-node state fan out over the worker
-// pool; phases that rewire shared structures (transfers, DHT lookups,
-// churn) run deterministically single-threaded.
+// pool; transfer resolution and delivery application run as a sharded
+// map/reduce pipeline (partitioned by node ID, merged in shard order);
+// phases that rewire shared structures (DHT lookups, churn) run
+// deterministically single-threaded.
 func (w *World) Step(clock *sim.Clock) {
 	w.round = clock.Round()
 	sample := metrics.RoundSample{Round: w.round}
 
-	w.beginRound(clock)
+	w.beginRound()
 	snaps := w.exchangePhase(&sample)
 	// The Urgent Line runs before scheduling: segments it predicts missed
 	// — holes at the deadline edge that no in-flight transfer will cover
@@ -42,18 +67,18 @@ func (w *World) Step(clock *sim.Clock) {
 	deliveries = append(deliveries, w.dueInflight(clock)...)
 	w.applyDeliveries(clock, deliveries, &sample)
 	w.playbackPhase(clock, &sample)
-	w.maintenancePhase(clock)
-	w.churnPhase(clock)
+	w.maintenancePhase()
+	w.churnPhase()
 	w.collector.Record(sample)
 }
 
 // beginRound advances buffer windows to the round's playback position,
 // expires stale request state, resets outbound accounting, and lets the
 // source ingest the segments generated before this round started.
-func (w *World) beginRound(clock *sim.Clock) {
+func (w *World) beginRound() {
 	pos := w.playbackPos(w.round)
 	live := w.liveEdge(w.round)
-	clear(w.outUsed)
+	w.clearOutUsed()
 	src := w.nodes[w.source]
 	w.pool.ForEach(len(w.order), func(i int) {
 		n := w.nodes[w.order[i]]
@@ -74,7 +99,6 @@ func (w *World) beginRound(clock *sim.Clock) {
 			src.maybeBackup(w.space, id, w.cfg.Replicas)
 		}
 	}
-	_ = clock
 }
 
 // fetchEdge returns one past the newest segment obtainable during round r:
@@ -167,7 +191,7 @@ func (w *World) schedulePhase(clock *sim.Clock, snaps []buffer.Map) [][]schedule
 			Tau:           w.cfg.Tau,
 			InboundBudget: budget,
 			Candidates:    cands,
-			JitterSeed:    w.cfg.Seed ^ uint64(n.ID)*0x9e3779b97f4a7c15,
+			JitterSeed:    w.cfg.Seed ^ uint64(n.ID)*0x9e3779b97f4a7c15 ^ n.Gen*0xd1342543de82ef95,
 			RarityNoise:   w.cfg.RarityNoise,
 		}
 		reqs := n.Policy.Schedule(in)
@@ -240,98 +264,158 @@ type transferReq struct {
 // period (slots past τ arrive next round via the in-flight queue) up to
 // one extra period's worth of backlog, beyond which requests are dropped
 // and the requester times out and retries.
+//
+// The phase runs as a two-stage sharded pipeline. Stage 1 (scatter)
+// partitions requesters into contiguous index ranges and buckets their
+// asks by the owning supplier shard; because ranges ascend with the shard
+// index and w.order is sorted, concatenating a supplier shard's buckets in
+// scatter-shard order reproduces the requester-ascending arrival order a
+// sequential scan would produce. Stage 2 (serve) gives each supplier shard
+// exclusive ownership of its suppliers: it runs the service discipline and
+// writes the outbound ledger partition it owns, with deliveries and drop
+// counts merged in shard order afterwards.
 func (w *World) resolveTransfers(clock *sim.Clock, requests [][]scheduler.Request, sample *metrics.RoundSample) []delivery {
-	bySupplier := make(map[overlay.NodeID][]transferReq)
-	var suppliers []overlay.NodeID
-	for i, reqs := range requests {
-		requester := w.order[i]
-		for _, r := range reqs {
-			s := overlay.NodeID(r.Supplier)
-			if _, ok := bySupplier[s]; !ok {
-				suppliers = append(suppliers, s)
-			}
-			bySupplier[s] = append(bySupplier[s], transferReq{
-				supplier: s, requester: requester, id: r.ID, expected: r.ExpectedAt,
-			})
-		}
-	}
-	sort.Slice(suppliers, func(i, j int) bool { return suppliers[i] < suppliers[j] })
-	results := make([][]delivery, len(suppliers))
-	start := clock.Now()
-	tau := int64(w.cfg.Tau)
-	w.pool.ForEach(len(suppliers), func(si int) {
-		s := suppliers[si]
-		sn := w.nodes[s]
-		if sn == nil {
-			return
-		}
-		reqs := bySupplier[s]
-		// Fair queueing: a real supplier transmits to its requesters'
-		// connections concurrently, so service interleaves round-robin
-		// across requesters (each requester's own asks stay in its
-		// priority order). Serving in global priority order instead would
-		// starve exactly the low-priority frontier requests that keep new
-		// content multiplying — a system-wide death spiral under load.
-		sort.SliceStable(reqs, func(a, b int) bool {
-			if reqs[a].requester != reqs[b].requester {
-				return reqs[a].requester < reqs[b].requester
-			}
-			if reqs[a].expected != reqs[b].expected {
-				return reqs[a].expected < reqs[b].expected
-			}
-			return reqs[a].id < reqs[b].id
-		})
-		perRequester := make(map[overlay.NodeID][]transferReq)
-		var order []overlay.NodeID
-		for _, r := range reqs {
-			if _, ok := perRequester[r.requester]; !ok {
-				order = append(order, r.requester)
-			}
-			perRequester[r.requester] = append(perRequester[r.requester], r)
-		}
-		capacity := sn.Rates.Out
-		if capacity <= 0 {
-			return
-		}
-		perSegmentMS := tau / int64(capacity)
-		if perSegmentMS < 1 {
-			perSegmentMS = 1
-		}
-		// Backlog spill: up to one extra period of queued transmissions.
-		limit := 2 * capacity
-		served := 0
-		var out []delivery
-		for depth := 0; served < limit; depth++ {
-			progressed := false
-			for _, req := range order {
-				q := perRequester[req]
-				if depth >= len(q) {
+	n := len(requests)
+	scatter := make([][][]transferReq, phaseShards) // [requesterShard][supplierShard]
+	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseScatter),
+		func(r int, _ *sim.RNG) [][]transferReq {
+			lo, hi := sim.ShardRange(n, phaseShards, r)
+			var buckets [][]transferReq
+			for i := lo; i < hi; i++ {
+				if len(requests[i]) == 0 {
 					continue
 				}
-				progressed = true
-				if served >= limit {
-					break
+				if buckets == nil {
+					buckets = make([][]transferReq, phaseShards)
 				}
-				served++
-				r := q[depth]
-				done := sim.Time(int64(served) * perSegmentMS)
-				at := start + done + w.Latency(s, r.requester)
-				out = append(out, delivery{to: r.requester, from: s, id: r.id, at: at})
+				requester := w.order[i]
+				for _, req := range requests[i] {
+					s := overlay.NodeID(req.Supplier)
+					ss := w.shardOf(s)
+					buckets[ss] = append(buckets[ss], transferReq{
+						supplier: s, requester: requester, id: req.ID, expected: req.ExpectedAt,
+					})
+				}
 			}
-			if !progressed {
-				break
+			return buckets
+		},
+		func(r int, buckets [][]transferReq) { scatter[r] = buckets })
+
+	type shardServe struct {
+		deliveries []delivery
+		dropped    int64
+	}
+	start := clock.Now()
+	merged := make([][]delivery, phaseShards)
+	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseServe),
+		func(s int, _ *sim.RNG) shardServe {
+			bySupplier := make(map[overlay.NodeID][]transferReq)
+			var suppliers []overlay.NodeID
+			for r := 0; r < phaseShards; r++ {
+				if scatter[r] == nil {
+					continue
+				}
+				for _, tr := range scatter[r][s] {
+					if _, ok := bySupplier[tr.supplier]; !ok {
+						suppliers = append(suppliers, tr.supplier)
+					}
+					bySupplier[tr.supplier] = append(bySupplier[tr.supplier], tr)
+				}
 			}
-		}
-		results[si] = out
-	})
-	// Record outbound usage and drops sequentially (shared state).
+			if len(suppliers) == 0 {
+				return shardServe{}
+			}
+			sort.Slice(suppliers, func(i, j int) bool { return suppliers[i] < suppliers[j] })
+			var res shardServe
+			for _, sup := range suppliers {
+				reqs := bySupplier[sup]
+				out := w.serveSupplier(sup, reqs, start)
+				// The serving shard owns ledger partition s == shardOf(sup),
+				// so this write races with nothing.
+				w.outUsed[s][sup] += len(out)
+				res.dropped += int64(len(reqs) - len(out))
+				res.deliveries = append(res.deliveries, out...)
+			}
+			return res
+		},
+		func(s int, res shardServe) {
+			merged[s] = res.deliveries
+			sample.Dropped += res.dropped
+		})
+
 	var all []delivery
-	for si, s := range suppliers {
-		w.outUsed[s] += len(results[si])
-		sample.Dropped += int64(len(bySupplier[s]) - len(results[si]))
-		all = append(all, results[si]...)
+	for _, ds := range merged {
+		all = append(all, ds...)
 	}
 	return all
+}
+
+// serveSupplier runs one supplier's round-robin service discipline over its
+// round's requests and returns the deliveries it manages to transmit
+// within its backlog horizon. It touches only per-call state, so supplier
+// shards invoke it concurrently.
+func (w *World) serveSupplier(s overlay.NodeID, reqs []transferReq, start sim.Time) []delivery {
+	sn := w.nodes[s]
+	if sn == nil {
+		return nil
+	}
+	// Fair queueing: a real supplier transmits to its requesters'
+	// connections concurrently, so service interleaves round-robin
+	// across requesters (each requester's own asks stay in its
+	// priority order). Serving in global priority order instead would
+	// starve exactly the low-priority frontier requests that keep new
+	// content multiplying — a system-wide death spiral under load.
+	sort.SliceStable(reqs, func(a, b int) bool {
+		if reqs[a].requester != reqs[b].requester {
+			return reqs[a].requester < reqs[b].requester
+		}
+		if reqs[a].expected != reqs[b].expected {
+			return reqs[a].expected < reqs[b].expected
+		}
+		return reqs[a].id < reqs[b].id
+	})
+	perRequester := make(map[overlay.NodeID][]transferReq)
+	var order []overlay.NodeID
+	for _, r := range reqs {
+		if _, ok := perRequester[r.requester]; !ok {
+			order = append(order, r.requester)
+		}
+		perRequester[r.requester] = append(perRequester[r.requester], r)
+	}
+	capacity := sn.Rates.Out
+	if capacity <= 0 {
+		return nil
+	}
+	perSegmentMS := int64(w.cfg.Tau) / int64(capacity)
+	if perSegmentMS < 1 {
+		perSegmentMS = 1
+	}
+	// Backlog spill: up to one extra period of queued transmissions.
+	limit := 2 * capacity
+	served := 0
+	var out []delivery
+	for depth := 0; served < limit; depth++ {
+		progressed := false
+		for _, req := range order {
+			q := perRequester[req]
+			if depth >= len(q) {
+				continue
+			}
+			progressed = true
+			if served >= limit {
+				break
+			}
+			served++
+			r := q[depth]
+			done := sim.Time(int64(served) * perSegmentMS)
+			at := start + done + w.Latency(s, r.requester)
+			out = append(out, delivery{to: r.requester, from: s, id: r.id, at: at})
+		}
+		if !progressed {
+			break
+		}
+	}
+	return out
 }
 
 // worldDirectory adapts the world to the prefetch.Directory interface:
@@ -361,7 +445,7 @@ func (d worldDirectory) AvailableRate(node dht.ID) float64 {
 	// round); whatever is left of it is spare capacity a pre-fetch may
 	// claim, reported as an effective sending rate capped at the line
 	// rate.
-	spare := 2*n.Rates.Out - d.w.outUsed[overlay.NodeID(node)]
+	spare := 2*n.Rates.Out - d.w.outUsedOf(overlay.NodeID(node))
 	if spare <= 0 {
 		return 0
 	}
@@ -400,10 +484,10 @@ func (w *World) resolvePrefetch(clock *sim.Clock, plans []prefetch.Decision, sam
 			}
 			sample.LookupFound++
 			supplier := overlay.NodeID(res.Supplier)
-			if w.outUsed[supplier] >= 2*w.nodes[supplier].Rates.Out {
+			if w.outUsedOf(supplier) >= 2*w.nodes[supplier].Rates.Out {
 				continue // leftover vanished since the lookup
 			}
-			w.outUsed[supplier]++
+			w.addOutUsed(supplier, 1)
 			n.markPrefetchPending(res.ID, w.round)
 			// t_fetch = locate + reply + request + retrieve (eq. 6): the
 			// locate leg walks the routed path; the remaining three legs
@@ -443,90 +527,125 @@ func (w *World) dueInflight(clock *sim.Clock) []delivery {
 	return out
 }
 
-// applyDeliveries ingests every arrival of the round, in timestamp order
-// per receiver, updating buffers, backup stores, α feedback and the
-// traffic counters. Deliveries landing after the round boundary go to the
-// in-flight queue instead.
+// applyDeliveries ingests every arrival of the round, in canonical
+// (timestamp, segment, sender) order per receiver, updating buffers,
+// backup stores, α feedback and the traffic counters. Deliveries landing
+// after the round boundary go to the in-flight queue instead.
+//
+// Receivers are partitioned into shards by node ID; every shard groups,
+// orders, and applies its own receivers' arrivals while accumulating into
+// a private metric sample, and the per-shard samples are folded in shard
+// order afterwards. A receiver belongs to exactly one shard, so all
+// per-node mutation stays shard-local.
 func (w *World) applyDeliveries(clock *sim.Clock, deliveries []delivery, sample *metrics.RoundSample) {
 	end := clock.RoundEnd()
-	byReceiver := make(map[overlay.NodeID][]delivery)
+	// The in-flight queue is a shared heap whose tie-break is push order,
+	// so this partition pass stays sequential; it is a single cheap scan.
+	buckets := make([][]delivery, phaseShards)
 	for _, d := range deliveries {
 		if d.at > end {
 			w.inflight.Push(d.at, d)
 			continue
 		}
-		byReceiver[d.to] = append(byReceiver[d.to], d)
+		s := w.shardOf(d.to)
+		buckets[s] = append(buckets[s], d)
 	}
-	var receivers []overlay.NodeID
-	for id := range byReceiver {
-		receivers = append(receivers, id)
-	}
-	sort.Slice(receivers, func(i, j int) bool { return receivers[i] < receivers[j] })
 	pos := w.playbackPos(w.round)
 	p := w.cfg.Stream.Rate
 	segBits := w.cfg.Stream.BitsPerSegment
-	results := make([]metrics.RoundSample, len(receivers))
-	w.pool.ForEach(len(receivers), func(ri int) {
-		n := w.nodes[receivers[ri]]
-		if n == nil {
-			return
-		}
-		ds := byReceiver[receivers[ri]]
-		sort.Slice(ds, func(a, b int) bool {
-			if ds[a].at != ds[b].at {
-				return ds[a].at < ds[b].at
+	now := clock.Now()
+	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseApply),
+		func(s int, _ *sim.RNG) metrics.RoundSample {
+			var local metrics.RoundSample
+			if len(buckets[s]) == 0 {
+				return local
 			}
-			return ds[a].id < ds[b].id
+			byReceiver := make(map[overlay.NodeID][]delivery)
+			var receivers []overlay.NodeID
+			for _, d := range buckets[s] {
+				if _, ok := byReceiver[d.to]; !ok {
+					receivers = append(receivers, d.to)
+				}
+				byReceiver[d.to] = append(byReceiver[d.to], d)
+			}
+			sort.Slice(receivers, func(i, j int) bool { return receivers[i] < receivers[j] })
+			for _, id := range receivers {
+				n := w.nodes[id]
+				if n == nil {
+					continue
+				}
+				ds := byReceiver[id]
+				// Canonical arrival order: the (from, prefetch) tie-breaks
+				// make the outcome independent of how the delivery slice
+				// was assembled upstream.
+				sort.Slice(ds, func(a, b int) bool {
+					if ds[a].at != ds[b].at {
+						return ds[a].at < ds[b].at
+					}
+					if ds[a].id != ds[b].id {
+						return ds[a].id < ds[b].id
+					}
+					if ds[a].from != ds[b].from {
+						return ds[a].from < ds[b].from
+					}
+					return !ds[a].prefetch && ds[b].prefetch
+				})
+				w.applyToReceiver(n, ds, pos, p, segBits, now, &local)
+			}
+			return local
+		},
+		func(_ int, local metrics.RoundSample) {
+			sample.DataBits += local.DataBits
+			sample.PrefetchDataBits += local.PrefetchDataBits
+			sample.Deliveries += local.Deliveries
+			sample.Prefetches += local.Prefetches
+			sample.Overdue += local.Overdue
+			sample.Repeated += local.Repeated
 		})
-		local := &results[ri]
-		for _, d := range ds {
-			deadline := w.deadlineOf(d.id, pos, p, clock.Now())
-			if d.prefetch {
-				local.PrefetchDataBits += segBits
-				local.Prefetches++
-				already := n.Buf.Has(d.id)
-				stored := n.receive(d.id, d.at)
-				switch {
-				case already:
-					// Gossip beat the pre-fetch: repeated data.
-					local.Repeated++
-					n.repeated++
-					n.Tags.Clear(d.id)
-				case stored && d.at > deadline && d.id >= pos:
-					// Arrived, but after its play moment: overdue.
-					local.Overdue++
-					n.overdue++
-				}
-				if stored {
-					n.maybeBackup(w.space, d.id, w.cfg.Replicas)
-				}
-				continue
-			}
-			local.DataBits += segBits
-			local.Deliveries++
-			tagged := n.Tags != nil && n.Tags.Tagged(d.id)
+}
+
+// applyToReceiver ingests one receiver's ordered arrivals, accumulating the
+// traffic counters into local. Only the shard owning the receiver calls it.
+func (w *World) applyToReceiver(n *Node, ds []delivery, pos segment.ID, p int, segBits int64, now sim.Time, local *metrics.RoundSample) {
+	for _, d := range ds {
+		deadline := w.deadlineOf(d.id, pos, p, now)
+		if d.prefetch {
+			local.PrefetchDataBits += segBits
+			local.Prefetches++
 			already := n.Buf.Has(d.id)
 			stored := n.receive(d.id, d.at)
-			n.Ctrl.ObserveDelivery(int(d.from), (d.at - clock.Now()).Seconds())
-			if tagged && (already || (stored && d.at <= deadline)) {
-				// The scheduler delivered a segment the pre-fetch also
-				// handled (or is handling): repeated data.
+			switch {
+			case already:
+				// Gossip beat the pre-fetch: repeated data.
 				local.Repeated++
 				n.repeated++
 				n.Tags.Clear(d.id)
+			case stored && d.at > deadline && d.id >= pos:
+				// Arrived, but after its play moment: overdue.
+				local.Overdue++
+				n.overdue++
 			}
 			if stored {
 				n.maybeBackup(w.space, d.id, w.cfg.Replicas)
 			}
+			continue
 		}
-	})
-	for _, r := range results {
-		sample.DataBits += r.DataBits
-		sample.PrefetchDataBits += r.PrefetchDataBits
-		sample.Deliveries += r.Deliveries
-		sample.Prefetches += r.Prefetches
-		sample.Overdue += r.Overdue
-		sample.Repeated += r.Repeated
+		local.DataBits += segBits
+		local.Deliveries++
+		tagged := n.Tags != nil && n.Tags.Tagged(d.id)
+		already := n.Buf.Has(d.id)
+		stored := n.receive(d.id, d.at)
+		n.Ctrl.ObserveDelivery(int(d.from), (d.at - now).Seconds())
+		if tagged && (already || (stored && d.at <= deadline)) {
+			// The scheduler delivered a segment the pre-fetch also
+			// handled (or is handling): repeated data.
+			local.Repeated++
+			n.repeated++
+			n.Tags.Clear(d.id)
+		}
+		if stored {
+			n.maybeBackup(w.space, d.id, w.cfg.Replicas)
+		}
 	}
 }
 

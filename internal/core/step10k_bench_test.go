@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"continustreaming/internal/churn"
+	"continustreaming/internal/sim"
+)
+
+// benchStep measures steady-state World.Step cost at population n with the
+// given worker-pool width. The world warms up past the playback delay
+// first so every phase (scheduling, transfers, deliveries, pre-fetch,
+// churn) carries its full load during the timed rounds.
+func benchStep(b *testing.B, n, workers int) {
+	b.Helper()
+	cfg := DefaultConfig(n)
+	cfg.Profile = ProfileContinuStreaming()
+	cfg.Churn = churn.DefaultConfig()
+	cfg.Workers = workers
+	cfg.Seed = 1
+	w, err := NewWorld(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := sim.NewEngine(w, cfg.Tau)
+	engine.Run(cfg.PlaybackDelayRounds + 2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		engine.Run(1)
+	}
+}
+
+// BenchmarkStep10k drives one scheduling period of a 10,000-node overlay
+// under churn — past the paper's largest evaluation size — once with a
+// single worker (the pre-refactor sequential resolve path's concurrency)
+// and once with every available core. The sharded pipeline guarantees both
+// configurations produce bit-identical simulations; the benchmark exists
+// to show the wall-clock gap between them on multi-core hardware.
+func BenchmarkStep10k(b *testing.B) {
+	widths := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		widths = append(widths, p)
+	}
+	for _, workers := range widths {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchStep(b, 10000, workers)
+		})
+	}
+}
+
+// BenchmarkStep1k is the paper-scale reference point for the same
+// measurement.
+func BenchmarkStep1k(b *testing.B) {
+	widths := []int{1}
+	if p := runtime.GOMAXPROCS(0); p > 1 {
+		widths = append(widths, p)
+	}
+	for _, workers := range widths {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchStep(b, 1000, workers)
+		})
+	}
+}

@@ -39,8 +39,18 @@ type World struct {
 	// inflight holds deliveries that arrive in a future round.
 	inflight *sim.EventQueue[delivery]
 	// outUsed tracks each node's outbound spend within the current round
-	// (gossip serving first, then pre-fetch takes the leftovers).
-	outUsed map[overlay.NodeID]int
+	// (gossip serving first, then pre-fetch takes the leftovers). The
+	// ledger is sharded by supplier ID — shard shardOf(id) owns id's
+	// counter — so the parallel transfer-resolution shards write their own
+	// partition without locks.
+	outUsed []map[overlay.NodeID]int
+
+	// idGen counts how many times each ring ID has been assigned and
+	// vacated. It salts the per-node random streams so a joiner recycling
+	// a dead node's slot draws fresh bandwidth and jitter instead of
+	// replaying its predecessor's; generation 0 (no reuse) leaves every
+	// derivation exactly as before.
+	idGen map[overlay.NodeID]uint64
 
 	// round mirrors the engine clock for code that needs the index between
 	// phases.
@@ -71,11 +81,15 @@ func NewWorld(cfg Config) (*World, error) {
 		edges:     make(map[overlay.NodeID]map[overlay.NodeID]bool),
 		dhtNet:    dht.NewNetwork(space),
 		rp:        overlay.NewRendezvous(space),
-		pool:      sim.NewPool(0),
+		pool:      sim.NewPool(cfg.Workers),
 		rng:       sim.DeriveRNG(cfg.Seed, 0x0571d),
 		collector: metrics.NewCollector(),
 		inflight:  sim.NewEventQueue[delivery](),
-		outUsed:   make(map[overlay.NodeID]int),
+		outUsed:   make([]map[overlay.NodeID]int, phaseShards),
+		idGen:     make(map[overlay.NodeID]uint64),
+	}
+	for s := range w.outUsed {
+		w.outUsed[s] = make(map[overlay.NodeID]int)
 	}
 	graph := cfg.Topology
 	if graph == nil {
@@ -127,7 +141,8 @@ func NewWorld(cfg Config) (*World, error) {
 func (w *World) buildNode(id overlay.NodeID, ping sim.Time, isSource bool) *Node {
 	cfg := w.cfg
 	var rates bandwidth.Rates
-	nodeRNG := sim.DeriveRNG(cfg.Seed, uint64(id)+0x9000)
+	gen := w.idGen[id]
+	nodeRNG := sim.DeriveRNG(cfg.Seed, uint64(id)+0x9000+gen*0xd1342543de82ef95)
 	if isSource {
 		rates = cfg.Bandwidth.Source()
 	} else {
@@ -135,6 +150,7 @@ func (w *World) buildNode(id overlay.NodeID, ping sim.Time, isSource bool) *Node
 	}
 	n := &Node{
 		ID:       id,
+		Gen:      gen,
 		IsSource: isSource,
 		Rates:    rates,
 		Ping:     ping,
@@ -165,7 +181,7 @@ func (w *World) policyFor(n *Node) scheduler.Policy {
 	case PolicyRarestFirst:
 		return scheduler.RarestFirst{}
 	case PolicyRandom:
-		return &scheduler.Random{RNG: sim.DeriveRNG(w.cfg.Seed, uint64(n.ID)+0x7a4d)}
+		return &scheduler.Random{RNG: sim.DeriveRNG(w.cfg.Seed, uint64(n.ID)+0x7a4d+n.Gen*0xd1342543de82ef95)}
 	case PolicyUrgencyOnly:
 		return scheduler.UrgencyOnly{}
 	case PolicyRarityOnly:
@@ -199,6 +215,35 @@ func (w *World) Nodes() []overlay.NodeID { return w.order }
 // DHTNetwork exposes the structured overlay (read-mostly; tests and the
 // experiment harness use it).
 func (w *World) DHTNetwork() *dht.Network { return w.dhtNet }
+
+// Workers reports the width of the worker pool executing the parallel
+// round phases.
+func (w *World) Workers() int { return w.pool.Workers() }
+
+// shardOf maps a node ID to its phase shard. Shard assignment depends only
+// on the ID, never on the worker count, which is what keeps the sharded
+// phases bit-identical at any parallelism.
+func (w *World) shardOf(id overlay.NodeID) int {
+	return sim.ShardIndex(uint64(id), phaseShards)
+}
+
+// outUsedOf reads a supplier's outbound spend this round.
+func (w *World) outUsedOf(id overlay.NodeID) int {
+	return w.outUsed[w.shardOf(id)][id]
+}
+
+// addOutUsed charges n transmissions to a supplier's outbound ledger. Only
+// the shard that owns the supplier (or sequential phase code) may call it.
+func (w *World) addOutUsed(id overlay.NodeID, n int) {
+	w.outUsed[w.shardOf(id)][id] += n
+}
+
+// clearOutUsed resets every shard's ledger at the start of a round.
+func (w *World) clearOutUsed() {
+	for _, m := range w.outUsed {
+		clear(m)
+	}
+}
 
 // Latency returns the simulated one-way latency between two alive nodes:
 // the trace rule |ping_u − ping_v| with the topology package's floor.

@@ -29,6 +29,9 @@ type Options struct {
 	// over Delay.
 	Delay         int
 	DelaySegments int
+	// Workers caps the simulation worker pool (0 = GOMAXPROCS). Purely a
+	// throughput knob: results are bit-identical at any setting.
+	Workers int
 }
 
 // DefaultOptions mirrors the paper's settings.
@@ -111,6 +114,7 @@ func baseConfig(n int, profile core.Profile, dynamic bool, o Options) core.Confi
 	cfg := core.DefaultConfig(n)
 	cfg.Profile = profile
 	cfg.Seed = o.Seed
+	cfg.Workers = o.Workers
 	if o.Delay > 0 {
 		cfg.PlaybackDelayRounds = o.Delay
 	}

@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"fmt"
+
+	"continustreaming/internal/churn"
+	"continustreaming/internal/core"
+	"continustreaming/internal/metrics"
+)
+
+// FlashCrowd10kNodes is the default population of the flash-crowd
+// scenario: past the paper's largest evaluation (8000) and into the scale
+// the sharded round pipeline exists for.
+const FlashCrowd10kNodes = 10000
+
+// FlashCrowdResult is the outcome of the flash-crowd scenario.
+type FlashCrowdResult struct {
+	Run   RunResult
+	Nodes int
+}
+
+// Table renders the scenario's per-round track: continuity alongside the
+// two overhead metrics, the full picture of a large overlay under churn.
+func (r FlashCrowdResult) Table() *metrics.Table {
+	tbl := metrics.NewTable(
+		fmt.Sprintf("Flash crowd (dynamic, n=%d)", r.Nodes),
+		"t(s)", "continuity", "control", "prefetch")
+	for i := 0; i < r.Run.Continuity.Len(); i++ {
+		tbl.AddRow(i, r.Run.Continuity.Values[i], r.Run.Control.Values[i], r.Run.Prefetch.Values[i])
+	}
+	return tbl
+}
+
+// RunFlashCrowd10k executes the flash-crowd scenario: ContinuStreaming in
+// the dynamic environment at 10000 nodes (or the largest entry of o.Sizes
+// when the sweep is overridden), the workload that motivated sharding the
+// round pipeline. It is not part of the paper's figures, so continusim
+// runs it only on request.
+func RunFlashCrowd10k(o Options) (FlashCrowdResult, error) {
+	n := FlashCrowd10kNodes
+	if len(o.Sizes) > 0 {
+		n = o.Sizes[0]
+		for _, s := range o.Sizes[1:] {
+			if s > n {
+				n = s
+			}
+		}
+	}
+	o = o.normalized()
+	cfg := baseConfig(n, core.ProfileContinuStreaming(), true, o)
+	cfg.Churn = churn.DefaultConfig()
+	run, err := runWorld(cfg, o.Rounds, o.StableTail)
+	if err != nil {
+		return FlashCrowdResult{}, err
+	}
+	return FlashCrowdResult{Run: run, Nodes: n}, nil
+}

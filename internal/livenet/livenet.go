@@ -254,13 +254,12 @@ func (p *peer) period(cfg Config, pos segment.ID) {
 		maps[id] = m
 	}
 	p.mu.Unlock()
-	for id, ch := range p.links {
+	for _, ch := range p.links {
 		m := snap
 		select {
 		case ch <- Message{From: p.id, Map: &m}:
 		default:
 		}
-		_ = id
 	}
 	if p.id == 0 {
 		return // the source only serves

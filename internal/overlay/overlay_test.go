@@ -212,6 +212,23 @@ func TestRendezvousAssignUnique(t *testing.T) {
 	rp.AssignID(rng)
 }
 
+func TestRendezvousReleaseRecyclesIDs(t *testing.T) {
+	rp := NewRendezvous(dht.NewSpace(16))
+	rng := sim.NewRNG(1)
+	for i := 0; i < 16; i++ {
+		rp.AssignID(rng)
+	}
+	// Simulated churn: nodes die and fresh nodes take their slots. Without
+	// recycling this loop exhausts the ring immediately.
+	for i := 0; i < 100; i++ {
+		rp.Release(NodeID(i % 16))
+		got := rp.AssignID(rng)
+		if got != NodeID(i%16) {
+			t.Fatalf("iteration %d: assigned %d, only %d was free", i, got, i%16)
+		}
+	}
+}
+
 func TestRendezvousCandidatesClosest(t *testing.T) {
 	rp := NewRendezvous(dht.NewSpace(64))
 	for _, id := range []NodeID{10, 20, 30, 60} {

@@ -16,8 +16,11 @@ type Rendezvous struct {
 	space dht.Space
 	// known is the partial list of nodes the RP believes are alive, sorted.
 	known []NodeID
-	// used tracks every ID ever assigned so assignments stay unique even
-	// after the node dies (a dead node's ID is not recycled within a run).
+	// used tracks the IDs of nodes currently assigned, keeping every alive
+	// node's ID unique. A dead node's ID returns to the pool via Release —
+	// without recycling, a long churny run mints joiner IDs every round
+	// and eventually exhausts any fixed ring (5% joins on 8000 nodes
+	// allocate the paper's whole 16384-slot space within ~35 rounds).
 	used map[NodeID]bool
 }
 
@@ -29,8 +32,10 @@ func NewRendezvous(space dht.Space) *Rendezvous {
 // KnownCount reports how many nodes the RP currently lists.
 func (rp *Rendezvous) KnownCount() int { return len(rp.known) }
 
-// AssignID allocates a previously unused uniformly random ring ID. It
-// panics when the space is exhausted, which no experiment approaches.
+// AssignID allocates a uniformly random ring ID not held by any current
+// assignment. It panics when every slot is held at once, which would mean
+// more simultaneous nodes than ring positions — a misconfiguration, not a
+// churn outcome.
 func (rp *Rendezvous) AssignID(rng *sim.RNG) NodeID {
 	if len(rp.used) >= rp.space.N() {
 		panic("overlay: ID space exhausted")
@@ -93,6 +98,14 @@ func (rp *Rendezvous) Register(id NodeID) {
 	rp.known = append(rp.known, 0)
 	copy(rp.known[i+1:], rp.known[i:])
 	rp.known[i] = id
+}
+
+// Release returns a dead node's ID to the assignable pool. The simulation
+// calls it once the node is fully gone; the RP's membership list is
+// unaffected (liveness knowledge still only arrives via ReportFailure, so
+// the protocol's partial-knowledge realism is preserved).
+func (rp *Rendezvous) Release(id NodeID) {
+	delete(rp.used, id)
 }
 
 // ReportFailure removes a node a joiner found dead.

@@ -53,6 +53,20 @@ func (q *EventQueue[T]) PopUntil(deadline Time) []Event[T] {
 	return out
 }
 
+// Filter removes every event whose payload fails keep. Surviving events
+// retain their original (At, Seq) keys, so relative pop order — including
+// timestamp ties — is unchanged; the operation is deterministic.
+func (q *EventQueue[T]) Filter(keep func(payload T) bool) {
+	kept := q.h[:0]
+	for _, ev := range q.h {
+		if keep(ev.Payload) {
+			kept = append(kept, ev)
+		}
+	}
+	q.h = kept
+	heap.Init(&q.h)
+}
+
 // Pop removes and returns the earliest event. The second result is false
 // when the queue is empty.
 func (q *EventQueue[T]) Pop() (Event[T], bool) {

@@ -82,3 +82,63 @@ func Map[T any](p *Pool, n int, fn func(i int) T) []T {
 	p.ForEach(n, func(i int) { out[i] = fn(i) })
 	return out
 }
+
+// shardStreamSalt keys the per-shard RNG streams handed out by MapReduce,
+// keeping them disjoint from the node- and world-level streams derived
+// elsewhere from the same master seed.
+const shardStreamSalt = 0x5d1a7c0de
+
+// ShardIndex maps a 64-bit key onto one of shards buckets through a
+// splitmix-style finalizer, so adjacent keys (sequentially assigned node
+// IDs, say) spread evenly instead of clustering. The mapping depends only
+// on (key, shards): it is stable across runs and worker counts, which makes
+// it the supported way to assign simulation entities to MapReduce shards.
+func ShardIndex(key uint64, shards int) int {
+	if shards <= 1 {
+		return 0
+	}
+	key ^= key >> 33
+	key *= 0xff51afd7ed558ccd
+	key ^= key >> 33
+	key *= 0xc4ceb9fe1a85ec53
+	key ^= key >> 33
+	return int(key % uint64(shards))
+}
+
+// ShardRange splits [0, n) into shards near-equal contiguous slices and
+// returns the half-open bounds of shard s. It is the order-preserving
+// counterpart to ShardIndex: concatenating the shards' outputs in ascending
+// shard order reproduces the original index order exactly.
+func ShardRange(n, shards, s int) (lo, hi int) {
+	if shards <= 0 {
+		shards = 1
+	}
+	lo = s * n / shards
+	hi = (s + 1) * n / shards
+	return lo, hi
+}
+
+// MapReduce is the sharded map/reduce primitive behind the deterministic
+// parallel round phases. It runs mapFn once per shard on the pool's workers
+// and then folds the per-shard results with reduce sequentially in
+// ascending shard order. Each shard receives a private RNG stream derived
+// from (seed, shard), so any stochastic shard-local decision consumes
+// randomness that depends only on the shard assignment — never on which
+// worker ran the shard or in what order. Callers that consume the streams
+// must pass a seed unique to the invocation (salt the master seed with a
+// phase tag and round index, as core.World.phaseSeed does); reusing one
+// seed across invocations would hand every phase the same streams.
+// Because shard count, shard streams, and the reduce order are all
+// independent of the pool's width, the combined outcome is bit-identical
+// at any worker count.
+func MapReduce[T any](p *Pool, shards int, seed uint64, mapFn func(shard int, rng *RNG) T, reduce func(shard int, v T)) {
+	if shards <= 0 {
+		return
+	}
+	results := Map(p, shards, func(s int) T {
+		return mapFn(s, DeriveRNG(seed, shardStreamSalt+uint64(s)))
+	})
+	for s, v := range results {
+		reduce(s, v)
+	}
+}
