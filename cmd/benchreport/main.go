@@ -1,0 +1,208 @@
+// Command benchreport is the CI bench-regression gate: it measures the
+// engine's steady-state step cost at the paper scale (1k nodes) and the
+// scale-out scale (10k nodes), runs the Table 1 continuity sweep, and
+// emits a machine-readable JSON report. With -baseline it compares ns/op
+// against a committed reference and exits non-zero when any benchmark
+// regresses beyond the tolerance — wall-clock creep in the hot loop fails
+// the build instead of landing silently.
+//
+//	benchreport -out BENCH_PR2.json                      # measure + write
+//	benchreport -out BENCH_PR2.json -baseline BENCH_BASELINE.json
+//	benchreport -update-baseline BENCH_BASELINE.json     # refresh reference
+//
+// The committed baseline is machine-specific in absolute terms; CI runs it
+// on a single runner class, and the tolerance absorbs same-class noise.
+// Refresh the baseline (and say so in the PR) when a change is *meant* to
+// shift the step cost.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"continustreaming/internal/churn"
+	"continustreaming/internal/core"
+	"continustreaming/internal/experiment"
+	"continustreaming/internal/sim"
+)
+
+// Report is the benchreport JSON schema.
+type Report struct {
+	Schema    string    `json:"schema"`
+	GoVersion string    `json:"go_version"`
+	GOOS      string    `json:"goos"`
+	GOARCH    string    `json:"goarch"`
+	CPUs      int       `json:"cpus"`
+	CreatedAt time.Time `json:"created_at"`
+
+	Benchmarks []BenchResult      `json:"benchmarks"`
+	Continuity []ContinuityResult `json:"continuity"`
+}
+
+// BenchResult is one steady-state step measurement.
+type BenchResult struct {
+	Name        string `json:"name"`
+	Nodes       int    `json:"nodes"`
+	Workers     int    `json:"workers"`
+	TimedRounds int    `json:"timed_rounds"`
+	NsPerOp     int64  `json:"ns_per_op"`
+}
+
+// ContinuityResult is one Table 1 environment row.
+type ContinuityResult struct {
+	Environment string  `json:"environment"`
+	PCOld       float64 `json:"pc_old"`
+	PCNew       float64 `json:"pc_new"`
+}
+
+const schemaV1 = "continustreaming-benchreport/v1"
+
+func main() {
+	var (
+		out       = flag.String("out", "BENCH_PR2.json", "report output path (empty = stdout only)")
+		baseline  = flag.String("baseline", "", "committed baseline to gate ns/op against")
+		update    = flag.String("update-baseline", "", "write the measured report to this baseline path and exit")
+		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression before failing")
+		rounds1k  = flag.Int("rounds1k", 5, "timed rounds for the 1k-node step benchmark")
+		rounds10k = flag.Int("rounds10k", 2, "timed rounds for the 10k-node step benchmark (0 skips it)")
+		table1    = flag.Bool("table1", true, "run the Table 1 continuity sweep")
+		seed      = flag.Uint64("seed", 1, "master random seed")
+	)
+	flag.Parse()
+
+	rep := Report{
+		Schema:    schemaV1,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		CreatedAt: time.Now().UTC(),
+	}
+
+	rep.Benchmarks = append(rep.Benchmarks, benchStep("Step1k", 1000, 1, *rounds1k, *seed))
+	if *rounds10k > 0 {
+		rep.Benchmarks = append(rep.Benchmarks, benchStep("Step10k", 10000, 1, *rounds10k, *seed))
+	}
+	for _, b := range rep.Benchmarks {
+		fmt.Printf("%-10s nodes=%-6d workers=%d  %d ns/op\n", b.Name, b.Nodes, b.Workers, b.NsPerOp)
+	}
+
+	if *table1 {
+		res, err := experiment.RunTable1(experiment.Options{Seed: *seed})
+		if err != nil {
+			fatalf("table1: %v", err)
+		}
+		for _, row := range res.Rows {
+			rep.Continuity = append(rep.Continuity, ContinuityResult{
+				Environment: row.Environment, PCOld: row.PCOld, PCNew: row.PCNew,
+			})
+			fmt.Printf("%-22s PC_old=%.4f PC_new=%.4f\n", row.Environment, row.PCOld, row.PCNew)
+		}
+	}
+
+	if *update != "" {
+		writeReport(*update, rep)
+		fmt.Printf("baseline updated: %s\n", *update)
+		return
+	}
+	if *out != "" {
+		writeReport(*out, rep)
+	}
+	if *baseline != "" {
+		if failures := gate(rep, *baseline, *tolerance); len(failures) > 0 {
+			for _, f := range failures {
+				fmt.Fprintln(os.Stderr, "REGRESSION:", f)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("bench gate passed (tolerance %.0f%%)\n", *tolerance*100)
+	}
+}
+
+// benchStep measures steady-state World.Step cost: the world warms past
+// the playback delay so every phase (scheduling, transfers, pre-fetch,
+// maintenance, churn, repair) carries its full load, then timedRounds
+// steps are timed. This mirrors core's BenchmarkStep1k/Step10k without
+// the testing harness, so CI can run it as a plain binary.
+func benchStep(name string, nodes, workers, timedRounds int, seed uint64) BenchResult {
+	cfg := core.DefaultConfig(nodes)
+	cfg.Profile = core.ProfileContinuStreaming()
+	cfg.Churn = churn.DefaultConfig()
+	cfg.Workers = workers
+	cfg.Seed = seed
+	w, err := core.NewWorld(cfg)
+	if err != nil {
+		fatalf("%s: %v", name, err)
+	}
+	engine := sim.NewEngine(w, cfg.Tau)
+	engine.Run(cfg.PlaybackDelayRounds + 2)
+	start := time.Now()
+	engine.Run(timedRounds)
+	elapsed := time.Since(start)
+	return BenchResult{
+		Name:        name,
+		Nodes:       nodes,
+		Workers:     workers,
+		TimedRounds: timedRounds,
+		NsPerOp:     elapsed.Nanoseconds() / int64(timedRounds),
+	}
+}
+
+// gate compares measured ns/op against the baseline report, returning one
+// message per benchmark whose cost grew beyond the tolerance. Benchmarks
+// missing from either side are reported as failures too: a silently
+// dropped measurement must not pass the gate.
+func gate(rep Report, baselinePath string, tolerance float64) []string {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fatalf("baseline: %v", err)
+	}
+	var base Report
+	if err := json.Unmarshal(raw, &base); err != nil {
+		fatalf("baseline %s: %v", baselinePath, err)
+	}
+	baseBench := map[string]BenchResult{}
+	for _, b := range base.Benchmarks {
+		baseBench[b.Name] = b
+	}
+	var failures []string
+	seen := map[string]bool{}
+	for _, b := range rep.Benchmarks {
+		seen[b.Name] = true
+		ref, ok := baseBench[b.Name]
+		if !ok {
+			continue // new benchmark: nothing to gate against yet
+		}
+		limit := float64(ref.NsPerOp) * (1 + tolerance)
+		if float64(b.NsPerOp) > limit {
+			failures = append(failures, fmt.Sprintf(
+				"%s: %d ns/op exceeds baseline %d ns/op by more than %.0f%%",
+				b.Name, b.NsPerOp, ref.NsPerOp, tolerance*100))
+		}
+	}
+	for name := range baseBench {
+		if !seen[name] {
+			failures = append(failures, fmt.Sprintf("%s: present in baseline but not measured", name))
+		}
+	}
+	return failures
+}
+
+func writeReport(path string, rep Report) {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		fatalf("write %s: %v", path, err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchreport: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -15,6 +15,7 @@ import (
 	"strconv"
 	"strings"
 
+	"continustreaming/internal/churn"
 	"continustreaming/internal/experiment"
 	"continustreaming/internal/metrics"
 )
@@ -30,10 +31,23 @@ func main() {
 		delaySeg = flag.Int("delayseg", 0, "playback delay in segments (overrides -delay)")
 		workers  = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS; results are identical at any setting)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		churnTr  = flag.String("churntrace", "", "churn trace file (tracegen -churn output) driving the dynamic runs instead of uniform 5%/round")
 	)
 	flag.Parse()
 
 	opts := experiment.Options{Rounds: *rounds, StableTail: *tail, Seed: *seed, Delay: *delay, DelaySegments: *delaySeg, Workers: *workers}
+	if *churnTr != "" {
+		f, err := os.Open(*churnTr)
+		if err != nil {
+			fatalf("churn trace: %v", err)
+		}
+		trace, err := churn.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			fatalf("churn trace %s: %v", *churnTr, err)
+		}
+		opts.ChurnTrace = trace
+	}
 	if *sizes != "" {
 		for _, part := range strings.Split(*sizes, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(part))

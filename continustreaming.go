@@ -16,6 +16,7 @@ package continustreaming
 
 import (
 	"fmt"
+	"io"
 
 	"continustreaming/internal/churn"
 	"continustreaming/internal/core"
@@ -60,6 +61,46 @@ func (s System) profile() core.Profile {
 	}
 }
 
+// ChurnTrace is a per-round membership schedule for dynamic runs: leave
+// and join fractions for every scheduling period, derived from a
+// session-length distribution or loaded from a cmd/tracegen churn trace.
+// Build one with ExponentialChurn, ParetoChurn, DiurnalChurn or
+// ReadChurnTrace.
+type ChurnTrace = churn.TraceModel
+
+// ExponentialChurn models memoryless sessions with the given mean length
+// in scheduling periods — the trace-driven equivalent of the paper's
+// uniform model. It panics on non-physical parameters (rounds <= 0 or a
+// non-positive mean): the arguments are model constants, not runtime
+// input, so a bad value is a programming error.
+func ExponentialChurn(rounds int, meanSessionRounds float64) *ChurnTrace {
+	return churn.ExponentialTrace(rounds, meanSessionRounds)
+}
+
+// ParetoChurn models heavy-tailed session lengths (shape alpha > 1,
+// minimum session length in rounds): a flood of short-lived peers over a
+// stable long-lived core, the signature of measured P2P deployments.
+// Like ExponentialChurn it panics on non-physical parameters (alpha <= 1
+// or minSessionRounds <= 0); validate user-supplied values first.
+func ParetoChurn(rounds int, alpha, minSessionRounds float64) *ChurnTrace {
+	return churn.ParetoTrace(rounds, alpha, minSessionRounds)
+}
+
+// DiurnalChurn models a day-night audience swing between base and peak
+// leave fractions over period rounds, with an optional correlated flash
+// departure of flashFraction at flashRound (-1 for none). Like the other
+// trace constructors it panics on non-physical parameters (period <= 0,
+// fractions outside 0 <= base <= peak < 1, flashFraction outside [0,1)).
+func DiurnalChurn(rounds, period int, base, peak float64, flashRound int, flashFraction float64) *ChurnTrace {
+	return churn.DiurnalTrace(rounds, period, base, peak, flashRound, flashFraction)
+}
+
+// ReadChurnTrace parses a churn trace in the plain-text format emitted by
+// cmd/tracegen -churn.
+func ReadChurnTrace(r io.Reader) (*ChurnTrace, error) {
+	return churn.ReadTrace(r)
+}
+
 // Config is the user-facing simulation configuration. Zero values select
 // the paper's §5.2 defaults.
 type Config struct {
@@ -70,6 +111,9 @@ type Config struct {
 	// Dynamic enables the paper's churn model (5% leaves + 5% joins per
 	// scheduling period).
 	Dynamic bool
+	// Churn drives the dynamic environment from a per-round trace instead
+	// of the uniform model. Setting it implies Dynamic.
+	Churn *ChurnTrace
 	// Neighbors overrides M (default 5).
 	Neighbors int
 	// Seed drives all randomness; runs are fully deterministic per seed.
@@ -137,8 +181,9 @@ func Run(cfg Config, rounds int) (Result, error) {
 		inner.Seed = cfg.Seed
 	}
 	inner.Workers = cfg.Workers
-	if cfg.Dynamic {
+	if cfg.Dynamic || cfg.Churn != nil {
 		inner.Churn = churn.DefaultConfig()
+		inner.Churn.Trace = cfg.Churn
 	}
 	world, err := core.NewWorld(inner)
 	if err != nil {

@@ -26,6 +26,12 @@ type Config struct {
 	// StartRound suppresses churn before the system has formed; the paper
 	// applies churn from the beginning, so the default is 0.
 	StartRound int
+	// Trace, when set, overrides the fixed fractions with a per-round
+	// schedule (session-length-distribution models or a file loaded from
+	// cmd/tracegen output). Round r of the process reads the trace at
+	// r - StartRound; the graceful/abrupt split still comes from
+	// GracefulFraction.
+	Trace *TraceModel
 }
 
 // DefaultConfig returns the paper's dynamic-environment parameters.
@@ -47,12 +53,34 @@ func (c Config) Validate() error {
 	if c.StartRound < 0 {
 		return fmt.Errorf("churn: negative start round %d", c.StartRound)
 	}
+	if c.Trace != nil {
+		if err := c.Trace.Validate(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // Enabled reports whether the configuration produces any churn at all.
 func (c Config) Enabled() bool {
+	if c.Trace != nil {
+		for r := range c.Trace.Leave {
+			if c.Trace.Leave[r] > 0 || c.Trace.Join[r] > 0 {
+				return true
+			}
+		}
+		return false
+	}
 	return c.LeaveFraction > 0 || c.JoinFraction > 0
+}
+
+// rates resolves the effective leave/join fractions for process round r
+// (relative to StartRound when trace-driven).
+func (c Config) rates(r int) (leave, join float64) {
+	if c.Trace != nil {
+		return c.Trace.Rates(r - c.StartRound)
+	}
+	return c.LeaveFraction, c.JoinFraction
 }
 
 // Plan is one round's membership changes, expressed as indices into the
@@ -100,8 +128,9 @@ func (p *Process) Next(round, candidates int) Plan {
 	if round < p.cfg.StartRound || candidates <= 0 || !p.cfg.Enabled() {
 		return Plan{}
 	}
-	leave := p.take(&p.carryLeave, p.cfg.LeaveFraction, candidates)
-	join := p.take(&p.carryJoin, p.cfg.JoinFraction, candidates)
+	leaveF, joinF := p.cfg.rates(round)
+	leave := p.take(&p.carryLeave, leaveF, candidates)
+	join := p.take(&p.carryJoin, joinF, candidates)
 	if leave > candidates {
 		leave = candidates
 	}

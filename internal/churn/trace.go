@@ -1,0 +1,251 @@
+// Trace-driven churn: instead of the paper's uniform per-round coin flip,
+// a TraceModel prescribes every round's leave and join fractions, derived
+// from a session-length distribution the way measurement studies of live
+// deployments do (Mykoniati et al. drive their evaluation from recorded
+// session traces; CliqueStream stresses correlated mass departures). The
+// model is a plain per-round schedule, so it composes with the existing
+// Process machinery — candidate sampling, graceful/abrupt split and
+// fractional carries all stay identical — and a schedule can round-trip
+// through the plain-text trace format cmd/tracegen emits.
+package churn
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// TraceModel is a per-round churn schedule. Round r uses Leave[r]/Join[r];
+// rounds past the end hold the final values, so a short trace behaves like
+// a steady state after its recorded horizon.
+type TraceModel struct {
+	// Name labels the generating model ("exponential", "pareto",
+	// "diurnal", or anything a trace file declares).
+	Name string
+	// Leave and Join are per-round fractions of the current population in
+	// [0, 1). They must have equal, non-zero length.
+	Leave []float64
+	Join  []float64
+}
+
+// Rates returns the leave and join fractions for round r (clamped to the
+// final entry past the trace end, and to the first entry for negative r).
+func (m *TraceModel) Rates(r int) (leave, join float64) {
+	if len(m.Leave) == 0 {
+		return 0, 0
+	}
+	if r < 0 {
+		r = 0
+	}
+	if r >= len(m.Leave) {
+		r = len(m.Leave) - 1
+	}
+	return m.Leave[r], m.Join[r]
+}
+
+// Rounds returns the trace's recorded horizon.
+func (m *TraceModel) Rounds() int { return len(m.Leave) }
+
+// Validate reports descriptive errors for non-physical schedules.
+func (m *TraceModel) Validate() error {
+	if len(m.Leave) == 0 {
+		return fmt.Errorf("churn: empty trace %q", m.Name)
+	}
+	if len(m.Leave) != len(m.Join) {
+		return fmt.Errorf("churn: trace %q has %d leave rounds but %d join rounds",
+			m.Name, len(m.Leave), len(m.Join))
+	}
+	for r := range m.Leave {
+		if m.Leave[r] < 0 || m.Leave[r] >= 1 || math.IsNaN(m.Leave[r]) {
+			return fmt.Errorf("churn: trace %q round %d leave fraction %v outside [0,1)", m.Name, r, m.Leave[r])
+		}
+		if m.Join[r] < 0 || m.Join[r] >= 1 || math.IsNaN(m.Join[r]) {
+			return fmt.Errorf("churn: trace %q round %d join fraction %v outside [0,1)", m.Name, r, m.Join[r])
+		}
+	}
+	return nil
+}
+
+// ExponentialTrace models memoryless sessions with the given mean length
+// (in rounds): the population hazard is constant, so every round the same
+// fraction 1-exp(-1/mean) departs and is replaced. This is the
+// trace-driven equivalent of the paper's uniform model — useful as the
+// calibration anchor between the two.
+func ExponentialTrace(rounds int, meanSessionRounds float64) *TraceModel {
+	if rounds <= 0 || meanSessionRounds <= 0 {
+		panic(fmt.Sprintf("churn: exponential trace needs positive rounds (%d) and mean (%v)", rounds, meanSessionRounds))
+	}
+	rate := 1 - math.Exp(-1/meanSessionRounds)
+	m := &TraceModel{Name: "exponential", Leave: make([]float64, rounds), Join: make([]float64, rounds)}
+	for r := range m.Leave {
+		m.Leave[r] = rate
+		m.Join[r] = rate
+	}
+	return m
+}
+
+// ParetoTrace models heavy-tailed sessions: lengths follow a Pareto
+// distribution with shape alpha (> 1 for a finite mean) and minimum
+// session length xm rounds. The per-round population hazard is computed
+// by ageing a closed cohort: survivors are increasingly long-lived, so
+// the aggregate departure rate starts high (the flood of short sessions)
+// and decays — exactly the signature of measured P2P session traces.
+// Joins replace leavers one-for-one, entering at age zero.
+func ParetoTrace(rounds int, alpha, xm float64) *TraceModel {
+	if rounds <= 0 || alpha <= 1 || xm <= 0 {
+		panic(fmt.Sprintf("churn: pareto trace needs rounds>0 (%d), alpha>1 (%v), xm>0 (%v)", rounds, alpha, xm))
+	}
+	// hazard(a) is the probability a session alive at age a ends before
+	// age a+1: 1 - S(a+1)/S(a) with S(a) = (xm/max(a,xm))^alpha.
+	survival := func(a float64) float64 {
+		if a <= xm {
+			return 1
+		}
+		return math.Pow(xm/a, alpha)
+	}
+	hazard := func(a int) float64 {
+		s := survival(float64(a))
+		if s == 0 {
+			return 1
+		}
+		return 1 - survival(float64(a+1))/s
+	}
+	// Age the cohort: ages[a] is the population share at age a. The
+	// starting population is seeded in steady state proportional to the
+	// survival curve, not all at age zero — an overlay that has already
+	// been running, like the simulation's converged start.
+	horizon := rounds + int(xm) + 64
+	ages := make([]float64, horizon)
+	total := 0.0
+	for a := 0; a < horizon; a++ {
+		ages[a] = survival(float64(a))
+		total += ages[a]
+	}
+	for a := range ages {
+		ages[a] /= total
+	}
+	m := &TraceModel{Name: "pareto", Leave: make([]float64, rounds), Join: make([]float64, rounds)}
+	for r := 0; r < rounds; r++ {
+		leaving := 0.0
+		for a := range ages {
+			leaving += ages[a] * hazard(a)
+		}
+		m.Leave[r] = clampFraction(leaving)
+		m.Join[r] = m.Leave[r]
+		// Advance one round: survivors age, joiners replace leavers. The
+		// top bin is absorbing — survivors past the horizon stay in it
+		// (still subject to its hazard) instead of silently vanishing,
+		// which would bias the hazard low for shapes near alpha = 1.
+		next := make([]float64, horizon)
+		for a := horizon - 2; a >= 0; a-- {
+			next[a+1] = ages[a] * (1 - hazard(a))
+		}
+		next[horizon-1] += ages[horizon-1] * (1 - hazard(horizon-1))
+		next[0] = leaving
+		ages = next
+	}
+	return m
+}
+
+// DiurnalTrace models a day-night audience with a flash departure: the
+// leave fraction swings sinusoidally between base and peak over period
+// rounds, and at flashRound a crowd of flashFraction departs at once (a
+// broadcast ending, the correlated mass departure CliqueStream designs
+// for). Joins mirror leaves half a period out of phase, holding the
+// population roughly level over a full cycle.
+func DiurnalTrace(rounds, period int, base, peak float64, flashRound int, flashFraction float64) *TraceModel {
+	if rounds <= 0 || period <= 0 || base < 0 || peak < base || peak >= 1 {
+		panic(fmt.Sprintf("churn: diurnal trace needs rounds>0 (%d), period>0 (%d), 0<=base<=peak<1 (%v, %v)",
+			rounds, period, base, peak))
+	}
+	if flashFraction < 0 || flashFraction >= 1 {
+		panic(fmt.Sprintf("churn: flash fraction %v outside [0,1)", flashFraction))
+	}
+	m := &TraceModel{Name: "diurnal", Leave: make([]float64, rounds), Join: make([]float64, rounds)}
+	amp := (peak - base) / 2
+	mid := base + amp
+	for r := 0; r < rounds; r++ {
+		phase := 2 * math.Pi * float64(r) / float64(period)
+		m.Leave[r] = clampFraction(mid + amp*math.Sin(phase))
+		m.Join[r] = clampFraction(mid + amp*math.Sin(phase+math.Pi))
+		if r == flashRound && flashFraction > 0 {
+			m.Leave[r] = clampFraction(m.Leave[r] + flashFraction)
+		}
+	}
+	return m
+}
+
+func clampFraction(f float64) float64 {
+	if f < 0 {
+		return 0
+	}
+	if f > 0.99 {
+		return 0.99
+	}
+	return f
+}
+
+// traceHeader is the first line of the plain-text trace format.
+const traceHeader = "continustreaming-churn-trace v1"
+
+// WriteTrace writes m in the repository's plain-text churn-trace format:
+//
+//	continustreaming-churn-trace v1 <name>
+//	<round> <leave> <join>
+//	...
+func WriteTrace(w io.Writer, m *TraceModel) error {
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "%s %s\n", traceHeader, m.Name)
+	for r := range m.Leave {
+		fmt.Fprintf(bw, "%d %.6f %.6f\n", r, m.Leave[r], m.Join[r])
+	}
+	return bw.Flush()
+}
+
+// ReadTrace parses the plain-text churn-trace format written by
+// WriteTrace / cmd/tracegen.
+func ReadTrace(r io.Reader) (*TraceModel, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("churn: empty trace input")
+	}
+	header := strings.Fields(sc.Text())
+	want := strings.Fields(traceHeader)
+	if len(header) < len(want) || header[0] != want[0] || header[1] != want[1] {
+		return nil, fmt.Errorf("churn: bad trace header %q", sc.Text())
+	}
+	m := &TraceModel{Name: "trace"}
+	if len(header) > len(want) {
+		m.Name = header[len(want)]
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		var round int
+		var leave, join float64
+		if _, err := fmt.Sscanf(text, "%d %f %f", &round, &leave, &join); err != nil {
+			return nil, fmt.Errorf("churn: trace line %d: %v", line, err)
+		}
+		if round != len(m.Leave) {
+			return nil, fmt.Errorf("churn: trace line %d: round %d out of order (want %d)", line, round, len(m.Leave))
+		}
+		m.Leave = append(m.Leave, leave)
+		m.Join = append(m.Join, join)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -8,104 +8,410 @@ import (
 	"continustreaming/internal/sim"
 )
 
-// maintenancePhase applies the paper's neighbour replacement rule: a
-// neighbour "found to have failed or supplied little data" is replaced by
-// the lowest-latency overheard node (§4.1). Failure detection is the
-// failed map exchange; low supply comes from the Rate Controller's
-// estimate. The phase is sequential because it rewires the shared edge
-// set.
+// hearEvent is one membership-gossip notification: `to` learns that
+// `about` exists at the given latency.
+type hearEvent struct {
+	to, about overlay.NodeID
+	lat       sim.Time
+}
+
+// rewireIntent is one node's desired mesh changes for the round, computed
+// shard-locally and applied sequentially afterwards. Candidates are in
+// preference order; the apply step revalidates every entry against the
+// live edge set, because earlier intents may have changed it.
+type rewireIntent struct {
+	node overlay.NodeID
+	// drop lists low-supply victims, worst first. Each is swapped out only
+	// if a fresh adoption candidate remains.
+	drop []overlay.NodeID
+	// adopt lists replacement/refill candidates, best first.
+	adopt []overlay.NodeID
+}
+
+// maintenancePhase applies the paper's neighbour maintenance rules as a
+// three-stage sharded pipeline on sim.MapReduce, deterministic and
+// bit-identical at any worker count like the rest of the round pipeline:
+//
+//  1. gossip scatter — each node, from a neighbour snapshot pinned at
+//     phase entry, tells every alive neighbour about two of its other
+//     neighbours (the SCAMP-style membership gossip CoolStreaming builds
+//     on, riding inside the existing buffer-map exchange and excluded from
+//     the 620-bit control costing). Events are bucketed by the shard that
+//     owns the hearing peer.
+//  2. shard-owned apply — each ownership shard delivers the hear events to
+//     its own nodes (in scatter-shard order, reproducing a sequential
+//     scan), drops neighbours discovered dead, and computes rewire
+//     intents: low-supply victims under the distress-scaled cap plus
+//     refill candidates from the overheard list, falling back to the
+//     node's own DHT peer levels when the overheard list runs dry (the
+//     structured overlay is the one membership view churn cannot empty),
+//     and for the source also the RP's membership list — the stream's
+//     root must never sit under-degreed, since its edges are where fresh
+//     segments enter the mesh.
+//  3. sequential rewire — intents are applied in shard order, revalidated
+//     against the live edge set, because edge flips touch both endpoints.
 func (w *World) maintenancePhase() {
 	warm := w.virtualPos(w.round) > 0
-	for _, id := range w.order {
-		n := w.nodes[id]
-		// Membership gossip: alongside the buffer-map exchange each node
-		// tells every neighbour about two of its other neighbours. This is
-		// the gossip membership protocol CoolStreaming builds on (its
-		// SCAMP-style reference [3]); without it a churned overlay has no
-		// way to regrow lost links. The few extra bytes ride inside the
-		// existing exchange and are excluded from the 620-bit control
-		// costing, matching the paper's accounting. The source both sends
-		// and receives: staying well connected at the stream's root is
-		// what keeps fresh segments entering the mesh under churn.
-		nbs := n.Table.NeighborIDs()
-		for _, nb := range nbs {
-			peer := w.nodes[nb]
-			if peer == nil {
-				continue
-			}
-			for c := 0; c < 2 && len(nbs) > 1; c++ {
-				cand := nbs[n.RNG.Intn(len(nbs))]
-				if cand != nb && w.nodes[cand] != nil {
-					peer.Table.Hear(cand, w.Latency(nb, cand))
+	nOrder := len(w.order)
+
+	// Stage 1: membership-gossip scatter over contiguous index ranges.
+	// Each node's picks consume its own RNG stream, so the draw sequence
+	// is a function of the node alone, never of worker interleaving.
+	scatter := make([][][]hearEvent, phaseShards)
+	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseGossip),
+		func(r int, _ *sim.RNG) [][]hearEvent {
+			lo, hi := sim.ShardRange(nOrder, phaseShards, r)
+			var buckets [][]hearEvent
+			for i := lo; i < hi; i++ {
+				id := w.order[i]
+				n := w.nodes[id]
+				// Pin the neighbour snapshot once; every later decision in
+				// the pipeline works from per-stage snapshots, never from a
+				// list re-read mid-mutation.
+				nbs := n.Table.NeighborIDs()
+				for _, nb := range nbs {
+					if w.nodes[nb] == nil {
+						continue
+					}
+					for c := 0; c < 2 && len(nbs) > 1; c++ {
+						cand := nbs[n.RNG.Intn(len(nbs))]
+						if cand == nb || w.nodes[cand] == nil {
+							continue
+						}
+						if buckets == nil {
+							buckets = make([][]hearEvent, phaseShards)
+						}
+						ss := w.shardOf(nb)
+						buckets[ss] = append(buckets[ss], hearEvent{to: nb, about: cand, lat: w.Latency(nb, cand)})
+					}
 				}
 			}
-		}
-		// Drop dead neighbours.
-		for _, nb := range n.Table.NeighborIDs() {
-			if w.nodes[nb] == nil {
-				w.removeEdge(id, nb)
-				n.Table.ForgetOverheard(nb)
+			return buckets
+		},
+		func(r int, buckets [][]hearEvent) { scatter[r] = buckets })
+
+	// Stage 2: shard-owned hear delivery, dead-neighbour cleanup, and
+	// intent computation. Every mutation in this stage touches only state
+	// owned by the executing shard (the node's own tables, its own edge
+	// map, its own controller). One sequential pass builds the per-shard
+	// work lists so each shard walks only its own nodes.
+	shardNodes := w.shardWorkLists()
+	intents := make([][]rewireIntent, phaseShards)
+	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseRewire),
+		func(s int, _ *sim.RNG) []rewireIntent {
+			for r := 0; r < phaseShards; r++ {
+				if scatter[r] == nil {
+					continue
+				}
+				for _, ev := range scatter[r][s] {
+					if n := w.nodes[ev.to]; n != nil {
+						n.Table.Hear(ev.about, ev.lat)
+					}
+				}
 			}
-		}
-		// Replace one low-supply neighbour per round once the system is
-		// past warm-up, if a better candidate is known. The source serves
-		// only and never judges supply.
-		if warm && !n.IsSource {
-			w.replaceLowSupply(n)
-		}
-		// Refill toward the M target from overheard candidates.
-		for len(w.edges[id]) < w.cfg.M {
-			cand, ok := n.Table.BestOverheard(func(c overlay.NodeID) bool {
-				return w.nodes[c] == nil || c == id || w.edges[id][c]
-			})
-			if !ok {
-				break
+			var out []rewireIntent
+			for _, id := range shardNodes[s] {
+				n := w.nodes[id]
+				for _, nb := range n.Table.NeighborIDs() {
+					if w.nodes[nb] == nil {
+						// The dead side's node and edge map are gone, so
+						// this edge removal mutates only shard-owned state.
+						w.removeEdge(id, nb)
+						n.Table.ForgetOverheard(nb)
+					}
+				}
+				if intent, ok := w.planRewire(n, warm); ok {
+					out = append(out, intent)
+				}
 			}
-			n.Table.TakeOverheard(cand.ID)
-			w.addEdge(id, cand.ID)
+			return out
+		},
+		func(s int, out []rewireIntent) { intents[s] = out })
+
+	// Stage 3: apply intents sequentially in shard order. Revalidation at
+	// apply time keeps the pass safe against intents interacting (an
+	// earlier adoption may have filled this node's degree or taken the
+	// candidate past its own target).
+	for _, shardIntents := range intents {
+		for _, intent := range shardIntents {
+			w.applyRewire(intent)
 		}
 	}
 }
 
-// replaceLowSupply swaps out the worst under-delivering neighbour when an
-// overheard candidate exists, at most once per cooldown window and only
-// while the node's own playback is suffering — a healthy node keeps its
-// stable links (rewiring discards learned rate estimates on both sides and
-// a real deployment pays TCP setup costs). The source is never dropped:
-// it is the root of all data.
-func (w *World) replaceLowSupply(n *Node) {
-	if !n.missedLastRound || w.round-n.lastReplace < w.cfg.ReplaceCooldownRounds {
-		return
+// planRewire computes one node's desired mesh changes from shard-owned
+// state: low-supply victims (multi-replacement under playback distress)
+// and refill/replacement candidates in preference order.
+func (w *World) planRewire(n *Node, warm bool) (rewireIntent, bool) {
+	intent := rewireIntent{node: n.ID}
+	deficit := w.degreeTarget(n) - len(w.edges[n.ID])
+	if warm && !n.IsSource {
+		intent.drop = w.lowSupplyVictims(n)
 	}
-	var worst overlay.NodeID = -1
-	worstRate := w.cfg.LowSupplyThreshold
+	if deficit <= 0 && len(intent.drop) == 0 {
+		return rewireIntent{}, false
+	}
+	// Replacement is one-out-one-in and does not raise degree, so an
+	// over-degreed node (bidirectional adoptions routinely push past the
+	// target) must not let its negative deficit cancel the replacement
+	// budget. A little slack beyond the strict need absorbs candidates
+	// that the sequential apply pass invalidates (adopted from the other
+	// side, died, already connected).
+	want := len(intent.drop) + 2
+	if deficit > 0 {
+		want += deficit
+	}
+	intent.adopt = w.adoptionCandidates(n, want)
+	if len(intent.adopt) == 0 && deficit <= 0 {
+		return rewireIntent{}, false
+	}
+	return intent, len(intent.adopt) > 0
+}
+
+// shardWorkLists partitions the alive order into the ownership shards in
+// one sequential pass; w.order is sorted, so each shard's list ascends.
+func (w *World) shardWorkLists() [][]overlay.NodeID {
+	lists := make([][]overlay.NodeID, phaseShards)
+	for _, id := range w.order {
+		s := w.shardOf(id)
+		lists[s] = append(lists[s], id)
+	}
+	return lists
+}
+
+// degreeTarget is the connected-neighbour count maintenance refills the
+// node toward: M for ordinary peers, SourceDegreeTarget for the source
+// (degree protection — the stream's root is where every segment's
+// epidemic starts, and its outbound capacity dwarfs an M-sized fan-out).
+func (w *World) degreeTarget(n *Node) int {
+	if n.IsSource && w.cfg.SourceDegreeTarget > 0 {
+		return w.cfg.SourceDegreeTarget
+	}
+	return w.cfg.M
+}
+
+// lowSupplyVictims returns the node's under-delivering neighbours, worst
+// first, up to the distress-scaled replacement cap. Outside distress the
+// paper's one-replacement-per-cooldown rule holds; a node that has missed
+// two or more consecutive rounds is bleeding playback and may shed up to
+// MaxDistressReplacements starved links at once — waiting one cooldown
+// window per link is exactly how churned meshes died before this pipeline.
+func (w *World) lowSupplyVictims(n *Node) []overlay.NodeID {
+	if !n.missedLastRound || w.round-n.lastReplace < w.cfg.ReplaceCooldownRounds {
+		// The cooldown holds even under distress: every swap discards the
+		// rate estimates both sides learned, and a node that rewires every
+		// round never learns who its good suppliers are — that feedback
+		// loop, not degree loss, is what used to collapse churned meshes.
+		return nil
+	}
+	limit := 1
+	if n.missStreak >= 2 && w.cfg.MaxDistressReplacements > limit {
+		limit = w.cfg.MaxDistressReplacements
+	}
+	type victim struct {
+		id   overlay.NodeID
+		rate float64
+	}
+	var victims []victim
 	for _, nb := range n.Table.Neighbors() {
 		if nb.ID == w.source {
-			continue
+			continue // the source is the root of all data, never dropped
 		}
 		// Only judge neighbours we have had time to observe; the long-run
 		// supply estimate is the "supplied little data" signal.
 		if !n.Ctrl.Known(int(nb.ID)) {
 			continue
 		}
-		if r := n.Ctrl.Supply(int(nb.ID)); r < worstRate {
-			worstRate = r
-			worst = nb.ID
+		if r := n.Ctrl.Supply(int(nb.ID)); r < w.cfg.LowSupplyThreshold {
+			victims = append(victims, victim{id: nb.ID, rate: r})
 		}
 	}
-	if worst < 0 {
-		return
-	}
-	cand, ok := n.Table.BestOverheard(func(c overlay.NodeID) bool {
-		return w.nodes[c] == nil || c == n.ID || w.edges[n.ID][c]
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].rate != victims[j].rate {
+			return victims[i].rate < victims[j].rate
+		}
+		return victims[i].id < victims[j].id
 	})
-	if !ok {
+	if len(victims) > limit {
+		victims = victims[:limit]
+	}
+	out := make([]overlay.NodeID, len(victims))
+	for i, v := range victims {
+		out[i] = v.id
+	}
+	return out
+}
+
+// adoptionCandidates assembles up to want connection candidates for n in
+// preference order: overheard nodes by latency (the paper's replacement
+// rule), then the node's own DHT peer levels when the overheard list runs
+// dry, then — for the source only — the RP's membership list, the degree
+// protection that keeps the stream's root wired under any churn.
+func (w *World) adoptionCandidates(n *Node, want int) []overlay.NodeID {
+	if want <= 0 {
+		return nil
+	}
+	seen := map[overlay.NodeID]bool{n.ID: true}
+	usable := func(c overlay.NodeID) bool {
+		if c < 0 || seen[c] || w.nodes[c] == nil || w.edges[n.ID][c] {
+			return false
+		}
+		seen[c] = true
+		return true
+	}
+	var out []overlay.NodeID
+	type scored struct {
+		id  overlay.NodeID
+		lat sim.Time
+	}
+	overheard := n.Table.OverheardNodes()
+	cands := make([]scored, 0, len(overheard))
+	for _, o := range overheard {
+		if usable(o.ID) {
+			cands = append(cands, scored{id: o.ID, lat: o.Latency})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].lat != cands[j].lat {
+			return cands[i].lat < cands[j].lat
+		}
+		return cands[i].id < cands[j].id
+	})
+	for _, c := range cands {
+		if len(out) >= want {
+			return out
+		}
+		out = append(out, c.id)
+	}
+	// Eager refill: the structured overlay's peer levels survive churn
+	// (the repair phase keeps them alive), so they are the membership view
+	// of last resort when gossip has not overheard enough fresh nodes.
+	var dhtCands []scored
+	for _, tbl := range []*dht.Table{n.Table.DHT(), w.dhtNet.Table(dht.ID(n.ID))} {
+		if tbl == nil {
+			continue
+		}
+		for _, p := range tbl.Peers() {
+			if c := overlay.NodeID(p); usable(c) {
+				dhtCands = append(dhtCands, scored{id: c, lat: w.Latency(n.ID, c)})
+			}
+		}
+	}
+	sort.Slice(dhtCands, func(i, j int) bool {
+		if dhtCands[i].lat != dhtCands[j].lat {
+			return dhtCands[i].lat < dhtCands[j].lat
+		}
+		return dhtCands[i].id < dhtCands[j].id
+	})
+	for _, c := range dhtCands {
+		if len(out) >= want {
+			return out
+		}
+		out = append(out, c.id)
+	}
+	if n.IsSource {
+		for _, c := range w.rp.Candidates(n.ID, 2*want) {
+			if len(out) >= want {
+				break
+			}
+			if usable(c) {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// applyRewire executes one intent against the live edge set: replacements
+// first (victim out only when a candidate comes in), then refills up to
+// the M target. Candidates consumed here are removed from the overheard
+// list, preserving the promote-on-connect invariant.
+func (w *World) applyRewire(intent rewireIntent) {
+	n := w.nodes[intent.node]
+	if n == nil {
 		return
 	}
-	n.lastReplace = w.round
-	w.removeEdge(n.ID, worst)
-	n.Table.TakeOverheard(cand.ID)
-	w.addEdge(n.ID, cand.ID)
+	next := 0
+	takeCandidate := func() (overlay.NodeID, bool) {
+		for next < len(intent.adopt) {
+			c := intent.adopt[next]
+			next++
+			if w.nodes[c] != nil && !w.edges[n.ID][c] && c != n.ID {
+				return c, true
+			}
+		}
+		return -1, false
+	}
+	for _, victim := range intent.drop {
+		if !w.edges[n.ID][victim] {
+			continue // already gone (dead, or dropped from the other side)
+		}
+		cand, ok := takeCandidate()
+		if !ok {
+			break
+		}
+		n.lastReplace = w.round
+		w.removeEdge(n.ID, victim)
+		n.Table.TakeOverheard(cand)
+		w.addEdge(n.ID, cand)
+	}
+	for len(w.edges[n.ID]) < w.degreeTarget(n) {
+		cand, ok := takeCandidate()
+		if !ok {
+			break
+		}
+		n.Table.TakeOverheard(cand)
+		w.addEdge(n.ID, cand)
+	}
+}
+
+// dhtRepairPhase actively repairs the structured overlay after churn: on
+// every repair round each node sweeps both its routing table and its peer
+// table's DHT levels, evicting dead entries and refilling vacant arcs
+// from alive members (dht.RepairTable). Without this, 5%-per-round churn
+// rots the tables faster than overheard traffic renews them, greedy
+// routing fails, and the pre-fetch path — the paper's continuity backstop
+// — silently dies; Figure 3's ≥95% query success is only reachable under
+// churn with the refresh running.
+//
+// Tables are sharded by owner ID and swept with per-shard RNG streams in
+// ascending ID order, so the phase is bit-identical at any worker count.
+func (w *World) dhtRepairPhase() {
+	interval := w.cfg.DHTRepairIntervalRounds
+	if interval <= 0 || (w.round+1)%interval != 0 {
+		return
+	}
+	pos := w.playbackPos(w.round)
+	edge := w.fetchEdge(w.round)
+	shardNodes := w.shardWorkLists()
+	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseRepair),
+		func(s int, rng *sim.RNG) struct{} {
+			for _, id := range shardNodes[s] {
+				n := w.nodes[id]
+				if t := w.dhtNet.Table(dht.ID(id)); t != nil {
+					w.dhtNet.RepairTable(t, rng)
+				}
+				before, hadSucc := n.Table.DHT().Successor()
+				w.dhtNet.RepairTable(n.Table.DHT(), rng)
+				after, hasSucc := n.Table.DHT().Successor()
+				// Replica repair: backup responsibility is normally
+				// evaluated when a segment arrives, so when churn moves an
+				// arc boundary the new owner never backs up segments it
+				// already holds and the replica set decays round by round.
+				// Re-evaluating the live window when the believed
+				// successor moves stops the leak; an unchanged successor
+				// means an unchanged arc, so the scan is skipped.
+				if hasSucc && (!hadSucc || before != after) {
+					for seg := pos; seg < edge; seg++ {
+						if seg >= 0 && n.Buf.Has(seg) {
+							n.maybeBackup(w.space, seg, w.cfg.Replicas)
+						}
+					}
+				}
+			}
+			return struct{}{}
+		},
+		func(int, struct{}) {})
 }
 
 // churnPhase executes the dynamic environment: the configured fractions

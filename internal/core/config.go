@@ -126,6 +126,33 @@ type Config struct {
 	// mesh (scheduling quality drops and supplier drops double). A real
 	// deployment pays connection setup costs that impose the same pacing.
 	ReplaceCooldownRounds int
+	// DHTRepairIntervalRounds is how often (in scheduling periods) every
+	// node actively repairs its DHT peer levels — evicting dead entries
+	// and refilling vacant arcs from alive members — so greedy routing
+	// (and with it the pre-fetch continuity backstop) survives sustained
+	// churn. 0 disables active repair and leaves only the passive
+	// overheard-traffic renewal, the pre-repair behaviour.
+	DHTRepairIntervalRounds int
+	// MaxDistressReplacements caps how many low-supply neighbours a node
+	// may swap out in a single round while its playback is in sustained
+	// distress (two or more consecutive discontinuous rounds). Outside
+	// distress the cap is 1, the paper's one-replacement-per-period rule;
+	// 0 keeps the cap at 1 even under distress.
+	MaxDistressReplacements int
+	// SourceDegreeTarget is the connected-neighbour count maintenance
+	// holds the source at (0 falls back to M). The source's outbound (100
+	// segments/s against a 10 segments/s stream) is wasted behind an
+	// M-sized neighbour set: every fresh segment's dissemination starts
+	// from those first-generation holders, and under churn the epidemic
+	// needs the wider birth fan-out to reach the whole mesh before the
+	// playback deadline.
+	SourceDegreeTarget int
+	// SourceRescue lets a failed on-demand lookup fall back to a direct
+	// request at the media source when it has spare outbound — the
+	// retrieval path of last resort a real deployment always has. Without
+	// it a segment whose k arc owners all churned away (or never received
+	// it) is unrecoverable no matter how healthy routing is.
+	SourceRescue bool
 	// RarityNoise perturbs rarity rankings per (node, segment) by up to
 	// ±RarityNoise, standing in for the measurement heterogeneity of a
 	// real deployment (see scheduler.Input.RarityNoise).
@@ -157,10 +184,15 @@ func DefaultConfig(n int) Config {
 		THop:                  50 * sim.Millisecond,
 		Profile:               ProfileContinuStreaming(),
 		Seed:                  1,
-		LowSupplyThreshold:    0,
+		LowSupplyThreshold:    1,
 		ReplaceCooldownRounds: 8,
 		RarityNoise:           0.3,
 		RoutingMessageBits:    80,
+
+		DHTRepairIntervalRounds: 1,
+		MaxDistressReplacements: 3,
+		SourceDegreeTarget:      20,
+		SourceRescue:            true,
 	}
 }
 
@@ -201,6 +233,15 @@ func (c Config) Validate() error {
 	}
 	if c.PlaybackDelaySegments < 0 {
 		return fmt.Errorf("core: negative playback delay %d segments", c.PlaybackDelaySegments)
+	}
+	if c.DHTRepairIntervalRounds < 0 {
+		return fmt.Errorf("core: negative DHT repair interval %d", c.DHTRepairIntervalRounds)
+	}
+	if c.MaxDistressReplacements < 0 {
+		return fmt.Errorf("core: negative distress replacement cap %d", c.MaxDistressReplacements)
+	}
+	if c.SourceDegreeTarget < 0 {
+		return fmt.Errorf("core: negative source degree target %d", c.SourceDegreeTarget)
 	}
 	return nil
 }

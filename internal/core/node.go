@@ -75,6 +75,9 @@ type Node struct {
 	// missedLastRound records whether the previous round's playback was
 	// discontinuous; only struggling nodes rewire low-supply neighbours.
 	missedLastRound bool
+	// missStreak counts consecutive discontinuous rounds; two or more is
+	// playback distress, which unlocks multi-replacement in maintenance.
+	missStreak int
 }
 
 // pendingRequest records one outstanding gossip ask.

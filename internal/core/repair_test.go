@@ -1,0 +1,154 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"continustreaming/internal/churn"
+	"continustreaming/internal/dht"
+	"continustreaming/internal/overlay"
+	"continustreaming/internal/sim"
+)
+
+// TestMeshDegreeRecoversAfterMassChurn churns half the overlay away in a
+// single stroke and requires the maintenance pipeline — membership
+// gossip, overheard refill, eager DHT refill — to regrow the mesh to its
+// target degree within a few rounds.
+func TestMeshDegreeRecoversAfterMassChurn(t *testing.T) {
+	cfg := smallConfig(300, ProfileContinuStreaming())
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := sim.NewEngine(w, cfg.Tau)
+	engine.Run(3)
+	// Kill every second non-source node, no grace, no warning.
+	victims := append([]overlay.NodeID(nil), w.Nodes()...)
+	kill := false
+	for _, id := range victims {
+		if id == w.Source() {
+			continue
+		}
+		if kill = !kill; kill {
+			w.leave(id, false)
+		}
+	}
+	w.rebuildOrder()
+	const recoveryRounds = 6
+	engine.Run(recoveryRounds)
+	var degSum, minDeg, atTarget int
+	minDeg = 1 << 30
+	for _, id := range w.Nodes() {
+		d := len(w.edges[id])
+		degSum += d
+		if d < minDeg {
+			minDeg = d
+		}
+		if d >= cfg.M {
+			atTarget++
+		}
+	}
+	n := w.Size()
+	if minDeg == 0 {
+		t.Fatal("isolated node after recovery window")
+	}
+	if avg := float64(degSum) / float64(n); avg < float64(cfg.M)-1 {
+		t.Fatalf("average degree %.2f below M-1 after %d rounds (M=%d)", avg, recoveryRounds, cfg.M)
+	}
+	if frac := float64(atTarget) / float64(n); frac < 0.8 {
+		t.Fatalf("only %.0f%% of nodes regrew to the M target", frac*100)
+	}
+}
+
+// TestDHTRepairKeepsLookupsAliveUnderChurn runs sustained heavy churn and
+// requires the in-world repair phase to hold routed query success high —
+// the property that keeps the pre-fetch continuity backstop alive.
+func TestDHTRepairKeepsLookupsAliveUnderChurn(t *testing.T) {
+	cfg := smallConfig(250, ProfileContinuStreaming())
+	cfg.Churn = churn.Config{LeaveFraction: 0.05, JoinFraction: 0.05, GracefulFraction: 0.5}
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.NewEngine(w, cfg.Tau).Run(15)
+	net := w.DHTNetwork()
+	rng := sim.DeriveRNG(99, 1)
+	const queries = 400
+	succ := 0
+	for q := 0; q < queries; q++ {
+		from := net.IDs()[rng.Intn(net.Size())]
+		if res := net.Route(from, dht.ID(rng.Intn(w.Space().N()))); res.Success {
+			succ++
+		}
+	}
+	if rate := float64(succ) / queries; rate < 0.9 {
+		t.Fatalf("query success %.3f under churn with repair enabled, want >= 0.9", rate)
+	}
+}
+
+// TestDHTRepairDisabledDegrades pins the counterfactual: with the repair
+// interval at 0 the same churn leaves tables rotting, so disabling the
+// phase must measurably cut query success versus the repaired run. This
+// guards against the repair phase silently becoming a no-op.
+func TestDHTRepairDisabledDegrades(t *testing.T) {
+	run := func(interval int) float64 {
+		cfg := smallConfig(250, ProfileCoolStreaming())
+		cfg.Churn = churn.Config{LeaveFraction: 0.08, JoinFraction: 0.08, GracefulFraction: 0.5}
+		cfg.DHTRepairIntervalRounds = interval
+		w, err := NewWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.NewEngine(w, cfg.Tau).Run(15)
+		net := w.DHTNetwork()
+		rng := sim.DeriveRNG(7, 2)
+		const queries = 400
+		succ := 0
+		for q := 0; q < queries; q++ {
+			from := net.IDs()[rng.Intn(net.Size())]
+			if res := net.Route(from, dht.ID(rng.Intn(w.Space().N()))); res.Success {
+				succ++
+			}
+		}
+		return float64(succ) / queries
+	}
+	repaired := run(1)
+	unrepaired := run(0)
+	if repaired <= unrepaired {
+		t.Fatalf("repair phase is a no-op: success %.3f repaired vs %.3f unrepaired", repaired, unrepaired)
+	}
+	if repaired < 0.9 {
+		t.Fatalf("repaired query success %.3f, want >= 0.9", repaired)
+	}
+}
+
+// TestStepDeterministicAcrossWorkerCountsTraceChurn extends the sharded
+// pipeline's determinism contract to the new phases under trace-driven
+// churn: gossip scatter, rewire intents, DHT repair and the diurnal flash
+// departure must all be bit-identical at any worker count.
+func TestStepDeterministicAcrossWorkerCountsTraceChurn(t *testing.T) {
+	const nodes, rounds = 250, 14
+	run := func(workers int) []any {
+		cfg := smallConfig(nodes, ProfileContinuStreaming())
+		cfg.Churn = churn.DefaultConfig()
+		cfg.Churn.Trace = churn.DiurnalTrace(rounds, 6, 0.02, 0.10, 7, 0.25)
+		cfg.Workers = workers
+		w, err := NewWorld(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.NewEngine(w, cfg.Tau).Run(rounds)
+		out := []any{append([]overlay.NodeID(nil), w.Nodes()...), w.Collector().Samples()}
+		// The mesh itself must match, not just the metrics.
+		for _, id := range w.Nodes() {
+			out = append(out, w.neighborsOf(id))
+		}
+		return out
+	}
+	base := run(1)
+	for _, workers := range []int{3, 8} {
+		if got := run(workers); !reflect.DeepEqual(base, got) {
+			t.Fatalf("workers=%d diverges from single-worker run under trace churn", workers)
+		}
+	}
+}

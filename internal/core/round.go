@@ -26,6 +26,9 @@ const (
 	phaseScatter = 0x7c41
 	phaseServe   = 0x5e12
 	phaseApply   = 0xde11
+	phaseGossip  = 0x6a55
+	phaseRewire  = 0x2d83
+	phaseRepair  = 0x3b97
 )
 
 // phaseSeed keys one sharded-phase invocation's RNG streams by (master
@@ -69,6 +72,7 @@ func (w *World) Step(clock *sim.Clock) {
 	w.playbackPhase(clock, &sample)
 	w.maintenancePhase()
 	w.churnPhase()
+	w.dhtRepairPhase()
 	w.collector.Record(sample)
 }
 
@@ -480,6 +484,37 @@ func (w *World) resolvePrefetch(clock *sim.Clock, plans []prefetch.Decision, sam
 		for _, res := range results {
 			sample.PrefetchRoutingBits += int64(res.RoutingMessages) * w.cfg.RoutingMessageBits
 			if !res.Found {
+				// Classify the failure — the repair pipeline's health
+				// telemetry: routing rot, replica loss, and capacity
+				// exhaustion need different cures.
+				switch {
+				case len(res.Owners) == 0:
+					sample.LookupNoRoute++
+				case !anyOwnerHolds(retr.Dir, res.Owners, res.ID):
+					sample.LookupNoBackup++
+				default:
+					sample.LookupNoRate++
+				}
+				// Last resort: a direct ask at the media source. Every
+				// deployment has this path — the source generated the
+				// segment and its address is channel metadata — and it is
+				// what makes a segment whose k arc owners all churned away
+				// recoverable at all. Charged to the same outbound ledger
+				// as every other transfer, so the source's gossip serving
+				// shrinks correspondingly.
+				if w.cfg.SourceRescue {
+					src := w.nodes[w.source]
+					if src.Buf.Has(res.ID) && w.outUsedOf(w.source) < 2*src.Rates.Out {
+						w.addOutUsed(w.source, 1)
+						n.markPrefetchPending(res.ID, w.round)
+						sample.SourceRescues++
+						sample.PrefetchRoutingBits += w.cfg.RoutingMessageBits
+						direct := w.Latency(n.ID, w.source)
+						transfer := sim.Time(int64(sim.Second) / int64(maxInt(1, src.Rates.Out)))
+						at := start + 2*direct + transfer + direct
+						out = append(out, delivery{to: n.ID, from: w.source, id: res.ID, at: at, prefetch: true})
+					}
+				}
 				continue
 			}
 			sample.LookupFound++
@@ -501,6 +536,18 @@ func (w *World) resolvePrefetch(clock *sim.Clock, plans []prefetch.Decision, sam
 		}
 	}
 	return out
+}
+
+// anyOwnerHolds reports whether any of the located arc owners holds a
+// backup of the segment (used to separate replica loss from capacity
+// exhaustion in the lookup-failure telemetry).
+func anyOwnerHolds(dir prefetch.Directory, owners []dht.ID, id segment.ID) bool {
+	for _, o := range owners {
+		if dir.HasBackup(o, id) {
+			return true
+		}
+	}
+	return false
 }
 
 // overhearRoute feeds routing-path observations into peer tables: each
@@ -697,6 +744,11 @@ func (w *World) playbackPhase(clock *sim.Clock, sample *metrics.RoundSample) {
 			}
 			results[i].continuous = continuous
 			n.missedLastRound = !continuous
+			if continuous {
+				n.missStreak = 0
+			} else {
+				n.missStreak++
+			}
 		}
 		if n.Alpha != nil {
 			n.Alpha.Apply(n.overdue, n.repeated)

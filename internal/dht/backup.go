@@ -1,6 +1,8 @@
 package dht
 
 import (
+	"sort"
+
 	"continustreaming/internal/segment"
 )
 
@@ -78,6 +80,16 @@ func (s *Store) PruneBelow(floor segment.ID) int {
 		}
 	}
 	return removed
+}
+
+// Segments returns the backed-up segment IDs in ascending order.
+func (s *Store) Segments() []segment.ID {
+	out := make([]segment.ID, 0, len(s.segs))
+	for id := range s.segs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // Drain removes and returns every entry, ascending order not guaranteed.

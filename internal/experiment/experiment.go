@@ -32,6 +32,10 @@ type Options struct {
 	// Workers caps the simulation worker pool (0 = GOMAXPROCS). Purely a
 	// throughput knob: results are bit-identical at any setting.
 	Workers int
+	// ChurnTrace overrides the uniform 5%/round churn of dynamic runs
+	// with a per-round trace-driven schedule (see churn.TraceModel and
+	// cmd/tracegen -churn). Static runs ignore it.
+	ChurnTrace *churn.TraceModel
 }
 
 // DefaultOptions mirrors the paper's settings.
@@ -123,6 +127,7 @@ func baseConfig(n int, profile core.Profile, dynamic bool, o Options) core.Confi
 	}
 	if dynamic {
 		cfg.Churn = churn.DefaultConfig()
+		cfg.Churn.Trace = o.ChurnTrace
 	}
 	return cfg
 }

@@ -47,6 +47,15 @@ type RoundSample struct {
 	// LookupFound counts those for which a usable backup holder emerged.
 	LookupAttempts int64
 	LookupFound    int64
+	// Failed lookups, classified: no replica owner was reachable by
+	// routing, owners were reached but none held the segment, or a holder
+	// existed but had no spare outbound capacity left this round.
+	LookupNoRoute  int64
+	LookupNoBackup int64
+	LookupNoRate   int64
+	// SourceRescues counts failed lookups that fell back to a direct
+	// fetch from the media source's spare outbound.
+	SourceRescues int64
 }
 
 // Continuity returns the round's playback continuity in [0,1]; rounds with
@@ -202,6 +211,10 @@ func (c *Collector) Totals() RoundSample {
 		t.Dropped += s.Dropped
 		t.LookupAttempts += s.LookupAttempts
 		t.LookupFound += s.LookupFound
+		t.LookupNoRoute += s.LookupNoRoute
+		t.LookupNoBackup += s.LookupNoBackup
+		t.LookupNoRate += s.LookupNoRate
+		t.SourceRescues += s.SourceRescues
 	}
 	return t
 }
