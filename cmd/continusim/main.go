@@ -30,12 +30,14 @@ func main() {
 		delay    = flag.Int("delay", 0, "playback delay D in rounds (0 = default)")
 		delaySeg = flag.Int("delayseg", 0, "playback delay in segments (overrides -delay)")
 		workers  = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS; results are identical at any setting)")
+		pushHops = flag.Int("pushhops", 0, "dissemination-engine push depth H (0 = default 2, negative disables the push phase)")
+		queueFac = flag.Int("queuefactor", 0, "supplier carry-queue bound as a multiple of outbound rate (0 = default 2, negative disables queueing)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		churnTr  = flag.String("churntrace", "", "churn trace file (tracegen -churn output) driving the dynamic runs instead of uniform 5%/round")
 	)
 	flag.Parse()
 
-	opts := experiment.Options{Rounds: *rounds, StableTail: *tail, Seed: *seed, Delay: *delay, DelaySegments: *delaySeg, Workers: *workers}
+	opts := experiment.Options{Rounds: *rounds, StableTail: *tail, Seed: *seed, Delay: *delay, DelaySegments: *delaySeg, Workers: *workers, PushHops: *pushHops, QueueFactor: *queueFac}
 	if *churnTr != "" {
 		f, err := os.Open(*churnTr)
 		if err != nil {

@@ -10,6 +10,35 @@
 //	res, err := continustreaming.Run(cfg, 40)
 //	fmt.Println(res.StableContinuity())
 //
+// # Dissemination engine
+//
+// ContinuStreaming runs (System == ContinuStreaming or
+// ContinuStreamingNoPrefetch) include the dissemination engine, three
+// coordinated supplier-side mechanisms that let a segment reach the whole
+// mesh within the playback delay at 8000+ nodes, where a pure-pull
+// epidemic runs out of doubling rounds:
+//
+//   - Fresh-segment push: the source and its first-generation holders
+//     eagerly forward each newly generated segment along mesh edges for
+//     its first PushHops hops (default 2; a negative Config.PushHops
+//     disables), so pull scheduling starts from dozens of seeded copies
+//     instead of one.
+//   - Supplier-side service ordering: a contended supplier serves
+//     requests earliest-deadline-first with a rarest-first tie-break
+//     computed from its own neighbours' buffer maps, instead of
+//     requester-order FIFO.
+//   - Outbound queueing: requests beyond a supplier's per-round backlog
+//     horizon are carried in a bounded queue (QueueFactor × outbound
+//     rate entries, default factor 2; a negative Config.QueueFactor
+//     disables) to the next round, with deadline-based eviction, instead
+//     of being dropped for the requester to retry.
+//
+// The CoolStreaming baseline deliberately runs without the engine — the
+// comparison keeps measuring the protocol the paper compared against.
+// Config.PushHops and Config.QueueFactor tune the engine; Result.
+// ContinuityWarm reports continuity excluding nodes still inside their
+// post-join warm-up (joiner ramp-up drag).
+//
 // See cmd/continusim for the full experiment driver, examples/ for runnable
 // scenarios, and EXPERIMENTS.md for paper-versus-measured results.
 package continustreaming
@@ -116,6 +145,16 @@ type Config struct {
 	Churn *ChurnTrace
 	// Neighbors overrides M (default 5).
 	Neighbors int
+	// PushHops overrides the dissemination engine's fresh-segment push
+	// depth H: 0 selects the default (2), a negative value disables the
+	// push phase. Ignored by the CoolStreaming baseline, which never
+	// pushes.
+	PushHops int
+	// QueueFactor bounds the supplier-side carry queue at QueueFactor ×
+	// outbound rate requests: 0 selects the default (2), a negative
+	// value disables queueing (drop-and-retry). Ignored by the
+	// CoolStreaming baseline.
+	QueueFactor int
 	// Seed drives all randomness; runs are fully deterministic per seed.
 	Seed uint64
 	// Workers caps the simulation worker pool (0 = GOMAXPROCS). The round
@@ -136,6 +175,12 @@ type Result struct {
 	Continuity       metrics.Series
 	ControlOverhead  metrics.Series
 	PrefetchOverhead metrics.Series
+	// ContinuityWarm is continuity over the warm population only: nodes
+	// past their first rounds of post-join catch-up. Under churn the
+	// plain metric always counts a fraction of fresh joiners with empty
+	// buffers against the protocol; the warm variant isolates
+	// dissemination quality from that ramp-up drag.
+	ContinuityWarm metrics.Series
 }
 
 // StableContinuity returns the stable-phase (final quarter) playback
@@ -146,6 +191,16 @@ func (r Result) StableContinuity() float64 {
 		n = 1
 	}
 	return r.Continuity.TailMean(n)
+}
+
+// StableContinuityWarm returns the stable-phase warm-population
+// continuity (see Result.ContinuityWarm).
+func (r Result) StableContinuityWarm() float64 {
+	n := r.ContinuityWarm.Len() / 4
+	if n < 1 {
+		n = 1
+	}
+	return r.ContinuityWarm.TailMean(n)
 }
 
 // StableControlOverhead returns the stable-phase control overhead.
@@ -177,6 +232,8 @@ func Run(cfg Config, rounds int) (Result, error) {
 	if cfg.Neighbors > 0 {
 		inner.M = cfg.Neighbors
 	}
+	core.ApplyKnobOverride(&inner.PushHops, cfg.PushHops)
+	core.ApplyKnobOverride(&inner.QueueFactor, cfg.QueueFactor)
 	if cfg.Seed != 0 {
 		inner.Seed = cfg.Seed
 	}
@@ -195,6 +252,7 @@ func Run(cfg Config, rounds int) (Result, error) {
 		Continuity:       col.ContinuitySeries(),
 		ControlOverhead:  col.ControlOverheadSeries(),
 		PrefetchOverhead: col.PrefetchOverheadSeries(),
+		ContinuityWarm:   col.ContinuityWarmSeries(),
 	}, nil
 }
 

@@ -149,3 +149,54 @@ func TestNeighborsOverride(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEngineKnobsChangeOutcome(t *testing.T) {
+	base := DefaultConfig(200)
+	base.Seed = 7
+	on, err := Run(base, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := base
+	off.PushHops = -1
+	off.QueueFactor = -1
+	offRes, err := Run(off, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range on.Continuity.Values {
+		if on.Continuity.Values[i] != offRes.Continuity.Values[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("disabling push + queueing changed nothing; the knobs are not wired")
+	}
+	deeper := base
+	deeper.PushHops = 3
+	if _, err := Run(deeper, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWarmContinuityReported(t *testing.T) {
+	cfg := DefaultConfig(150)
+	cfg.Dynamic = true
+	cfg.Seed = 9
+	res, err := Run(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContinuityWarm.Len() != 16 {
+		t.Fatalf("warm continuity rounds = %d", res.ContinuityWarm.Len())
+	}
+	// Warm continuity removes fresh joiners — who almost never play
+	// continuously — from both sides of the ratio, so its stable phase
+	// sits at or above the plain metric up to a small tolerance (an
+	// instantly-caught-up joiner can nudge it fractionally below).
+	if res.StableContinuityWarm()+0.02 < res.StableContinuity() {
+		t.Fatalf("warm %.4f well below plain %.4f", res.StableContinuityWarm(), res.StableContinuity())
+	}
+}

@@ -120,6 +120,24 @@ func drawSkewed(rng *sim.RNG, min, max, mean int) int {
 	return rng.IntRange(min, max)
 }
 
+// PerSegment returns the wire time of one segment for a sender
+// transmitting rate segments per period tau, floored at the simulation's
+// 1 ms resolution. A non-positive rate yields the whole period — the
+// "about to be unobtainable" limit the scheduler's urgency term also
+// assumes. The serve and pre-fetch paths both derive transfer
+// completions from it, so queueing-delay math stays consistent across
+// the two retrieval channels.
+func PerSegment(rate int, tau sim.Time) sim.Time {
+	if rate <= 0 {
+		return tau
+	}
+	t := tau / sim.Time(rate)
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
 // Budget tracks integer segment credit for one node over one scheduling
 // period. Spend returns false once the credit is exhausted.
 type Budget struct {

@@ -259,3 +259,16 @@ func TestControllerFastBurstHighRate(t *testing.T) {
 		t.Fatalf("burst rate = %v", got)
 	}
 }
+
+func TestPerSegment(t *testing.T) {
+	if got := PerSegment(10, sim.Second); got != sim.Second/10 {
+		t.Fatalf("PerSegment(10, 1s) = %v", got)
+	}
+	if got := PerSegment(0, sim.Second); got != sim.Second {
+		t.Fatalf("rate 0 must cost the whole period, got %v", got)
+	}
+	// Floored at the 1 ms simulation resolution.
+	if got := PerSegment(int(2*sim.Second), sim.Second); got != 1 {
+		t.Fatalf("sub-millisecond transfer not floored: %v", got)
+	}
+}

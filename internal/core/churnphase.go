@@ -441,6 +441,10 @@ func (w *World) churnPhase() {
 		// the dead sent while alive still arrive — packets already on the
 		// wire — matching the pre-recycling behaviour.
 		w.inflight.Filter(func(d delivery) bool { return w.nodes[d.to] != nil })
+		// Same recycling hazard on the supplier side: carried requests
+		// from this round's leavers must go before any joiner can reuse
+		// their ring slots and pass the serve-time liveness check.
+		w.dissem.FilterRequesters(func(id overlay.NodeID) bool { return w.nodes[id] != nil })
 	}
 	for j := 0; j < plan.Joins; j++ {
 		w.join()
@@ -474,6 +478,9 @@ func (w *World) leave(id overlay.NodeID, graceful bool) {
 	delete(w.nodes, id)
 	delete(w.edges, id)
 	delete(w.outUsed[w.shardOf(id)], id)
+	// The carry queue held promises of this node's buffer; a joiner
+	// recycling the slot must not inherit them.
+	w.dissem.DropSupplier(w.shardOf(id), id)
 	// The ring slot is free again; without recycling, sustained churn
 	// exhausts the ID space long before the paper's 40-round tracks end.
 	// churnPhase purges the in-flight deliveries addressed to this round's
@@ -499,6 +506,7 @@ func (w *World) join() {
 	id := w.rp.AssignID(w.rng)
 	ping := 10*sim.Millisecond + sim.Time(w.rng.Intn(191))
 	n := w.buildNode(id, ping, false)
+	n.JoinedRound = w.round
 	// The newcomer's buffer opens at the current playback position.
 	n.Buf.AdvanceTo(w.playbackPos(w.round))
 	cands := w.rp.Candidates(id, 6)

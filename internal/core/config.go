@@ -50,20 +50,33 @@ func (p PolicyKind) String() string {
 	}
 }
 
-// Profile bundles the two axes that distinguish the compared systems.
+// Profile bundles the axes that distinguish the compared systems.
 type Profile struct {
 	Name     string
 	Policy   PolicyKind
 	Prefetch bool
+	// Engine enables the dissemination engine: the fresh-segment push
+	// phase (Config.PushHops), supplier-side earliest-deadline-first
+	// service ordering, and bounded outbound queueing (Config.
+	// QueueFactor). The three are one coordinated design — EDF service
+	// without push seeding starves the frontier replication that keeps
+	// new content multiplying (a measured death spiral, not a
+	// hypothetical). The CoolStreaming baseline keeps the published
+	// pure-pull discipline: fair-queued FIFO service and drop-and-retry,
+	// so the comparison keeps measuring the protocol the paper compared
+	// against.
+	Engine bool
 }
 
 // ProfileContinuStreaming is the paper's system: combined urgency+rarity
-// scheduling plus DHT-assisted on-demand retrieval.
+// scheduling plus DHT-assisted on-demand retrieval, with the
+// dissemination engine seeding and serving each epidemic.
 func ProfileContinuStreaming() Profile {
-	return Profile{Name: "ContinuStreaming", Policy: PolicyUrgencyRarity, Prefetch: true}
+	return Profile{Name: "ContinuStreaming", Policy: PolicyUrgencyRarity, Prefetch: true, Engine: true}
 }
 
-// ProfileCoolStreaming is the baseline: rarest-first pull gossip, no DHT.
+// ProfileCoolStreaming is the baseline: rarest-first pull gossip, no DHT,
+// no dissemination engine.
 func ProfileCoolStreaming() Profile {
 	return Profile{Name: "CoolStreaming", Policy: PolicyRarestFirst, Prefetch: false}
 }
@@ -71,7 +84,7 @@ func ProfileCoolStreaming() Profile {
 // ProfileSchedulingOnly is ContinuStreaming's scheduler without the
 // pre-fetch path — the PC_old configuration of the §5.1 table.
 func ProfileSchedulingOnly() Profile {
-	return Profile{Name: "ContinuStreaming-noprefetch", Policy: PolicyUrgencyRarity, Prefetch: false}
+	return Profile{Name: "ContinuStreaming-noprefetch", Policy: PolicyUrgencyRarity, Prefetch: false, Engine: true}
 }
 
 // Config fully describes one simulated system instance.
@@ -153,6 +166,26 @@ type Config struct {
 	// it a segment whose k arc owners all churned away (or never received
 	// it) is unrecoverable no matter how healthy routing is.
 	SourceRescue bool
+	// PushHops is H: how many mesh hops the fresh-segment push phase
+	// eagerly forwards each newly generated segment before pull
+	// scheduling takes over (profiles with Push set; 0 disables the
+	// phase). Hop 1 is the source spraying its connected neighbours; hop
+	// h+1 is every hop-h receiver forwarding onward. Each pusher spends
+	// at most one period's outbound (its O) on pushing, charged against
+	// the same ledger as its gossip serving.
+	PushHops int
+	// QueueFactor bounds the supplier-side carry queue: requests beyond
+	// a supplier's per-round backlog horizon are carried to the next
+	// round, at most QueueFactor·O of them (earliest deadlines kept,
+	// later ones evicted). 0 disables queueing and restores drop-and-
+	// retry.
+	QueueFactor int
+	// WarmupRounds is how long after joining a node is excluded from the
+	// warm continuity metric (metrics.RoundSample.ContinuityWarm): a
+	// joiner needs a round or two of catch-up before its misses say
+	// anything about dissemination quality. It only affects reporting,
+	// never scheduling.
+	WarmupRounds int
 	// RarityNoise perturbs rarity rankings per (node, segment) by up to
 	// ±RarityNoise, standing in for the measurement heterogeneity of a
 	// real deployment (see scheduler.Input.RarityNoise).
@@ -193,6 +226,10 @@ func DefaultConfig(n int) Config {
 		MaxDistressReplacements: 3,
 		SourceDegreeTarget:      20,
 		SourceRescue:            true,
+
+		PushHops:     2,
+		QueueFactor:  2,
+		WarmupRounds: 2,
 	}
 }
 
@@ -243,7 +280,29 @@ func (c Config) Validate() error {
 	if c.SourceDegreeTarget < 0 {
 		return fmt.Errorf("core: negative source degree target %d", c.SourceDegreeTarget)
 	}
+	if c.PushHops < 0 {
+		return fmt.Errorf("core: negative push hops %d", c.PushHops)
+	}
+	if c.QueueFactor < 0 {
+		return fmt.Errorf("core: negative queue factor %d", c.QueueFactor)
+	}
+	if c.WarmupRounds < 0 {
+		return fmt.Errorf("core: negative warmup rounds %d", c.WarmupRounds)
+	}
 	return nil
+}
+
+// ApplyKnobOverride maps the public override convention for the engine
+// knobs onto a config field: positive overrides, zero keeps the default
+// already in *dst, negative disables (sets 0). The public API, the
+// experiment harness and the CLI all share it so the sentinel convention
+// cannot silently diverge between entry points.
+func ApplyKnobOverride(dst *int, override int) {
+	if override > 0 {
+		*dst = override
+	} else if override < 0 {
+		*dst = 0
+	}
 }
 
 // delaySegments resolves the playback delay in segments.

@@ -159,11 +159,19 @@ func TestDiagChurnTrack(t *testing.T) {
 				spread[age] = float64(cnt) / float64(tot)
 			}
 		}
-		fmt.Printf("r=%2d n=%4d cont=%.3f started=%4d deg=%.2f/%d under=%d zero=%d distress=%d drops=%d req=%d lookups=%d ok=%.2f noRoute=%d noBackup=%d noRate=%d route=%.2f ownerHas=%.2f segCov=%d/20 spread=%.2f,%.2f,%.2f,%.2f,%.2f,%.2f\n",
-			r, w.Size(), cont, started, float64(degSum)/float64(w.Size()), degMin, under, zeroDeg, distress,
-			s.Dropped, s.Requests, s.LookupAttempts, lookupOK,
+		// Push/queue telemetry attributes residual misses: push=seeded
+		// copies (dup=wasted races), qSrv/qCar=queue throughput, and the
+		// eviction split says whether abandoned asks died of deadline
+		// (dissemination too slow), overflow (queue too small) or
+		// staleness (churn).
+		fmt.Printf("r=%2d n=%4d cont=%.3f warm=%.3f started=%4d deg=%.2f/%d under=%d zero=%d distress=%d drops=%d req=%d push=%d dup=%d qSrv=%d qCar=%d evD=%d evO=%d evS=%d lookups=%d ok=%.2f noRoute=%d noBackup=%d noRate=%d route=%.2f ownerHas=%.2f segCov=%d/20 spread=%.2f,%.2f,%.2f,%.2f,%.2f,%.2f\n",
+			r, w.Size(), cont, s.ContinuityWarm(), started, float64(degSum)/float64(w.Size()), degMin, under, zeroDeg, distress,
+			s.Dropped, s.Requests,
+			s.PushDeliveries, s.PushDuplicates, s.QueueServed, s.QueueCarried,
+			s.QueueEvictedDeadline, s.QueueEvictedOverflow, s.QueueEvictedStale,
+			s.LookupAttempts, lookupOK,
 			s.LookupNoRoute, s.LookupNoBackup, s.LookupNoRate,
-			float64(routeOK)/float64(maxInt(1, keys)), float64(ownerHas)/float64(maxInt(1, keys)), segCovered,
+			float64(routeOK)/float64(max(1, keys)), float64(ownerHas)/float64(max(1, keys)), segCovered,
 			spread[1], spread[2], spread[3], spread[4], spread[5], spread[6])
 	}
 }

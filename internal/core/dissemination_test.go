@@ -1,0 +1,222 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"continustreaming/internal/buffer"
+	"continustreaming/internal/churn"
+	"continustreaming/internal/overlay"
+	"continustreaming/internal/segment"
+	"continustreaming/internal/sim"
+)
+
+// serveFixture builds a world plus the snapshot/index context
+// serveSupplier needs, and picks a non-source supplier.
+func serveFixture(t *testing.T, workers int) (*World, overlay.NodeID, []buffer.Map, map[overlay.NodeID]int) {
+	t.Helper()
+	cfg := smallConfig(30, ProfileContinuStreaming())
+	cfg.Workers = workers
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sup overlay.NodeID = -1
+	for _, id := range w.Nodes() {
+		if id != w.Source() && len(w.neighborsOf(id)) > 0 {
+			sup = id
+			break
+		}
+	}
+	if sup < 0 {
+		t.Fatal("no usable supplier")
+	}
+	snaps := make([]buffer.Map, len(w.Nodes()))
+	index := make(map[overlay.NodeID]int, len(w.Nodes()))
+	for i, id := range w.Nodes() {
+		snaps[i] = w.Node(id).Buf.Snapshot()
+		index[id] = i
+	}
+	return w, sup, snaps, index
+}
+
+// TestSupplierServesEarliestDeadlineFirst pins the engine's service
+// discipline on a contended supplier: with more asks than outbound
+// capacity, the earliest-deadline requests are granted (in deadline
+// order) and equal deadlines break toward the segment that is rarest in
+// the supplier's own neighbourhood — identically at any Workers setting,
+// since the serve path is shard-owned and worker-free.
+func TestSupplierServesEarliestDeadlineFirst(t *testing.T) {
+	var first []segment.ID
+	for _, workers := range []int{1, 4} {
+		w, sup, snaps, index := serveFixture(t, workers)
+		sn := w.Node(sup)
+		sn.Rates.Out = 1 // capacity 2 with backlog spill
+		pos := segment.ID(100)
+		p := w.cfg.Stream.Rate
+		// Six contending requesters asking for segments at increasing
+		// deadlines (ids 1, 2, 3 rounds ahead of pos).
+		var fresh []transferReq
+		for i, id := range []segment.ID{pos + 25, pos + 15, pos + 35, pos + 12, pos + 22, pos + 32} {
+			fresh = append(fresh, transferReq{
+				supplier:  sup,
+				requester: w.Nodes()[i],
+				id:        id,
+			})
+		}
+		res := w.serveSupplier(w.shardOf(sup), sup, fresh, snaps, index, 0, sim.Time(w.cfg.Tau), pos, p)
+		if len(res.Granted) != 2 {
+			t.Fatalf("granted %d, want capacity 2", len(res.Granted))
+		}
+		got := []segment.ID{res.Granted[0].ID, res.Granted[1].ID}
+		// The two earliest-deadline segments are the ids one round ahead
+		// (pos+12, pos+15), in requester/ID-deterministic order.
+		for _, id := range got {
+			if id != pos+12 && id != pos+15 {
+				t.Fatalf("granted %v, want the round-ahead segments {112, 115}", got)
+			}
+		}
+		// Ungranted round-ahead work is deadline-evicted (it cannot be
+		// served next round in time); the rest queues up to QueueFactor·O.
+		if res.Evicted.Total()+int64(len(res.Queued)) != 4 {
+			t.Fatalf("evicted %d + queued %d, want the 4 ungranted asks", res.Evicted.Total(), len(res.Queued))
+		}
+		if workers == 1 {
+			first = got
+		} else if !reflect.DeepEqual(first, got) {
+			t.Fatalf("serve order differs across workers: %v vs %v", first, got)
+		}
+	}
+}
+
+// TestSupplierBreaksDeadlineTiesByRarity pins the tie-break: two
+// requests due the same round, one for a segment every supplier
+// neighbour advertises, one for a segment none do — the rare segment
+// must win the single grant slot.
+func TestSupplierBreaksDeadlineTiesByRarity(t *testing.T) {
+	w, sup, _, index := serveFixture(t, 1)
+	sn := w.Node(sup)
+	sn.Rates.Out = 1
+	pos := segment.ID(0)
+	p := w.cfg.Stream.Rate
+	common, rare := pos+2, pos+3 // same round => same deadline
+	// Rebuild snapshots with every neighbour of sup advertising the
+	// common segment.
+	for _, nb := range w.neighborsOf(sup) {
+		w.Node(nb).Buf.Insert(common)
+	}
+	snaps := make([]buffer.Map, len(w.Nodes()))
+	for i, id := range w.Nodes() {
+		snaps[i] = w.Node(id).Buf.Snapshot()
+	}
+	fresh := []transferReq{
+		{supplier: sup, requester: w.Nodes()[0], id: common},
+		{supplier: sup, requester: w.Nodes()[1], id: rare},
+	}
+	// Capacity 1: only the spill-adjusted single slot. Force it by
+	// charging one push send against the supplier.
+	w.dissem.ChargePush(w.shardOf(sup), sup, 1)
+	res := w.serveSupplier(w.shardOf(sup), sup, fresh, snaps, index, 0, sim.Time(w.cfg.Tau), pos, p)
+	if len(res.Granted) != 1 || res.Granted[0].ID != rare {
+		t.Fatalf("granted %+v, want the rare segment %d first", res.Granted, rare)
+	}
+}
+
+// TestQueueCarriesUnservedRequests pins the outbound queueing contract:
+// overload beyond the backlog horizon is carried (earliest deadlines
+// first) and served from the queue on the next call, rather than dropped.
+func TestQueueCarriesUnservedRequests(t *testing.T) {
+	w, sup, snaps, index := serveFixture(t, 1)
+	sn := w.Node(sup)
+	sn.Rates.Out = 1
+	pos := segment.ID(0)
+	p := w.cfg.Stream.Rate
+	// Far-future deadlines so nothing is deadline-evicted; supplier must
+	// hold the segments for the carried entries to survive revalidation.
+	var fresh []transferReq
+	for i := 0; i < 5; i++ {
+		id := pos + segment.ID(40+i)
+		sn.Buf.Insert(id)
+		fresh = append(fresh, transferReq{supplier: sup, requester: w.Nodes()[i], id: id})
+	}
+	shard := w.shardOf(sup)
+	res := w.serveSupplier(shard, sup, fresh, snaps, index, 0, sim.Time(w.cfg.Tau), pos, p)
+	if len(res.Granted) != 2 {
+		t.Fatalf("granted %d, want 2", len(res.Granted))
+	}
+	if qn := w.dissem.QueueLen(shard, sup); qn != 2 { // QueueFactor 2 × Out 1
+		t.Fatalf("queued %d, want QueueFactor·O = 2", qn)
+	}
+	if res.Evicted.Overflow != 1 {
+		t.Fatalf("overflow evictions = %d, want 1", res.Evicted.Overflow)
+	}
+	// Next round: no fresh asks; the carried pair is served first.
+	res2 := w.serveSupplier(shard, sup, nil, snaps, index, sim.Time(w.cfg.Tau), 2*sim.Time(w.cfg.Tau), pos, p)
+	if len(res2.Granted) != 2 || !res2.Granted[0].Carried || !res2.Granted[1].Carried {
+		t.Fatalf("carried requests not served next round: %+v", res2.Granted)
+	}
+	if w.dissem.QueueLen(shard, sup) != 0 {
+		t.Fatal("queue not drained")
+	}
+}
+
+// TestPushSeedsFreshSegments pins the push phase end to end: an engine
+// profile records push deliveries from round one, the duplicates stay a
+// modest fraction, and the baseline profile never pushes.
+func TestPushSeedsFreshSegments(t *testing.T) {
+	cfg := smallConfig(100, ProfileContinuStreaming())
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.NewEngine(w, cfg.Tau).Run(10)
+	tot := w.Collector().Totals()
+	if tot.PushDeliveries == 0 {
+		t.Fatal("engine profile recorded no push deliveries")
+	}
+	if tot.PushDuplicates > tot.PushDeliveries {
+		t.Fatalf("push duplicates (%d) exceed deliveries (%d): the planner is spraying blindly",
+			tot.PushDuplicates, tot.PushDeliveries)
+	}
+	cool, err := NewWorld(smallConfig(100, ProfileCoolStreaming()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.NewEngine(cool, cfg.Tau).Run(10)
+	if ct := cool.Collector().Totals(); ct.PushDeliveries != 0 || ct.QueueServed != 0 {
+		t.Fatalf("baseline used the engine: push=%d queueServed=%d", ct.PushDeliveries, ct.QueueServed)
+	}
+}
+
+// TestWarmContinuityExcludesFreshJoiners pins the ContinuityWarm metric:
+// under churn the warm variant tracks at or above the plain metric up to
+// a small tolerance (it removes fresh joiners — who almost never play
+// continuously — from both numerator and denominator; a joiner that
+// catches up instantly can nudge it fractionally below) and its
+// denominator must stay below the full population once joins happen.
+func TestWarmContinuityExcludesFreshJoiners(t *testing.T) {
+	cfg := smallConfig(150, ProfileContinuStreaming())
+	cfg.Churn = churn.DefaultConfig()
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.NewEngine(w, cfg.Tau).Run(20)
+	samples := w.Collector().Samples()
+	sawExclusion := false
+	for _, s := range samples[10:] {
+		if s.WarmNodes > s.PlayingNodes {
+			t.Fatalf("warm denominator %d exceeds population %d", s.WarmNodes, s.PlayingNodes)
+		}
+		if s.WarmNodes < s.PlayingNodes {
+			sawExclusion = true
+		}
+		if s.ContinuityWarm()+0.02 < s.Continuity() {
+			t.Fatalf("round %d: warm continuity %.4f well below plain %.4f",
+				s.Round, s.ContinuityWarm(), s.Continuity())
+		}
+	}
+	if !sawExclusion {
+		t.Fatal("20 churn rounds never excluded a fresh joiner")
+	}
+}

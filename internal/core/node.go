@@ -55,6 +55,11 @@ type Node struct {
 	Started bool
 	// StartedRound records when playback began, for diagnostics.
 	StartedRound int
+	// JoinedRound records when the node entered the overlay (-1 for the
+	// initial population, which is warm by construction). Nodes within
+	// Config.WarmupRounds of joining are excluded from the warm
+	// continuity metric.
+	JoinedRound int
 
 	// pendingGossip maps requested-but-not-yet-arrived segment IDs to
 	// their request state (timeout round + expected arrival, used by the
@@ -69,6 +74,11 @@ type Node struct {
 	// overdue / repeated accumulate this round's α feedback.
 	overdue  int
 	repeated int
+	// pushReceived counts segments that arrived on this node's inbound
+	// link via the eager push phase this round; the pull scheduler's
+	// budget shrinks by it, so push and pull share the inbound rate the
+	// same way pre-fetch and pull share it on the outbound side.
+	pushReceived int
 	// lastReplace is the most recent round in which this node swapped a
 	// low-supply neighbour, enforcing the replacement cooldown.
 	lastReplace int

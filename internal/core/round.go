@@ -1,10 +1,13 @@
 package core
 
 import (
+	"slices"
 	"sort"
 
+	"continustreaming/internal/bandwidth"
 	"continustreaming/internal/buffer"
 	"continustreaming/internal/dht"
+	"continustreaming/internal/dissemination"
 	"continustreaming/internal/metrics"
 	"continustreaming/internal/overlay"
 	"continustreaming/internal/prefetch"
@@ -29,6 +32,7 @@ const (
 	phaseGossip  = 0x6a55
 	phaseRewire  = 0x2d83
 	phaseRepair  = 0x3b97
+	phasePush    = 0x48c9
 )
 
 // phaseSeed keys one sharded-phase invocation's RNG streams by (master
@@ -50,7 +54,18 @@ func (w *World) Step(clock *sim.Clock) {
 	sample := metrics.RoundSample{Round: w.round}
 
 	w.beginRound()
+	// The fresh-segment push runs before the buffer-map exchange: the
+	// source and its first-generation holders eagerly forward this
+	// round's new segments for their first PushHops mesh hops, so the
+	// snapshots below already advertise a several-generation-deep
+	// epidemic and pull scheduling starts from dozens of seeded copies
+	// instead of one.
+	w.pushPhase(clock, &sample)
 	snaps := w.exchangePhase(&sample)
+	index := make(map[overlay.NodeID]int, len(w.order))
+	for i, id := range w.order {
+		index[id] = i
+	}
 	// The Urgent Line runs before scheduling: segments it predicts missed
 	// — holes at the deadline edge that no in-flight transfer will cover
 	// (§1's three motivating cases) — go to the DHT retrieval path, and
@@ -61,11 +76,11 @@ func (w *World) Step(clock *sim.Clock) {
 	// division of labour the paper's design argues for.
 	plans := w.predictPhase(clock)
 	prefetchDeliveries := w.resolvePrefetch(clock, plans, &sample)
-	requests := w.schedulePhase(clock, snaps)
+	requests := w.schedulePhase(clock, snaps, index)
 	for _, reqs := range requests {
 		sample.Requests += int64(len(reqs))
 	}
-	deliveries := w.resolveTransfers(clock, requests, &sample)
+	deliveries := w.resolveTransfers(clock, requests, snaps, index, &sample)
 	deliveries = append(deliveries, prefetchDeliveries...)
 	deliveries = append(deliveries, w.dueInflight(clock)...)
 	w.applyDeliveries(clock, deliveries, &sample)
@@ -83,13 +98,14 @@ func (w *World) beginRound() {
 	pos := w.playbackPos(w.round)
 	live := w.liveEdge(w.round)
 	w.clearOutUsed()
+	w.dissem.BeginRound()
 	src := w.nodes[w.source]
 	w.pool.ForEach(len(w.order), func(i int) {
 		n := w.nodes[w.order[i]]
 		n.Buf.AdvanceTo(pos)
 		n.pruneBelow(pos)
 		n.expirePending(w.round)
-		n.overdue, n.repeated = 0, 0
+		n.overdue, n.repeated, n.pushReceived = 0, 0, 0
 	})
 	// Source ingestion happens after the window advance so new segments
 	// land inside the window: the source disseminates segments within the
@@ -109,6 +125,168 @@ func (w *World) beginRound() {
 // everything the source emits before the round ends.
 func (w *World) fetchEdge(round int) segment.ID {
 	return segment.ID((round + 1) * w.cfg.Stream.Rate)
+}
+
+// pushBudget is how much of a node's outbound the push phase may spend in
+// one round: one period's worth (O), leaving the second period of the
+// 2·O backlog horizon for pull serving. The spend is charged against the
+// shared outbound ledger, so push, gossip serving and pre-fetch grants
+// together never exceed the horizons the ledger invariants pin.
+func pushBudget(n *Node) int { return n.Rates.Out }
+
+// pushPhase eagerly forwards this round's freshly generated segments
+// along mesh edges for their first PushHops hops — the dissemination
+// engine's answer to the depth gap: a pure-pull epidemic starting from
+// one copy needs more doubling rounds than the playback delay allows at
+// 8000+ nodes, while a push-seeded one starts several generations deep.
+// Hop 1 is the source spraying its connected neighbours; hop h+1 is every
+// hop-h receiver forwarding what it just received.
+//
+// Each hop runs as a sharded map/reduce: pushers are partitioned by the
+// supplier-ownership shard, each shard plans its pushers' sends (pure
+// reads of target buffers) and charges its own outbound-ledger partition,
+// and the sends are applied sequentially in shard order afterwards, so
+// the phase is bit-identical at any worker count. Two same-hop pushers in
+// different shards may race a copy to the same target; the loser is
+// counted as a push duplicate, exactly the redundancy a real eager-push
+// mesh pays.
+func (w *World) pushPhase(clock *sim.Clock, sample *metrics.RoundSample) {
+	hops := w.cfg.PushHops
+	if hops <= 0 || !w.cfg.Profile.Engine {
+		return
+	}
+	lo := w.liveEdge(w.round)
+	if lo < 0 {
+		lo = 0
+	}
+	hi := w.fetchEdge(w.round)
+	src := w.nodes[w.source]
+	fresh := make([]segment.ID, 0, int(hi-lo))
+	for id := lo; id < hi; id++ {
+		if src.Buf.Has(id) {
+			fresh = append(fresh, id)
+		}
+	}
+	if len(fresh) == 0 {
+		return
+	}
+	start := clock.Now()
+	end := clock.RoundEnd()
+	segBits := w.cfg.Stream.BitsPerSegment
+	// Per-pusher send serialization across the whole phase: a pusher's
+	// k-th copy occupies its outbound wire for k+1 segment times, the
+	// same PerSegment accounting the pull and pre-fetch paths use.
+	sent := make(map[overlay.NodeID]int)
+	// Each frontier entry carries the instant its holder actually
+	// received the segment; hop h+1 sends anchor there, so no node ever
+	// forwards a copy at a simulated time before it arrived.
+	type pushSeg struct {
+		id      segment.ID
+		readyAt sim.Time
+	}
+	frontier := make(map[overlay.NodeID][]pushSeg, 1)
+	for _, id := range fresh {
+		frontier[w.source] = append(frontier[w.source], pushSeg{id: id, readyAt: start})
+	}
+	for hop := 1; hop <= hops && len(frontier) > 0; hop++ {
+		pushers := make([]overlay.NodeID, 0, len(frontier))
+		for id := range frontier {
+			pushers = append(pushers, id)
+		}
+		sort.Slice(pushers, func(i, j int) bool { return pushers[i] < pushers[j] })
+		byShard := make([][]overlay.NodeID, phaseShards)
+		for _, id := range pushers {
+			s := w.shardOf(id)
+			byShard[s] = append(byShard[s], id)
+		}
+		seed := w.phaseSeed(phasePush ^ uint64(hop)<<20)
+		planned := make([][]dissemination.Send, phaseShards)
+		sim.MapReduce(w.pool, phaseShards, seed,
+			func(s int, _ *sim.RNG) []dissemination.Send {
+				var out []dissemination.Send
+				for _, id := range byShard[s] {
+					n := w.nodes[id]
+					budget := pushBudget(n) - w.dissem.PushSpent(s, id)
+					if budget <= 0 {
+						continue
+					}
+					segs := make([]segment.ID, len(frontier[id]))
+					for i, ps := range frontier[id] {
+						segs[i] = ps.id
+					}
+					// Salting the plan seed per pusher decorrelates target
+					// orders, so pushers sharing neighbours spray different
+					// prefixes instead of racing to the same targets.
+					sends := dissemination.PlanPush(seed^uint64(id)*0x9e3779b97f4a7c15, id, segs, w.neighborsOf(id),
+						func(to overlay.NodeID, seg segment.ID) bool {
+							t := w.nodes[to]
+							// A target whose inbound link is already
+							// saturated by earlier push hops counts as
+							// unavailable; pushReceived lags the current
+							// hop's own sends (cross-shard state), which
+							// only lets the final hop overshoot by the
+							// in-flight few — counted on arrival below.
+							return t == nil || t.Buf.Has(seg) || t.pushReceived >= t.Rates.In
+						}, budget)
+					if len(sends) == 0 {
+						continue
+					}
+					// The planning shard owns both ledgers for its pushers.
+					w.dissem.ChargePush(s, id, len(sends))
+					w.outUsed[s][id] += len(sends)
+					out = append(out, sends...)
+				}
+				return out
+			},
+			func(s int, out []dissemination.Send) { planned[s] = out })
+
+		ready := make(map[overlay.NodeID]map[segment.ID]sim.Time, len(frontier))
+		for id, segs := range frontier {
+			m := make(map[segment.ID]sim.Time, len(segs))
+			for _, ps := range segs {
+				m[ps.id] = ps.readyAt
+			}
+			ready[id] = m
+		}
+		next := make(map[overlay.NodeID][]pushSeg)
+		for _, sends := range planned {
+			for _, snd := range sends {
+				t := w.nodes[snd.To]
+				if t == nil {
+					continue
+				}
+				// Every transmitted push occupies both links — the
+				// pusher's wire slot and the target's inbound —
+				// duplicates included; the pull scheduler's budget below
+				// shrinks accordingly.
+				sent[snd.From]++
+				t.pushReceived++
+				wire := sim.Time(sent[snd.From]) * bandwidth.PerSegment(w.nodes[snd.From].Rates.Out, w.cfg.Tau)
+				at := ready[snd.From][snd.ID] + wire + w.Latency(snd.From, snd.To)
+				if at > end {
+					// The pusher's wire ran past the round boundary: the
+					// copy is an ordinary transfer in flight, applied,
+					// counted and advertised only when it lands — same
+					// rule as every late pull or pre-fetch delivery.
+					// Landing it now would let the next hop (and this
+					// round's snapshots) see a segment before it arrived.
+					w.inflight.Push(at, delivery{to: snd.To, from: snd.From, id: snd.ID, at: at})
+					continue
+				}
+				sample.DataBits += segBits
+				sample.Deliveries++
+				if !t.receive(snd.ID, at) {
+					sample.PushDuplicates++
+					continue
+				}
+				sample.PushDeliveries++
+				t.Ctrl.ObserveDelivery(int(snd.From), (at - start).Seconds())
+				t.maybeBackup(w.space, snd.ID, w.cfg.Replicas)
+				next[snd.To] = append(next[snd.To], pushSeg{id: snd.ID, readyAt: at})
+			}
+		}
+		frontier = next
+	}
 }
 
 // exchangePhase snapshots every node's buffer map (the per-round "periodic
@@ -162,11 +340,7 @@ func (w *World) predictPhase(clock *sim.Clock) []prefetch.Decision {
 // snapshots. The inbound budget reserves room for this round's pre-fetches
 // ("the on-demand data retrieval algorithm shares the inbound rate with
 // the data scheduling algorithm").
-func (w *World) schedulePhase(clock *sim.Clock, snaps []buffer.Map) [][]scheduler.Request {
-	index := make(map[overlay.NodeID]int, len(w.order))
-	for i, id := range w.order {
-		index[id] = i
-	}
+func (w *World) schedulePhase(clock *sim.Clock, snaps []buffer.Map, index map[overlay.NodeID]int) [][]scheduler.Request {
 	pos := w.playbackPos(w.round)
 	vpos := w.virtualPos(w.round)
 	fetchWin := segment.Window{Lo: pos, Hi: w.fetchEdge(w.round)}
@@ -177,7 +351,10 @@ func (w *World) schedulePhase(clock *sim.Clock, snaps []buffer.Map) [][]schedule
 		if n.IsSource {
 			return
 		}
-		budget := n.Rates.In
+		// Push and pull share the inbound rate: segments the eager push
+		// already landed on this node's link this round come out of the
+		// same I·τ the scheduler may spend.
+		budget := n.Rates.In - n.pushReceived
 		if budget <= 0 {
 			return
 		}
@@ -262,12 +439,17 @@ type transferReq struct {
 	expected  sim.Time
 }
 
-// resolveTransfers enforces supplier outbound budgets. Each supplier
-// serves its round's requests in expected-time order at its real service
-// rate; like a pipelined TCP supplier it keeps transmitting into the next
-// period (slots past τ arrive next round via the in-flight queue) up to
-// one extra period's worth of backlog, beyond which requests are dropped
-// and the requester times out and retries.
+// resolveTransfers enforces supplier outbound budgets with the
+// dissemination engine's supplier-side service discipline. Each supplier
+// merges its round's fresh asks with the carry queue it kept from the
+// previous round and serves them earliest-deadline-first (rarest-first on
+// ties, computed from its own neighbours' buffer maps) at its real
+// service rate; like a pipelined TCP supplier it keeps transmitting into
+// the next period (slots past τ arrive next round via the in-flight
+// queue) up to one extra period's worth of backlog, minus whatever the
+// push phase already spent. Requests beyond the horizon are carried in a
+// bounded per-supplier queue to the next round — deadline-hopeless and
+// overflow entries are evicted and the requester times out and retries.
 //
 // The phase runs as a two-stage sharded pipeline. Stage 1 (scatter)
 // partitions requesters into contiguous index ranges and buckets their
@@ -275,10 +457,11 @@ type transferReq struct {
 // index and w.order is sorted, concatenating a supplier shard's buckets in
 // scatter-shard order reproduces the requester-ascending arrival order a
 // sequential scan would produce. Stage 2 (serve) gives each supplier shard
-// exclusive ownership of its suppliers: it runs the service discipline and
-// writes the outbound ledger partition it owns, with deliveries and drop
-// counts merged in shard order afterwards.
-func (w *World) resolveTransfers(clock *sim.Clock, requests [][]scheduler.Request, sample *metrics.RoundSample) []delivery {
+// exclusive ownership of its suppliers — including their carry queues and
+// push spend, which live in the engine's matching shard — so it runs the
+// service discipline and writes the ledger partition it owns, with
+// deliveries and counters merged in shard order afterwards.
+func (w *World) resolveTransfers(clock *sim.Clock, requests [][]scheduler.Request, snaps []buffer.Map, index map[overlay.NodeID]int, sample *metrics.RoundSample) []delivery {
 	n := len(requests)
 	scatter := make([][][]transferReq, phaseShards) // [requesterShard][supplierShard]
 	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseScatter),
@@ -306,15 +489,24 @@ func (w *World) resolveTransfers(clock *sim.Clock, requests [][]scheduler.Reques
 		func(r int, buckets [][]transferReq) { scatter[r] = buckets })
 
 	type shardServe struct {
-		deliveries []delivery
-		dropped    int64
+		deliveries   []delivery
+		dropped      int64
+		queueServed  int64
+		queueCarried int64
+		evicted      dissemination.Evictions
 	}
 	start := clock.Now()
+	horizon := clock.RoundEnd()
+	pos := w.playbackPos(w.round)
+	p := w.cfg.Stream.Rate
 	merged := make([][]delivery, phaseShards)
 	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseServe),
 		func(s int, _ *sim.RNG) shardServe {
 			bySupplier := make(map[overlay.NodeID][]transferReq)
-			var suppliers []overlay.NodeID
+			suppliers := w.dissem.QueuedSuppliers(s)
+			for _, sup := range suppliers {
+				bySupplier[sup] = nil
+			}
 			for r := 0; r < phaseShards; r++ {
 				if scatter[r] == nil {
 					continue
@@ -332,19 +524,42 @@ func (w *World) resolveTransfers(clock *sim.Clock, requests [][]scheduler.Reques
 			sort.Slice(suppliers, func(i, j int) bool { return suppliers[i] < suppliers[j] })
 			var res shardServe
 			for _, sup := range suppliers {
-				reqs := bySupplier[sup]
-				out := w.serveSupplier(sup, reqs, start)
+				sr := w.serveSupplier(s, sup, bySupplier[sup], snaps, index, start, horizon, pos, p)
 				// The serving shard owns ledger partition s == shardOf(sup),
 				// so this write races with nothing.
-				w.outUsed[s][sup] += len(out)
-				res.dropped += int64(len(reqs) - len(out))
-				res.deliveries = append(res.deliveries, out...)
+				w.outUsed[s][sup] += len(sr.Granted)
+				res.queueCarried += int64(len(sr.Queued))
+				res.evicted.Add(sr.Evicted)
+				res.dropped += sr.Evicted.Total()
+				sn := w.nodes[sup]
+				if sn == nil {
+					continue
+				}
+				// Grants queue behind the wire time the push phase
+				// already consumed: capacity accounting subtracts the
+				// push spend, and completion times must agree with it or
+				// a pushing supplier's pulls would land impossibly early.
+				per := bandwidth.PerSegment(sn.Rates.Out, w.cfg.Tau)
+				backlog := sim.Time(w.dissem.PushSpent(s, sup))
+				for k, g := range sr.Granted {
+					if g.Carried {
+						res.queueServed++
+					}
+					done := (backlog + sim.Time(k+1)) * per
+					at := start + done + w.Latency(sup, g.Requester)
+					res.deliveries = append(res.deliveries, delivery{to: g.Requester, from: sup, id: g.ID, at: at})
+				}
 			}
 			return res
 		},
 		func(s int, res shardServe) {
 			merged[s] = res.deliveries
 			sample.Dropped += res.dropped
+			sample.QueueServed += res.queueServed
+			sample.QueueCarried += res.queueCarried
+			sample.QueueEvictedDeadline += res.evicted.Deadline
+			sample.QueueEvictedOverflow += res.evicted.Overflow
+			sample.QueueEvictedStale += res.evicted.Stale
 		})
 
 	var all []delivery
@@ -354,72 +569,103 @@ func (w *World) resolveTransfers(clock *sim.Clock, requests [][]scheduler.Reques
 	return all
 }
 
-// serveSupplier runs one supplier's round-robin service discipline over its
-// round's requests and returns the deliveries it manages to transmit
-// within its backlog horizon. It touches only per-call state, so supplier
-// shards invoke it concurrently.
-func (w *World) serveSupplier(s overlay.NodeID, reqs []transferReq, start sim.Time) []delivery {
-	sn := w.nodes[s]
-	if sn == nil {
-		return nil
+// serveSupplier runs one supplier's earliest-deadline-first service
+// discipline over its fresh asks plus the carry queue from the previous
+// round, stores the requests it carries forward back into the engine, and
+// returns the serve outcome. The rarity tie-break is computed from the
+// supplier's own neighbours' advertised buffer maps — the supplier-side
+// mirror of the requesting-priority equation (2). It touches only state
+// owned by shard s, so supplier shards invoke it concurrently.
+func (w *World) serveSupplier(s int, sup overlay.NodeID, fresh []transferReq, snaps []buffer.Map, index map[overlay.NodeID]int, start, horizon sim.Time, pos segment.ID, p int) dissemination.ServeResult {
+	carried := w.dissem.TakeQueue(s, sup)
+	sn := w.nodes[sup]
+	if sn == nil || sn.Rates.Out <= 0 {
+		// A dead or mute supplier abandons everything addressed to it.
+		return dissemination.ServeResult{Evicted: dissemination.Evictions{Stale: int64(len(carried) + len(fresh))}}
 	}
-	// Fair queueing: a real supplier transmits to its requesters'
-	// connections concurrently, so service interleaves round-robin
-	// across requesters (each requester's own asks stay in its
-	// priority order). Serving in global priority order instead would
-	// starve exactly the low-priority frontier requests that keep new
-	// content multiplying — a system-wide death spiral under load.
-	sort.SliceStable(reqs, func(a, b int) bool {
-		if reqs[a].requester != reqs[b].requester {
-			return reqs[a].requester < reqs[b].requester
+	if !w.cfg.Profile.Engine {
+		// Baseline profiles keep the published pull-only discipline:
+		// fair-queued round-robin across requesters within the backlog
+		// horizon, drop-and-retry beyond it, no carry queue.
+		reqs := make([]dissemination.Request, 0, len(fresh))
+		for _, tr := range fresh {
+			reqs = append(reqs, dissemination.Request{
+				Requester: tr.requester, ID: tr.id, Expected: tr.expected,
+			})
 		}
-		if reqs[a].expected != reqs[b].expected {
-			return reqs[a].expected < reqs[b].expected
+		return dissemination.ServeRoundRobin(reqs, 2*sn.Rates.Out)
+	}
+	reqs := make([]dissemination.Request, 0, len(carried)+len(fresh))
+	queued := make(map[segment.ID][]overlay.NodeID, len(carried))
+	var stale int64
+	for _, c := range carried {
+		// Revalidate: the requester may have died, the segment may have
+		// slid out of the supplier's buffer while queued, or the
+		// requester may have obtained the segment elsewhere meanwhile
+		// (push, prefetch rescue, a retry at another supplier) — its
+		// current buffer-map snapshot says so, and serving it anyway
+		// would burn a grant slot on repeated data. Only survivors join
+		// the dedupe set — a fresh re-ask that matches a stale entry
+		// must not be swallowed with it.
+		if w.nodes[c.Requester] == nil || !sn.Buf.Has(c.ID) {
+			stale++
+			continue
 		}
-		return reqs[a].id < reqs[b].id
-	})
-	perRequester := make(map[overlay.NodeID][]transferReq)
-	var order []overlay.NodeID
-	for _, r := range reqs {
-		if _, ok := perRequester[r.requester]; !ok {
-			order = append(order, r.requester)
+		if j, ok := index[c.Requester]; ok && snaps[j].Has(c.ID) {
+			stale++
+			continue
 		}
-		perRequester[r.requester] = append(perRequester[r.requester], r)
+		queued[c.ID] = append(queued[c.ID], c.Requester)
+		reqs = append(reqs, c)
 	}
-	capacity := sn.Rates.Out
-	if capacity <= 0 {
-		return nil
-	}
-	perSegmentMS := int64(w.cfg.Tau) / int64(capacity)
-	if perSegmentMS < 1 {
-		perSegmentMS = 1
-	}
-	// Backlog spill: up to one extra period of queued transmissions.
-	limit := 2 * capacity
-	served := 0
-	var out []delivery
-	for depth := 0; served < limit; depth++ {
-		progressed := false
-		for _, req := range order {
-			q := perRequester[req]
-			if depth >= len(q) {
+	// Supplier-side rarity, once per distinct segment: equation (2) over
+	// the advertised buffers of the supplier's own neighbours.
+	neighbours := w.neighborsOf(sup)
+	rarity := make(map[segment.ID]float64)
+	var positions []int
+	rarityOf := func(id segment.ID) float64 {
+		if r, ok := rarity[id]; ok {
+			return r
+		}
+		positions = positions[:0]
+		for _, nb := range neighbours {
+			j, ok := index[nb]
+			if !ok {
 				continue
 			}
-			progressed = true
-			if served >= limit {
-				break
+			if pft, ok := snaps[j].PositionFromTail(id); ok {
+				positions = append(positions, pft)
 			}
-			served++
-			r := q[depth]
-			done := sim.Time(int64(served) * perSegmentMS)
-			at := start + done + w.Latency(s, r.requester)
-			out = append(out, delivery{to: r.requester, from: s, id: r.id, at: at})
 		}
-		if !progressed {
-			break
-		}
+		r := dissemination.SupplierRarity(w.cfg.BufferSegments, positions)
+		rarity[id] = r
+		return r
 	}
-	return out
+	for i := range reqs {
+		reqs[i].Rarity = rarityOf(reqs[i].ID)
+	}
+	for _, tr := range fresh {
+		if slices.Contains(queued[tr.id], tr.requester) {
+			// Already carried: the re-ask merges into its queued twin
+			// and shares its fate (served or evicted), deliberately
+			// counted once in the eviction telemetry.
+			continue
+		}
+		reqs = append(reqs, dissemination.Request{
+			Requester: tr.requester,
+			ID:        tr.id,
+			Deadline:  w.deadlineOf(tr.id, pos, p, start),
+			Rarity:    rarityOf(tr.id),
+		})
+	}
+	// Backlog spill (up to one extra period of queued transmissions)
+	// minus what the push phase already transmitted this round.
+	capacity := 2*sn.Rates.Out - w.dissem.PushSpent(s, sup)
+	queueCap := w.cfg.QueueFactor * sn.Rates.Out
+	res := dissemination.Serve(reqs, capacity, queueCap, horizon)
+	res.Evicted.Stale += stale
+	w.dissem.PutQueue(s, sup, res.Queued)
+	return res
 }
 
 // worldDirectory adapts the world to the prefetch.Directory interface:
@@ -510,7 +756,7 @@ func (w *World) resolvePrefetch(clock *sim.Clock, plans []prefetch.Decision, sam
 						sample.SourceRescues++
 						sample.PrefetchRoutingBits += w.cfg.RoutingMessageBits
 						direct := w.Latency(n.ID, w.source)
-						transfer := sim.Time(int64(sim.Second) / int64(maxInt(1, src.Rates.Out)))
+						transfer := bandwidth.PerSegment(src.Rates.Out, sim.Second)
 						at := start + 2*direct + transfer + direct
 						out = append(out, delivery{to: n.ID, from: w.source, id: res.ID, at: at, prefetch: true})
 					}
@@ -528,7 +774,7 @@ func (w *World) resolvePrefetch(clock *sim.Clock, plans []prefetch.Decision, sam
 			// locate leg walks the routed path; the remaining three legs
 			// are direct exchanges with the chosen supplier.
 			direct := w.Latency(n.ID, supplier)
-			transfer := sim.Time(int64(sim.Second) / int64(maxInt(1, int(res.Rate))))
+			transfer := bandwidth.PerSegment(int(res.Rate), sim.Second)
 			at := start + sim.Time(res.LocateHops)*w.cfg.THop + 2*direct + transfer + direct
 			out = append(out, delivery{to: n.ID, from: supplier, id: res.ID, at: at, prefetch: true})
 			// Everyone on the winning route overhears the exchange.
@@ -758,20 +1004,33 @@ func (w *World) playbackPhase(clock *sim.Clock, sample *metrics.RoundSample) {
 			n.Table.UpdateSupply(nb.ID, n.Ctrl.Supply(int(nb.ID)))
 		}
 	})
+	// The warm variant excludes nodes still inside their post-join
+	// warm-up window — the joiner ramp-up drag that the plain metric
+	// charges against the protocol. A round-r joiner is first evaluated
+	// here in round r+1, so warmth begins strictly after WarmupRounds
+	// evaluated rounds (round - joined > WarmupRounds); the initial
+	// population (JoinedRound -1) is warm from the start — the world is
+	// constructed converged, so its first rounds are not catch-up. In
+	// practice warm continuity sits at or above the plain metric
+	// (excluded joiners almost never play continuously), but that is an
+	// empirical tendency, not an enforced invariant: a joiner that
+	// catches up instantly counts in the plain numerator while excluded
+	// from the warm one.
 	for i, id := range w.order {
 		if id == w.source {
 			continue
 		}
 		sample.PlayingNodes++ // denominator: every alive non-source node
+		n := w.nodes[id]
+		warm := n.JoinedRound < 0 || w.round-n.JoinedRound > w.cfg.WarmupRounds
+		if warm {
+			sample.WarmNodes++
+		}
 		if results[i].playing && results[i].continuous {
 			sample.ContinuousNodes++
+			if warm {
+				sample.ContinuousWarmNodes++
+			}
 		}
 	}
-}
-
-func maxInt(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
 }

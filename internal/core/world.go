@@ -8,6 +8,7 @@ import (
 	"continustreaming/internal/buffer"
 	"continustreaming/internal/churn"
 	"continustreaming/internal/dht"
+	"continustreaming/internal/dissemination"
 	"continustreaming/internal/metrics"
 	"continustreaming/internal/overlay"
 	"continustreaming/internal/prefetch"
@@ -39,11 +40,15 @@ type World struct {
 	// inflight holds deliveries that arrive in a future round.
 	inflight *sim.EventQueue[delivery]
 	// outUsed tracks each node's outbound spend within the current round
-	// (gossip serving first, then pre-fetch takes the leftovers). The
-	// ledger is sharded by supplier ID — shard shardOf(id) owns id's
-	// counter — so the parallel transfer-resolution shards write their own
-	// partition without locks.
+	// (push seeding and gossip serving first, then pre-fetch takes the
+	// leftovers). The ledger is sharded by supplier ID — shard
+	// shardOf(id) owns id's counter — so the parallel transfer-resolution
+	// shards write their own partition without locks.
 	outUsed []map[overlay.NodeID]int
+	// dissem is the dissemination engine's supplier-side state: per-
+	// supplier carry queues and push spend, sharded by the same supplier
+	// ownership rule as outUsed.
+	dissem *dissemination.Engine
 
 	// idGen counts how many times each ring ID has been assigned and
 	// vacated. It salts the per-node random streams so a joiner recycling
@@ -86,6 +91,7 @@ func NewWorld(cfg Config) (*World, error) {
 		collector: metrics.NewCollector(),
 		inflight:  sim.NewEventQueue[delivery](),
 		outUsed:   make([]map[overlay.NodeID]int, phaseShards),
+		dissem:    dissemination.NewEngine(phaseShards),
 		idGen:     make(map[overlay.NodeID]uint64),
 	}
 	for s := range w.outUsed {
@@ -154,11 +160,15 @@ func (w *World) buildNode(id overlay.NodeID, ping sim.Time, isSource bool) *Node
 		IsSource: isSource,
 		Rates:    rates,
 		Ping:     ping,
-		Table:    overlay.NewPeerTable(w.space, id, cfg.M, cfg.H),
-		Buf:      buffer.New(cfg.BufferSegments, 0),
-		Ctrl:     bandwidth.NewController(0.3, float64(cfg.Stream.Rate)),
-		Backup:   dht.NewStore(),
-		RNG:      nodeRNG,
+		// Initial-population sentinel; join() overwrites with the join
+		// round. A plain 0 would alias round-0 churn joiners with the
+		// pre-converged initial overlay in the warm-continuity check.
+		JoinedRound: -1,
+		Table:       overlay.NewPeerTable(w.space, id, cfg.M, cfg.H),
+		Buf:         buffer.New(cfg.BufferSegments, 0),
+		Ctrl:        bandwidth.NewController(0.3, float64(cfg.Stream.Rate)),
+		Backup:      dht.NewStore(),
+		RNG:         nodeRNG,
 	}
 	n.initState()
 	if cfg.Profile.Prefetch && !isSource {

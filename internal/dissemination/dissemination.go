@@ -1,0 +1,80 @@
+// Package dissemination implements the supplier side of the streaming
+// engine: the three coordinated mechanisms that close the dissemination-
+// depth gap of a pure-pull epidemic at large overlay sizes.
+//
+//  1. Fresh-segment push — the source and its first-generation holders
+//     eagerly forward the newest segments along mesh edges for their
+//     first H hops, so a segment's epidemic starts from dozens of seeded
+//     copies instead of one. Deterministic first-hops push is what gives
+//     near-optimal dissemination delay (Venkatakrishnan & Viswanath,
+//     "Deterministic Near-Optimal P2P Streaming"); the pull scheduler
+//     then only has to finish an epidemic that is already several
+//     generations deep.
+//  2. Supplier-side service ordering — a contended supplier serves its
+//     round's requests earliest-deadline-first with a rarest-first
+//     tie-break computed from its own neighbours' buffer maps, instead
+//     of requester-order FIFO. Once outbound bandwidth is the binding
+//     constraint, what the supplier chooses to send dominates what
+//     requesters chose to ask for (Rodrigues, "On the Optimization of
+//     BitTorrent-Like Protocols for Interactive On-Demand Streaming").
+//  3. Outbound queueing — asks that exceed a supplier's per-round
+//     backlog horizon are carried in a bounded per-supplier queue to the
+//     next round (with deadline-based eviction) instead of dropped, so a
+//     correlated burst of requests for one hot segment degrades into
+//     next-round service rather than a retry storm.
+//
+// The package holds no references into the simulation world: core adapts
+// its state into Requests and Sends, and the Engine's sharded state (carry
+// queues, push spend) is partitioned by the same supplier-ownership shards
+// as the core round pipeline, so every mutation stays worker-count
+// deterministic under sim.MapReduce.
+package dissemination
+
+import (
+	"continustreaming/internal/overlay"
+	"continustreaming/internal/scheduler"
+	"continustreaming/internal/segment"
+	"continustreaming/internal/sim"
+)
+
+// Request is one requester→supplier ask as the supplier's service
+// discipline sees it.
+type Request struct {
+	// Requester is the asking node.
+	Requester overlay.NodeID
+	// ID is the requested segment.
+	ID segment.ID
+	// Deadline is the latest useful arrival time of the segment at the
+	// requester (the end of the scheduling period it plays in).
+	Deadline sim.Time
+	// Rarity is the supplier-side rarity of the segment (equation (2)
+	// evaluated over the supplier's neighbour buffer maps); rarer
+	// segments win deadline ties because their copies are about to
+	// vanish from the neighbourhood.
+	Rarity float64
+	// Expected is the requester's expected completion offset, used only
+	// by the baseline round-robin discipline (ServeRoundRobin).
+	Expected sim.Time
+	// Carried marks a request served out of the carry queue rather than
+	// scheduled this round.
+	Carried bool
+}
+
+// SupplierRarity evaluates the requesting-priority rarity term from the
+// supplier's point of view: positions are the segment's FIFO
+// positions-from-tail in the advertised buffers of the supplier's
+// neighbours that hold it. It reuses the requester-side scheduler.Rarity
+// (equation (2)); a segment none of the supplier's neighbours hold is
+// maximally rare — the supplier may be its sole holder in the
+// neighbourhood, so the empty product is 1, not scheduler.Rarity's
+// no-candidate 0.
+func SupplierRarity(bufferSize int, positions []int) float64 {
+	if len(positions) == 0 {
+		return 1
+	}
+	c := scheduler.Candidate{Suppliers: make([]scheduler.Supplier, len(positions))}
+	for i, p := range positions {
+		c.Suppliers[i] = scheduler.Supplier{PositionFromTail: p}
+	}
+	return scheduler.Rarity(scheduler.PriorityInput{BufferSize: bufferSize}, c)
+}

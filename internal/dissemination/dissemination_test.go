@@ -1,0 +1,180 @@
+package dissemination
+
+import (
+	"reflect"
+	"testing"
+
+	"continustreaming/internal/overlay"
+	"continustreaming/internal/scheduler"
+	"continustreaming/internal/segment"
+)
+
+func TestOrderEDFThenRarity(t *testing.T) {
+	reqs := []Request{
+		{Requester: 9, ID: 30, Deadline: 3000, Rarity: 0.9},
+		{Requester: 2, ID: 10, Deadline: 1000, Rarity: 0.1},
+		{Requester: 5, ID: 20, Deadline: 2000, Rarity: 0.2},
+		{Requester: 7, ID: 21, Deadline: 2000, Rarity: 0.8},
+		{Requester: 1, ID: 22, Deadline: 2000, Rarity: 0.8, Carried: true},
+	}
+	Order(reqs)
+	// Earliest deadline first; rarity breaks the 2000 tie; carried beats
+	// new at equal rarity.
+	wantIDs := []segment.ID{10, 22, 21, 20, 30}
+	for i, want := range wantIDs {
+		if reqs[i].ID != want {
+			t.Fatalf("position %d: got segment %d, want %d (order %+v)", i, reqs[i].ID, want, reqs)
+		}
+	}
+}
+
+func TestOrderAgreesWithSchedulerUrgency(t *testing.T) {
+	// The EDF key is the serve-side analogue of equation (1): for two
+	// segments with distinct deadlines, the earlier deadline must be the
+	// one the requester-side urgency term ranks higher.
+	in := scheduler.PriorityInput{Play: 0, PlaybackRate: 10, BufferSize: 600}
+	early := scheduler.Candidate{ID: 40, Suppliers: []scheduler.Supplier{{Rate: 15}}}
+	late := scheduler.Candidate{ID: 120, Suppliers: []scheduler.Supplier{{Rate: 15}}}
+	if scheduler.Urgency(in, early) <= scheduler.Urgency(in, late) {
+		t.Fatal("urgency is not monotone in deadline; EDF serve order no longer mirrors equation (1)")
+	}
+}
+
+func TestServeGrantsCapacityThenQueues(t *testing.T) {
+	reqs := []Request{
+		{Requester: 1, ID: 10, Deadline: 1000},
+		{Requester: 2, ID: 11, Deadline: 2000},
+		{Requester: 3, ID: 12, Deadline: 9000},
+		{Requester: 4, ID: 13, Deadline: 500}, // earliest deadline: granted first
+		{Requester: 5, ID: 14, Deadline: 8000},
+	}
+	res := Serve(reqs, 2, 1, 1000)
+	if len(res.Granted) != 2 || res.Granted[0].ID != 13 || res.Granted[1].ID != 10 {
+		t.Fatalf("granted %+v, want EDF order [13 10]", res.Granted)
+	}
+	// Remainder in EDF order: 11 (deadline 2000) queues first and fills
+	// the 1-slot cap; 14 and 12 overflow; nothing else is past deadline.
+	if len(res.Queued) != 1 || res.Queued[0].ID != 11 || !res.Queued[0].Carried {
+		t.Fatalf("queued %+v, want carried segment 11", res.Queued)
+	}
+	if res.Evicted.Overflow != 2 || res.Evicted.Deadline != 0 || res.Evicted.Stale != 0 {
+		t.Fatalf("evictions %+v, want 2 overflow", res.Evicted)
+	}
+}
+
+func TestServeEvictsPastDeadline(t *testing.T) {
+	reqs := []Request{
+		{Requester: 1, ID: 10, Deadline: 900},
+		{Requester: 2, ID: 11, Deadline: 950},
+	}
+	res := Serve(reqs, 0, 8, 1000)
+	if len(res.Granted) != 0 || len(res.Queued) != 0 {
+		t.Fatalf("granted %d queued %d, want none", len(res.Granted), len(res.Queued))
+	}
+	if res.Evicted.Deadline != 2 {
+		t.Fatalf("deadline evictions = %d, want 2", res.Evicted.Deadline)
+	}
+}
+
+func TestSupplierRarity(t *testing.T) {
+	if r := SupplierRarity(600, nil); r != 1 {
+		t.Fatalf("sole-holder rarity = %v, want 1", r)
+	}
+	few := SupplierRarity(600, []int{60})
+	many := SupplierRarity(600, []int{60, 60, 60})
+	if few <= many {
+		t.Fatalf("rarity must shrink with more holders: 1 holder %v vs 3 holders %v", few, many)
+	}
+	in := scheduler.PriorityInput{BufferSize: 600}
+	c := scheduler.Candidate{Suppliers: []scheduler.Supplier{{PositionFromTail: 60}}}
+	if got, want := SupplierRarity(600, []int{60}), scheduler.Rarity(in, c); got != want {
+		t.Fatalf("SupplierRarity = %v, scheduler.Rarity = %v", got, want)
+	}
+}
+
+func TestPlanPushBreadthFirstAndBudget(t *testing.T) {
+	segs := []segment.ID{100, 101}
+	nbs := []overlay.NodeID{1, 2, 3}
+	sends := PlanPush(7, 42, segs, nbs, func(overlay.NodeID, segment.ID) bool { return false }, 3)
+	if len(sends) != 3 {
+		t.Fatalf("%d sends, want budget-limited 3", len(sends))
+	}
+	// Breadth-first: both segments get one copy out before either gets
+	// its second.
+	if sends[0].ID == sends[1].ID {
+		t.Fatalf("first two sends pushed the same segment: %+v", sends)
+	}
+	for _, s := range sends {
+		if s.From != 42 {
+			t.Fatalf("send from %d, want 42", s.From)
+		}
+	}
+	// Deterministic: identical inputs, identical plan.
+	again := PlanPush(7, 42, segs, nbs, func(overlay.NodeID, segment.ID) bool { return false }, 3)
+	if !reflect.DeepEqual(sends, again) {
+		t.Fatalf("plan not deterministic: %+v vs %+v", sends, again)
+	}
+}
+
+func TestPlanPushSkipsHolders(t *testing.T) {
+	segs := []segment.ID{100}
+	nbs := []overlay.NodeID{1, 2, 3}
+	sends := PlanPush(7, 42, segs, nbs, func(to overlay.NodeID, _ segment.ID) bool { return to != 2 }, 10)
+	if len(sends) != 1 || sends[0].To != 2 {
+		t.Fatalf("sends %+v, want exactly one to the only non-holder 2", sends)
+	}
+}
+
+func TestEngineQueueLifecycle(t *testing.T) {
+	e := NewEngine(4)
+	q := []Request{{Requester: 1, ID: 5, Deadline: 100}}
+	e.PutQueue(2, 7, q)
+	if got := e.QueuedSuppliers(2); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("queued suppliers %v", got)
+	}
+	if e.QueueLen(2, 7) != 1 {
+		t.Fatal("queue length wrong")
+	}
+	if got := e.TakeQueue(2, 7); !reflect.DeepEqual(got, q) {
+		t.Fatalf("TakeQueue = %+v", got)
+	}
+	if e.TakeQueue(2, 7) != nil || len(e.QueuedSuppliers(2)) != 0 {
+		t.Fatal("queue not cleared by take")
+	}
+	e.PutQueue(2, 7, q)
+	e.ChargePush(2, 7, 3)
+	e.DropSupplier(2, 7)
+	if e.QueueLen(2, 7) != 0 || e.PushSpent(2, 7) != 0 {
+		t.Fatal("DropSupplier left state behind")
+	}
+	e.ChargePush(1, 9, 2)
+	e.BeginRound()
+	if e.PushSpent(1, 9) != 0 {
+		t.Fatal("BeginRound kept push spend")
+	}
+	// PutQueue with an empty slice clears.
+	e.PutQueue(0, 3, []Request{{Requester: 1, ID: 1}})
+	e.PutQueue(0, 3, nil)
+	if len(e.QueuedSuppliers(0)) != 0 {
+		t.Fatal("empty PutQueue did not clear")
+	}
+}
+
+func TestEngineFilterRequesters(t *testing.T) {
+	e := NewEngine(2)
+	e.PutQueue(0, 4, []Request{
+		{Requester: 1, ID: 10},
+		{Requester: 2, ID: 11},
+		{Requester: 1, ID: 12},
+	})
+	e.PutQueue(1, 9, []Request{{Requester: 2, ID: 13}})
+	e.FilterRequesters(func(id overlay.NodeID) bool { return id != 2 })
+	if got := e.TakeQueue(0, 4); len(got) != 2 || got[0].Requester != 1 || got[1].Requester != 1 {
+		t.Fatalf("shard 0 queue after filter: %+v", got)
+	}
+	// Supplier 9's only entry was from the dropped requester; its queue
+	// entry must vanish entirely.
+	if len(e.QueuedSuppliers(1)) != 0 {
+		t.Fatal("empty post-filter queue not cleared")
+	}
+}

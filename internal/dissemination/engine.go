@@ -1,0 +1,123 @@
+package dissemination
+
+import (
+	"sort"
+
+	"continustreaming/internal/overlay"
+)
+
+// Engine holds the supplier-side round state: the bounded per-supplier
+// carry queues and the per-round push spend. Both are partitioned into
+// the caller's supplier-ownership shards — shard s holds the state of
+// every supplier whose ID maps to s — so the parallel serve and push
+// stages of the round pipeline mutate their own partition without locks,
+// and the combined outcome is identical at any worker count.
+type Engine struct {
+	queues    []map[overlay.NodeID][]Request
+	pushSpent []map[overlay.NodeID]int
+}
+
+// NewEngine returns an engine partitioned into shards supplier shards
+// (the caller's phase shard count).
+func NewEngine(shards int) *Engine {
+	e := &Engine{
+		queues:    make([]map[overlay.NodeID][]Request, shards),
+		pushSpent: make([]map[overlay.NodeID]int, shards),
+	}
+	for s := range e.queues {
+		e.queues[s] = make(map[overlay.NodeID][]Request)
+		e.pushSpent[s] = make(map[overlay.NodeID]int)
+	}
+	return e
+}
+
+// BeginRound resets the per-round push spend. Carry queues persist — they
+// are exactly the state that crosses rounds.
+func (e *Engine) BeginRound() {
+	for _, m := range e.pushSpent {
+		clear(m)
+	}
+}
+
+// PushSpent reads a supplier's eager-push outbound spend this round.
+// Only the shard owning the supplier (or sequential phase code) may call
+// engine methods for it.
+func (e *Engine) PushSpent(shard int, id overlay.NodeID) int {
+	return e.pushSpent[shard][id]
+}
+
+// ChargePush records n eager-push transmissions against a supplier.
+func (e *Engine) ChargePush(shard int, id overlay.NodeID, n int) {
+	e.pushSpent[shard][id] += n
+}
+
+// TakeQueue removes and returns a supplier's carried requests (nil when
+// none are queued).
+func (e *Engine) TakeQueue(shard int, id overlay.NodeID) []Request {
+	q, ok := e.queues[shard][id]
+	if !ok {
+		return nil
+	}
+	delete(e.queues[shard], id)
+	return q
+}
+
+// PutQueue stores a supplier's carry queue for the next round; an empty
+// queue clears the entry.
+func (e *Engine) PutQueue(shard int, id overlay.NodeID, q []Request) {
+	if len(q) == 0 {
+		delete(e.queues[shard], id)
+		return
+	}
+	e.queues[shard][id] = q
+}
+
+// QueuedSuppliers returns the shard's suppliers with non-empty carry
+// queues in ascending ID order, so serve stages that iterate them produce
+// worker-count-independent output.
+func (e *Engine) QueuedSuppliers(shard int) []overlay.NodeID {
+	m := e.queues[shard]
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]overlay.NodeID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// QueueLen reports how many requests a supplier is carrying.
+func (e *Engine) QueueLen(shard int, id overlay.NodeID) int {
+	return len(e.queues[shard][id])
+}
+
+// DropSupplier discards all engine state for a departed supplier. A
+// joiner recycling the ring slot must start with an empty queue: the
+// carried requests were promises of the dead node's buffer, not the
+// newcomer's.
+func (e *Engine) DropSupplier(shard int, id overlay.NodeID) {
+	delete(e.queues[shard], id)
+	delete(e.pushSpent[shard], id)
+}
+
+// FilterRequesters drops every carried request whose requester fails the
+// keep predicate, across all shards. Churn calls it after a round's
+// leavers are removed and before its joiners are admitted: a departed
+// requester's entries must not survive into a recycled ring slot, where
+// the liveness check at serve time would mistake the newcomer for the
+// node that asked. Sequential-phase use only.
+func (e *Engine) FilterRequesters(keep func(overlay.NodeID) bool) {
+	for shard, m := range e.queues {
+		for sup, q := range m {
+			kept := q[:0]
+			for _, r := range q {
+				if keep(r.Requester) {
+					kept = append(kept, r)
+				}
+			}
+			e.PutQueue(shard, sup, kept)
+		}
+	}
+}

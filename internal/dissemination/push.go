@@ -1,0 +1,72 @@
+package dissemination
+
+import (
+	"sort"
+
+	"continustreaming/internal/overlay"
+	"continustreaming/internal/scheduler"
+	"continustreaming/internal/segment"
+)
+
+// Send is one eager fresh-segment transmission.
+type Send struct {
+	From, To overlay.NodeID
+	ID       segment.ID
+}
+
+// PlanPush computes one pusher's eager transmissions for one hop of the
+// fresh-segment push: for every fresh segment it holds, the pusher
+// forwards copies to neighbours that lack the segment, breadth-first
+// across segments (each segment gets its first copy out before any
+// segment gets its second) until the outbound budget is exhausted.
+//
+// Per-segment target order is a hash of (seed, segment, target), so two
+// pushers holding the same segment spray different neighbour prefixes and
+// the copies spread instead of piling onto the lowest IDs; the order is a
+// pure function of its inputs, which keeps the phase worker-count
+// deterministic. has reports whether a neighbour already holds a segment
+// (such targets are skipped — though concurrent pushers in the same hop
+// may still race to the same target, which the caller counts as a push
+// duplicate on arrival).
+func PlanPush(seed uint64, from overlay.NodeID, segs []segment.ID, neighbours []overlay.NodeID, has func(overlay.NodeID, segment.ID) bool, budget int) []Send {
+	if budget <= 0 || len(segs) == 0 || len(neighbours) == 0 {
+		return nil
+	}
+	type ranked struct {
+		to  overlay.NodeID
+		key uint64
+	}
+	targets := make([][]ranked, len(segs))
+	for i, s := range segs {
+		for _, nb := range neighbours {
+			if has(nb, s) {
+				continue
+			}
+			targets[i] = append(targets[i], ranked{to: nb, key: scheduler.Jitter(seed, uint64(s), uint64(nb))})
+		}
+		sort.Slice(targets[i], func(a, b int) bool {
+			if targets[i][a].key != targets[i][b].key {
+				return targets[i][a].key < targets[i][b].key
+			}
+			return targets[i][a].to < targets[i][b].to
+		})
+	}
+	var out []Send
+	for depth := 0; budget > 0; depth++ {
+		progressed := false
+		for i, s := range segs {
+			if depth >= len(targets[i]) {
+				continue
+			}
+			progressed = true
+			out = append(out, Send{From: from, To: targets[i][depth].to, ID: s})
+			if budget--; budget <= 0 {
+				return out
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return out
+}

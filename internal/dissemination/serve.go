@@ -1,0 +1,161 @@
+package dissemination
+
+import (
+	"sort"
+
+	"continustreaming/internal/overlay"
+	"continustreaming/internal/sim"
+)
+
+// Order sorts requests into the supplier-side service order: earliest
+// deadline first (the serve-side analogue of the requesting-priority
+// urgency term — 1/slack is monotone in the deadline, so EDF and
+// descending equation-(1) urgency agree), rarest first among equal
+// deadlines, carried-before-new among equal rarities (a queued request
+// has already waited a round), then (requester, segment) for full
+// determinism.
+func Order(reqs []Request) {
+	sort.SliceStable(reqs, func(i, j int) bool {
+		a, b := reqs[i], reqs[j]
+		if a.Deadline != b.Deadline {
+			return a.Deadline < b.Deadline
+		}
+		if a.Rarity != b.Rarity {
+			return a.Rarity > b.Rarity
+		}
+		if a.Carried != b.Carried {
+			return a.Carried
+		}
+		if a.Requester != b.Requester {
+			return a.Requester < b.Requester
+		}
+		return a.ID < b.ID
+	})
+}
+
+// Evictions classifies the requests a supplier abandoned this round.
+type Evictions struct {
+	// Deadline counts requests evicted because carrying them would be
+	// pointless: they could not be served before their deadline.
+	Deadline int64
+	// Overflow counts requests evicted because the bounded carry queue
+	// was full of earlier-deadline work (for the baseline round-robin
+	// discipline, which has no queue, every capacity drop lands here).
+	Overflow int64
+	// Stale counts requests overtaken by membership or buffer drift:
+	// the requester died, the segment left the supplier's buffer while
+	// queued, the requester already obtained the segment elsewhere, or
+	// the supplier itself died or lost its outbound with asks addressed
+	// to it.
+	Stale int64
+}
+
+// Total sums all eviction classes.
+func (e Evictions) Total() int64 { return e.Deadline + e.Overflow + e.Stale }
+
+// Add accumulates another supplier's evictions.
+func (e *Evictions) Add(o Evictions) {
+	e.Deadline += o.Deadline
+	e.Overflow += o.Overflow
+	e.Stale += o.Stale
+}
+
+// ServeResult is the outcome of one supplier's scheduling period.
+type ServeResult struct {
+	// Granted are the requests transmitted this round, in service order.
+	Granted []Request
+	// Queued are the requests carried to the next round, in deadline
+	// order.
+	Queued []Request
+	// Evicted classifies the abandoned remainder.
+	Evicted Evictions
+}
+
+// Serve runs one supplier's earliest-deadline-first service discipline.
+// capacity is how many segments the supplier can still transmit within
+// its backlog horizon this round; queueCap bounds the carry queue; any
+// request beyond both that cannot arrive after horizon (the end of the
+// current round) in time for its deadline is evicted rather than carried.
+// reqs is reordered in place.
+func Serve(reqs []Request, capacity, queueCap int, horizon sim.Time) ServeResult {
+	Order(reqs)
+	var res ServeResult
+	if capacity < 0 {
+		capacity = 0
+	}
+	if capacity > len(reqs) {
+		capacity = len(reqs)
+	}
+	res.Granted = reqs[:capacity]
+	for _, r := range reqs[capacity:] {
+		if r.Deadline <= horizon {
+			// Next-round service arrives after the deadline: abandoning
+			// now lets the requester's pending state expire and the
+			// urgent-line rescue path take over.
+			res.Evicted.Deadline++
+			continue
+		}
+		if len(res.Queued) >= queueCap {
+			res.Evicted.Overflow++
+			continue
+		}
+		q := r
+		q.Carried = true
+		res.Queued = append(res.Queued, q)
+	}
+	return res
+}
+
+// ServeRoundRobin is the baseline supplier discipline the engine
+// replaces, kept for profiles without the dissemination engine: a real
+// pull-only supplier transmits to its requesters' connections
+// concurrently, so service interleaves round-robin across requesters
+// (each requester's own asks stay in its expected-time priority order)
+// up to the capacity, and everything beyond is dropped for the requester
+// to time out and retry. reqs is reordered in place.
+func ServeRoundRobin(reqs []Request, capacity int) ServeResult {
+	var res ServeResult
+	if capacity <= 0 {
+		res.Evicted.Overflow = int64(len(reqs))
+		return res
+	}
+	sort.SliceStable(reqs, func(i, j int) bool {
+		a, b := reqs[i], reqs[j]
+		if a.Requester != b.Requester {
+			return a.Requester < b.Requester
+		}
+		if a.Expected != b.Expected {
+			return a.Expected < b.Expected
+		}
+		return a.ID < b.ID
+	})
+	perRequester := make(map[overlay.NodeID][]Request)
+	var order []overlay.NodeID
+	for _, r := range reqs {
+		if _, ok := perRequester[r.Requester]; !ok {
+			order = append(order, r.Requester)
+		}
+		perRequester[r.Requester] = append(perRequester[r.Requester], r)
+	}
+	served := 0
+	for depth := 0; served < capacity; depth++ {
+		progressed := false
+		for _, req := range order {
+			q := perRequester[req]
+			if depth >= len(q) {
+				continue
+			}
+			progressed = true
+			if served >= capacity {
+				break
+			}
+			served++
+			res.Granted = append(res.Granted, q[depth])
+		}
+		if !progressed {
+			break
+		}
+	}
+	res.Evicted.Overflow = int64(len(reqs) - len(res.Granted))
+	return res
+}

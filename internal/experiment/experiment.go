@@ -36,6 +36,12 @@ type Options struct {
 	// with a per-round trace-driven schedule (see churn.TraceModel and
 	// cmd/tracegen -churn). Static runs ignore it.
 	ChurnTrace *churn.TraceModel
+	// PushHops overrides the dissemination engine's push depth: 0 keeps
+	// the config default, a negative value disables the push phase.
+	PushHops int
+	// QueueFactor overrides the supplier carry-queue bound: 0 keeps the
+	// config default, a negative value disables queueing.
+	QueueFactor int
 }
 
 // DefaultOptions mirrors the paper's settings.
@@ -75,12 +81,17 @@ type RunResult struct {
 	Nodes      int
 	Dynamic    bool
 	Continuity metrics.Series
-	Control    metrics.Series
-	Prefetch   metrics.Series
+	// ContinuityWarm excludes nodes in their first WarmupRounds of
+	// post-join catch-up — the joiner ramp-up drag the plain metric
+	// charges against the protocol.
+	ContinuityWarm metrics.Series
+	Control        metrics.Series
+	Prefetch       metrics.Series
 	// Stable* are the tail means the paper quotes.
-	StableContinuity float64
-	StableControl    float64
-	StablePrefetch   float64
+	StableContinuity     float64
+	StableContinuityWarm float64
+	StableControl        float64
+	StablePrefetch       float64
 	// StableAtRound is when the continuity settles (-1 if never).
 	StableAtRound int
 	Totals        metrics.RoundSample
@@ -96,20 +107,23 @@ func runWorld(cfg core.Config, rounds, stableTail int) (RunResult, error) {
 	engine.Run(rounds)
 	col := w.Collector()
 	cont := col.ContinuitySeries()
+	warm := col.ContinuityWarmSeries()
 	ctl := col.ControlOverheadSeries()
 	pf := col.PrefetchOverheadSeries()
 	return RunResult{
-		Profile:          cfg.Profile.Name,
-		Nodes:            cfg.Nodes,
-		Dynamic:          cfg.Churn.Enabled(),
-		Continuity:       cont,
-		Control:          ctl,
-		Prefetch:         pf,
-		StableContinuity: cont.TailMean(stableTail),
-		StableControl:    ctl.TailMean(stableTail),
-		StablePrefetch:   pf.TailMean(stableTail),
-		StableAtRound:    cont.StableRound(stableTail, 0.03),
-		Totals:           col.Totals(),
+		Profile:              cfg.Profile.Name,
+		Nodes:                cfg.Nodes,
+		Dynamic:              cfg.Churn.Enabled(),
+		Continuity:           cont,
+		ContinuityWarm:       warm,
+		Control:              ctl,
+		Prefetch:             pf,
+		StableContinuity:     cont.TailMean(stableTail),
+		StableContinuityWarm: warm.TailMean(stableTail),
+		StableControl:        ctl.TailMean(stableTail),
+		StablePrefetch:       pf.TailMean(stableTail),
+		StableAtRound:        cont.StableRound(stableTail, 0.03),
+		Totals:               col.Totals(),
 	}, nil
 }
 
@@ -125,6 +139,8 @@ func baseConfig(n int, profile core.Profile, dynamic bool, o Options) core.Confi
 	if o.DelaySegments > 0 {
 		cfg.PlaybackDelaySegments = o.DelaySegments
 	}
+	core.ApplyKnobOverride(&cfg.PushHops, o.PushHops)
+	core.ApplyKnobOverride(&cfg.QueueFactor, o.QueueFactor)
 	if dynamic {
 		cfg.Churn = churn.DefaultConfig()
 		cfg.Churn.Trace = o.ChurnTrace

@@ -80,9 +80,10 @@ func (r SizeSweepResult) Table() *metrics.Table {
 	}
 	tbl := metrics.NewTable(
 		fmt.Sprintf("Playback continuity vs network size (%s)", env),
-		"nodes", "CoolStreaming", "ContinuStreaming", "delta")
+		"nodes", "CoolStreaming", "ContinuStreaming", "delta", "PC_warm(new)")
 	for _, p := range r.Points {
-		tbl.AddRow(p.Nodes, p.Cool.StableContinuity, p.Continu.StableContinuity, p.Delta())
+		tbl.AddRow(p.Nodes, p.Cool.StableContinuity, p.Continu.StableContinuity, p.Delta(),
+			p.Continu.StableContinuityWarm)
 	}
 	return tbl
 }

@@ -24,9 +24,10 @@ type FlashCrowdResult struct {
 func (r FlashCrowdResult) Table() *metrics.Table {
 	tbl := metrics.NewTable(
 		fmt.Sprintf("Flash crowd (dynamic, n=%d)", r.Nodes),
-		"t(s)", "continuity", "control", "prefetch")
+		"t(s)", "continuity", "warm", "control", "prefetch")
 	for i := 0; i < r.Run.Continuity.Len(); i++ {
-		tbl.AddRow(i, r.Run.Continuity.Values[i], r.Run.Control.Values[i], r.Run.Prefetch.Values[i])
+		tbl.AddRow(i, r.Run.Continuity.Values[i], r.Run.ContinuityWarm.Values[i],
+			r.Run.Control.Values[i], r.Run.Prefetch.Values[i])
 	}
 	return tbl
 }

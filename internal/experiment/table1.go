@@ -15,6 +15,10 @@ type Table1Row struct {
 	PCOld       float64
 	PCNew       float64
 	Delta       float64
+	// PCNewWarm is PC_new over the warm population only (nodes past
+	// their joiner warm-up; equals PC_new in static environments and for
+	// the theory rows, which have no joiners).
+	PCNewWarm float64
 }
 
 // Table1Result reproduces the unnumbered comparison table of §5.1.
@@ -25,9 +29,9 @@ type Table1Result struct {
 // Table renders the comparison.
 func (r Table1Result) Table() *metrics.Table {
 	tbl := metrics.NewTable("Theory vs simulation (n=1000, p=10, tau=1s, k=4)",
-		"environment", "PC_old", "PC_new", "delta")
+		"environment", "PC_old", "PC_new", "delta", "PC_new(warm)")
 	for _, row := range r.Rows {
-		tbl.AddRow(row.Environment, row.PCOld, row.PCNew, row.Delta)
+		tbl.AddRow(row.Environment, row.PCOld, row.PCNew, row.Delta, row.PCNewWarm)
 	}
 	return tbl
 }
@@ -46,6 +50,7 @@ func RunTable1(o Options) (Table1Result, error) {
 			PCOld:       m.PCOld(),
 			PCNew:       m.PCNew(),
 			Delta:       m.Delta(),
+			PCNewWarm:   m.PCNew(),
 		})
 	}
 	type env struct {
@@ -80,6 +85,7 @@ func RunTable1(o Options) (Table1Result, error) {
 			PCOld:       oldRun.StableContinuity,
 			PCNew:       newRun.StableContinuity,
 			Delta:       newRun.StableContinuity - oldRun.StableContinuity,
+			PCNewWarm:   newRun.StableContinuityWarm,
 		})
 	}
 	return res, nil

@@ -56,6 +56,28 @@ type RoundSample struct {
 	// SourceRescues counts failed lookups that fell back to a direct
 	// fetch from the media source's spare outbound.
 	SourceRescues int64
+	// PushDeliveries counts fresh segments stored via the eager push
+	// phase; PushDuplicates counts pushed copies that arrived at a node
+	// already holding the segment (two same-hop pushers racing to one
+	// target, or a pull transfer winning the race).
+	PushDeliveries int64
+	PushDuplicates int64
+	// QueueServed counts requests granted out of a supplier's carry
+	// queue; QueueCarried counts requests carried into the next round.
+	QueueServed  int64
+	QueueCarried int64
+	// Queue evictions, classified: the request could no longer meet its
+	// deadline, the bounded queue was full of earlier-deadline work, or
+	// the requester/segment vanished while queued. Diag probes use the
+	// split to attribute residual playback misses.
+	QueueEvictedDeadline int64
+	QueueEvictedOverflow int64
+	QueueEvictedStale    int64
+	// WarmNodes is the continuity denominator excluding nodes still in
+	// their first WarmupRounds after joining (the joiner ramp-up drag);
+	// ContinuousWarmNodes of them held every due segment.
+	WarmNodes           int
+	ContinuousWarmNodes int
 }
 
 // Continuity returns the round's playback continuity in [0,1]; rounds with
@@ -65,6 +87,19 @@ func (s RoundSample) Continuity() float64 {
 		return 0
 	}
 	return float64(s.ContinuousNodes) / float64(s.PlayingNodes)
+}
+
+// ContinuityWarm returns the round's playback continuity over the warm
+// population only: nodes past their first WarmupRounds of catch-up after
+// joining. It separates dissemination quality from joiner ramp-up drag —
+// under churn a constant fraction of the population is always a fresh
+// joiner with an empty buffer, and the plain Continuity denominator
+// charges those startup rounds against the protocol.
+func (s RoundSample) ContinuityWarm() float64 {
+	if s.WarmNodes == 0 {
+		return 0
+	}
+	return float64(s.ContinuousWarmNodes) / float64(s.WarmNodes)
 }
 
 // ControlOverhead returns control bits over data bits (0 when no data
@@ -177,6 +212,15 @@ func (c *Collector) ContinuitySeries() Series {
 	return s
 }
 
+// ContinuityWarmSeries returns the warm-population continuity trace.
+func (c *Collector) ContinuityWarmSeries() Series {
+	s := Series{Name: "playback-continuity-warm"}
+	for _, smp := range c.samples {
+		s.Append(smp.ContinuityWarm())
+	}
+	return s
+}
+
 // ControlOverheadSeries returns the control-overhead trace.
 func (c *Collector) ControlOverheadSeries() Series {
 	s := Series{Name: "control-overhead"}
@@ -215,6 +259,13 @@ func (c *Collector) Totals() RoundSample {
 		t.LookupNoBackup += s.LookupNoBackup
 		t.LookupNoRate += s.LookupNoRate
 		t.SourceRescues += s.SourceRescues
+		t.PushDeliveries += s.PushDeliveries
+		t.PushDuplicates += s.PushDuplicates
+		t.QueueServed += s.QueueServed
+		t.QueueCarried += s.QueueCarried
+		t.QueueEvictedDeadline += s.QueueEvictedDeadline
+		t.QueueEvictedOverflow += s.QueueEvictedOverflow
+		t.QueueEvictedStale += s.QueueEvictedStale
 	}
 	return t
 }

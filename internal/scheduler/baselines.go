@@ -33,8 +33,8 @@ func (RarestFirst) Schedule(in Input) []Request {
 			return ni < nj // fewer suppliers = rarer = first
 		}
 		// Equal rarity: jittered order (see Input.JitterSeed), then ID.
-		ji := jitter(in.JitterSeed, uint64(scored[i].c.ID), 0)
-		jj := jitter(in.JitterSeed, uint64(scored[j].c.ID), 0)
+		ji := Jitter(in.JitterSeed, uint64(scored[i].c.ID), 0)
+		jj := Jitter(in.JitterSeed, uint64(scored[j].c.ID), 0)
 		if ji != jj {
 			return ji < jj
 		}

@@ -40,8 +40,8 @@ func sortByPriority(in Input, scored []scoredCandidate) {
 		if scored[i].priority != scored[j].priority {
 			return scored[i].priority > scored[j].priority
 		}
-		ji := jitter(in.JitterSeed, uint64(scored[i].c.ID), 0)
-		jj := jitter(in.JitterSeed, uint64(scored[j].c.ID), 0)
+		ji := Jitter(in.JitterSeed, uint64(scored[i].c.ID), 0)
+		jj := Jitter(in.JitterSeed, uint64(scored[j].c.ID), 0)
 		if ji != jj {
 			return ji < jj
 		}
@@ -106,7 +106,7 @@ func assignGreedy(in Input, ordered []scoredCandidate) []Request {
 			if at >= tauMS {
 				continue
 			}
-			j := jitter(in.JitterSeed, uint64(sc.c.ID), uint64(s.Node)+1)
+			j := Jitter(in.JitterSeed, uint64(sc.c.ID), uint64(s.Node)+1)
 			if at < bestAt || (at == bestAt && j < bestJitter) {
 				bestAt = at
 				bestSupplier = s.Node

@@ -177,7 +177,7 @@ func perturb(in Input, c Candidate, v float64, stream uint64) float64 {
 	if in.RarityNoise <= 0 || v == 0 {
 		return v
 	}
-	u := float64(jitter(in.JitterSeed, uint64(c.ID), stream)>>11) / (1 << 53) // [0,1)
+	u := float64(Jitter(in.JitterSeed, uint64(c.ID), stream)>>11) / (1 << 53) // [0,1)
 	return v * (1 + in.RarityNoise*(2*u-1))
 }
 
@@ -197,8 +197,14 @@ func noisyUrgency(in Input, c Candidate) float64 {
 	return perturb(in, c, u, 4)
 }
 
-// jitter hashes (seed, a, b) into a comparison key for tie-breaking.
-func jitter(seed, a, b uint64) uint64 {
+// Jitter hashes (seed, a, b) into a deterministic comparison key for
+// tie-breaking — a splitmix-style finalizer, so adjacent inputs spread
+// evenly. It is exported because the serve side of the dissemination
+// engine breaks its push-target ties with the same keyed ordering the
+// requester-side scheduler uses: a pure function of its inputs, never a
+// consumed RNG stream, which is what keeps both sides worker-count
+// deterministic.
+func Jitter(seed, a, b uint64) uint64 {
 	x := seed ^ a*0x9e3779b97f4a7c15 ^ b*0xd1342543de82ef95
 	x ^= x >> 30
 	x *= 0xbf58476d1ce4e5b9
