@@ -12,16 +12,22 @@
 //
 // The committed baseline is machine-specific in absolute terms; CI runs it
 // on a single runner class, and the tolerance absorbs same-class noise.
+// Every report is stamped with a runner fingerprint (GOOS/GOARCH, CPU
+// model, core count); when the measured fingerprint does not match the
+// baseline's, the ns/op gate downgrades to warnings instead of failing —
+// new runner hardware should prompt a baseline refresh, not break CI.
 // Refresh the baseline (and say so in the PR) when a change is *meant* to
-// shift the step cost.
+// shift the step cost or when the runner class changes.
 package main
 
 import (
+	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"continustreaming/internal/churn"
@@ -37,6 +43,7 @@ type Report struct {
 	GOOS      string    `json:"goos"`
 	GOARCH    string    `json:"goarch"`
 	CPUs      int       `json:"cpus"`
+	CPUModel  string    `json:"cpu_model,omitempty"`
 	CreatedAt time.Time `json:"created_at"`
 
 	Benchmarks []BenchResult      `json:"benchmarks"`
@@ -80,6 +87,7 @@ func main() {
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
 		CPUs:      runtime.NumCPU(),
+		CPUModel:  cpuModel(),
 		CreatedAt: time.Now().UTC(),
 	}
 
@@ -113,7 +121,21 @@ func main() {
 		writeReport(*out, rep)
 	}
 	if *baseline != "" {
-		if failures := gate(rep, *baseline, *tolerance); len(failures) > 0 {
+		res := gate(rep, *baseline, *tolerance)
+		if len(res.regressions) > 0 && !res.fingerprintOK {
+			// The baseline was measured on different hardware: its
+			// absolute ns/op values say nothing about this runner, so
+			// the regression gate carries no signal. Warn — loudly
+			// enough to prompt a baseline refresh — but do not fail.
+			fmt.Fprintln(os.Stderr, "WARNING: runner fingerprint differs from baseline; ns/op gate downgraded to warnings")
+			fmt.Fprintln(os.Stderr, "WARNING: refresh the baseline on this runner class: benchreport -update-baseline "+*baseline)
+			for _, f := range res.regressions {
+				fmt.Fprintln(os.Stderr, "WARNING:", f)
+			}
+			res.regressions = nil
+		}
+		failures := append(res.regressions, res.missing...)
+		if len(failures) > 0 {
 			for _, f := range failures {
 				fmt.Fprintln(os.Stderr, "REGRESSION:", f)
 			}
@@ -121,6 +143,36 @@ func main() {
 		}
 		fmt.Printf("bench gate passed (tolerance %.0f%%)\n", *tolerance*100)
 	}
+}
+
+// cpuModel reads the CPU model string for the runner fingerprint (best
+// effort: empty on platforms without /proc/cpuinfo, which the fingerprint
+// comparison treats as unknown-and-mismatching).
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if name, value, ok := strings.Cut(sc.Text(), ":"); ok {
+			if strings.TrimSpace(name) == "model name" {
+				return strings.TrimSpace(value)
+			}
+		}
+	}
+	return ""
+}
+
+// sameRunner reports whether a measured report and the baseline carry the
+// same runner fingerprint. Two empty CPU models (platforms without
+// /proc/cpuinfo) still match when GOOS/GOARCH/CPUs agree — otherwise the
+// gate could never fail outside Linux, even against a baseline refreshed
+// on the same machine; a model present on one side only is a mismatch.
+func sameRunner(rep, base Report) bool {
+	return rep.GOOS == base.GOOS && rep.GOARCH == base.GOARCH &&
+		rep.CPUs == base.CPUs && rep.CPUModel == base.CPUModel
 }
 
 // benchStep measures steady-state World.Step cost: the world warms past
@@ -152,11 +204,21 @@ func benchStep(name string, nodes, workers, timedRounds int, seed uint64) BenchR
 	}
 }
 
+// gateResult separates the two failure classes: ns/op regressions (only
+// meaningful on matching hardware — downgraded to warnings otherwise) and
+// missing measurements (a harness bug on any hardware — always fatal).
+type gateResult struct {
+	regressions   []string
+	missing       []string
+	fingerprintOK bool
+}
+
 // gate compares measured ns/op against the baseline report, returning one
-// message per benchmark whose cost grew beyond the tolerance. Benchmarks
-// missing from either side are reported as failures too: a silently
-// dropped measurement must not pass the gate.
-func gate(rep Report, baselinePath string, tolerance float64) []string {
+// message per benchmark whose cost grew beyond the tolerance plus whether
+// the runner fingerprints match (mismatches downgrade the ns/op messages
+// to warnings at the caller). Benchmarks missing from either side are
+// reported too: a silently dropped measurement must not pass the gate.
+func gate(rep Report, baselinePath string, tolerance float64) gateResult {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		fatalf("baseline: %v", err)
@@ -169,7 +231,7 @@ func gate(rep Report, baselinePath string, tolerance float64) []string {
 	for _, b := range base.Benchmarks {
 		baseBench[b.Name] = b
 	}
-	var failures []string
+	res := gateResult{fingerprintOK: sameRunner(rep, base)}
 	seen := map[string]bool{}
 	for _, b := range rep.Benchmarks {
 		seen[b.Name] = true
@@ -179,17 +241,17 @@ func gate(rep Report, baselinePath string, tolerance float64) []string {
 		}
 		limit := float64(ref.NsPerOp) * (1 + tolerance)
 		if float64(b.NsPerOp) > limit {
-			failures = append(failures, fmt.Sprintf(
+			res.regressions = append(res.regressions, fmt.Sprintf(
 				"%s: %d ns/op exceeds baseline %d ns/op by more than %.0f%%",
 				b.Name, b.NsPerOp, ref.NsPerOp, tolerance*100))
 		}
 	}
 	for name := range baseBench {
 		if !seen[name] {
-			failures = append(failures, fmt.Sprintf("%s: present in baseline but not measured", name))
+			res.missing = append(res.missing, fmt.Sprintf("%s: present in baseline but not measured", name))
 		}
 	}
-	return failures
+	return res
 }
 
 func writeReport(path string, rep Report) {

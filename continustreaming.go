@@ -39,16 +39,29 @@
 // ContinuityWarm reports continuity excluding nodes still inside their
 // post-join warm-up (joiner ramp-up drag).
 //
+// # Live runtime
+//
+// RunLive executes the same protocol over real message passing — one
+// goroutine per peer, channels as links, a wall-clock ticker as the
+// scheduling period — driving the identical transport-agnostic decision
+// core (internal/protocol) the simulator uses: mesh repair under churn,
+// DHT-backed rescue, fresh-segment push and EDF serving. LiveConfig's
+// kill/join knobs script a churn session; this is the in-process repro
+// of the paper's planned real-network validation.
+//
 // See cmd/continusim for the full experiment driver, examples/ for runnable
 // scenarios, and EXPERIMENTS.md for paper-versus-measured results.
 package continustreaming
 
 import (
+	"context"
 	"fmt"
 	"io"
+	"time"
 
 	"continustreaming/internal/churn"
 	"continustreaming/internal/core"
+	"continustreaming/internal/livenet"
 	"continustreaming/internal/metrics"
 	"continustreaming/internal/sim"
 	"continustreaming/internal/theory"
@@ -253,6 +266,128 @@ func Run(cfg Config, rounds int) (Result, error) {
 		ControlOverhead:  col.ControlOverheadSeries(),
 		PrefetchOverhead: col.PrefetchOverheadSeries(),
 		ContinuityWarm:   col.ContinuityWarmSeries(),
+	}, nil
+}
+
+// LiveConfig parameterises a live (goroutine-per-peer, wall-clock) run of
+// the protocol — the in-process repro of the paper's planned real-network
+// deployment. Zero values select the shared protocol defaults, the same
+// source the simulator derives from; the engine and repair knobs follow
+// the simulator's override convention (0 = default, negative = disable).
+type LiveConfig struct {
+	// Peers is the audience size (the source is extra).
+	Peers int
+	// Neighbors overrides M (default 5).
+	Neighbors int
+	// PeriodMillis is the real-time scheduling period in milliseconds
+	// (default 50; the paper's τ = 1 s scaled down so demos finish in
+	// seconds).
+	PeriodMillis int
+	// PushHops overrides the dissemination engine's push depth: 0 keeps
+	// the default (2), negative disables the push phase.
+	PushHops int
+	// QueueFactor bounds the supplier-side carry queue: 0 keeps the
+	// default (2), negative disables queueing.
+	QueueFactor int
+	// NoRepair disables mesh repair and DHT-backed rescue; NoEngine the
+	// dissemination engine (EDF serve + push + queueing) — the two
+	// ablations the livenet kill scenario compares.
+	NoRepair bool
+	NoEngine bool
+	// KillAtPeriod, when KillFraction > 0, schedules an abrupt failure
+	// of that fraction of the peers at the given period; JoinCount peers
+	// join through the rendezvous path JoinAfter periods later (0 joins
+	// none).
+	KillAtPeriod int
+	KillFraction float64
+	JoinCount    int
+	JoinAfter    int
+	// Seed drives topology and policy randomness.
+	Seed uint64
+}
+
+// LiveResult summarises a finished live session.
+type LiveResult struct {
+	// Periods is how many scheduling periods ran; Delivered counts first
+	// segment copies across all peers.
+	Periods   int
+	Delivered int64
+	// Continuity is the fraction of peer-periods played continuously;
+	// TailContinuity the same over the final quarter (the recovery
+	// metric for churn scenarios).
+	Continuity     float64
+	TailContinuity float64
+	// PushDelivered, Rescued and QueueServed attribute deliveries to the
+	// engine's mechanisms; Replaced and DeadDropped count mesh-repair
+	// actions; EndDeadLinks is how many links still pointed at dead
+	// peers when the session drained (zero when repair kept up).
+	PushDelivered int64
+	Rescued       int64
+	QueueServed   int64
+	Replaced      int64
+	DeadDropped   int64
+	EndDeadLinks  int
+}
+
+// RunLive executes the protocol over real message passing for the given
+// number of periods: one goroutine per peer, channels as links, the same
+// internal/protocol decision core as the simulator (mesh repair, DHT
+// rescue, push, EDF serving). It blocks until the session drains or ctx
+// is cancelled.
+func RunLive(ctx context.Context, cfg LiveConfig, periods int) (LiveResult, error) {
+	if periods <= 0 {
+		return LiveResult{}, fmt.Errorf("continustreaming: non-positive period count %d", periods)
+	}
+	inner := livenet.DefaultConfig()
+	if cfg.Peers > 0 {
+		inner.Peers = cfg.Peers
+	}
+	if cfg.Neighbors > 0 {
+		inner.Neighbors = cfg.Neighbors
+		inner.SourceDegree = 2 * cfg.Neighbors
+	}
+	if cfg.PeriodMillis > 0 {
+		inner.Period = time.Duration(cfg.PeriodMillis) * time.Millisecond
+	}
+	core.ApplyKnobOverride(&inner.PushHops, cfg.PushHops)
+	core.ApplyKnobOverride(&inner.QueueFactor, cfg.QueueFactor)
+	inner.Repair = !cfg.NoRepair
+	inner.Engine = !cfg.NoEngine
+	if cfg.Seed != 0 {
+		inner.Seed = cfg.Seed
+	}
+	if cfg.KillFraction > 0 {
+		if cfg.KillAtPeriod <= 0 || cfg.KillAtPeriod >= periods {
+			return LiveResult{}, fmt.Errorf("continustreaming: kill period %d outside session (1..%d)", cfg.KillAtPeriod, periods-1)
+		}
+		inner.Churn = append(inner.Churn, livenet.ChurnEvent{Period: cfg.KillAtPeriod, KillFraction: cfg.KillFraction})
+	}
+	if cfg.JoinCount > 0 {
+		joinAt := cfg.KillAtPeriod + cfg.JoinAfter
+		if joinAt <= 0 || joinAt >= periods {
+			// Rejected rather than silently skipped: the driver only
+			// consults the churn script for periods 0..periods-1, so an
+			// out-of-range join would simply never happen.
+			return LiveResult{}, fmt.Errorf("continustreaming: join period %d outside session (1..%d)", joinAt, periods-1)
+		}
+		inner.Churn = append(inner.Churn, livenet.ChurnEvent{Period: joinAt, Join: cfg.JoinCount})
+	}
+	st := livenet.Run(ctx, inner, periods)
+	tail := len(st.PerPeriod) / 4
+	if tail < 1 {
+		tail = 1
+	}
+	return LiveResult{
+		Periods:        st.Periods,
+		Delivered:      st.Delivered,
+		Continuity:     st.Continuity,
+		TailContinuity: st.TailContinuity(tail),
+		PushDelivered:  st.PushDelivered,
+		Rescued:        st.Rescued,
+		QueueServed:    st.QueueServed,
+		Replaced:       st.Replaced,
+		DeadDropped:    st.DeadDropped,
+		EndDeadLinks:   st.EndDeadLinks,
 	}, nil
 }
 

@@ -1,6 +1,7 @@
 package continustreaming
 
 import (
+	"context"
 	"math"
 	"testing"
 )
@@ -198,5 +199,31 @@ func TestWarmContinuityReported(t *testing.T) {
 	// instantly-caught-up joiner can nudge it fractionally below).
 	if res.StableContinuityWarm()+0.02 < res.StableContinuity() {
 		t.Fatalf("warm %.4f well below plain %.4f", res.StableContinuityWarm(), res.StableContinuity())
+	}
+}
+
+func TestRunLiveKillAndRecover(t *testing.T) {
+	_, err := RunLive(context.Background(), LiveConfig{KillFraction: 0.3}, 20)
+	if err == nil {
+		t.Fatal("kill fraction without a kill period must be rejected")
+	}
+	res, err := RunLive(context.Background(), LiveConfig{
+		Peers:        16,
+		PeriodMillis: 5,
+		Seed:         7,
+		KillAtPeriod: 15,
+		KillFraction: 0.3,
+	}, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Periods != 40 || res.Delivered == 0 {
+		t.Fatalf("live session did not run: %+v", res)
+	}
+	if res.DeadDropped == 0 {
+		t.Fatalf("mesh repair never dropped a dead link: %+v", res)
+	}
+	if res.EndDeadLinks != 0 {
+		t.Fatalf("%d dead links survived the session", res.EndDeadLinks)
 	}
 }

@@ -14,6 +14,7 @@ import (
 
 	"continustreaming/internal/bandwidth"
 	"continustreaming/internal/churn"
+	"continustreaming/internal/protocol"
 	"continustreaming/internal/segment"
 	"continustreaming/internal/sim"
 	"continustreaming/internal/topology"
@@ -200,36 +201,39 @@ type Config struct {
 	Workers int
 }
 
-// DefaultConfig returns the paper's §5.2 defaults for n nodes.
+// DefaultConfig returns the paper's §5.2 defaults for n nodes. Every
+// protocol-level constant comes from protocol.Default() — the one source
+// the livenet runtime derives from too, so the two runtimes cannot drift.
 func DefaultConfig(n int) Config {
+	d := protocol.Default()
 	return Config{
 		Nodes:                 n,
-		M:                     5,
-		H:                     20,
+		M:                     d.M,
+		H:                     d.H,
 		Stream:                segment.DefaultStream(),
-		BufferSegments:        600,
+		BufferSegments:        d.BufferSegments,
 		Tau:                   sim.Second,
 		Bandwidth:             bandwidth.DefaultProfile(),
-		Replicas:              4,
-		PrefetchLimit:         5,
+		Replicas:              d.Replicas,
+		PrefetchLimit:         d.PrefetchLimit,
 		PlaybackDelayRounds:   7,
 		PlaybackDelaySegments: 65,
 		THop:                  50 * sim.Millisecond,
 		Profile:               ProfileContinuStreaming(),
 		Seed:                  1,
-		LowSupplyThreshold:    1,
-		ReplaceCooldownRounds: 8,
-		RarityNoise:           0.3,
+		LowSupplyThreshold:    d.Maintenance.LowSupplyThreshold,
+		ReplaceCooldownRounds: d.Maintenance.ReplaceCooldownRounds,
+		RarityNoise:           d.RarityNoise,
 		RoutingMessageBits:    80,
 
-		DHTRepairIntervalRounds: 1,
-		MaxDistressReplacements: 3,
-		SourceDegreeTarget:      20,
+		DHTRepairIntervalRounds: d.DHTRepairIntervalRounds,
+		MaxDistressReplacements: d.Maintenance.MaxDistressReplacements,
+		SourceDegreeTarget:      d.SourceDegreeTarget,
 		SourceRescue:            true,
 
-		PushHops:     2,
-		QueueFactor:  2,
-		WarmupRounds: 2,
+		PushHops:     d.PushHops,
+		QueueFactor:  d.QueueFactor,
+		WarmupRounds: d.WarmupRounds,
 	}
 }
 

@@ -1,0 +1,212 @@
+package core
+
+import (
+	"sort"
+
+	"continustreaming/internal/metrics"
+	"continustreaming/internal/overlay"
+	"continustreaming/internal/segment"
+	"continustreaming/internal/sim"
+)
+
+// applyDeliveries ingests every arrival of the round, in canonical
+// (timestamp, segment, sender) order per receiver, updating buffers,
+// backup stores, α feedback and the traffic counters. Deliveries landing
+// after the round boundary go to the in-flight queue instead.
+//
+// Receivers are partitioned into shards by node ID; every shard groups,
+// orders, and applies its own receivers' arrivals while accumulating into
+// a private metric sample, and the per-shard samples are folded in shard
+// order afterwards. A receiver belongs to exactly one shard, so all
+// per-node mutation stays shard-local.
+func (w *World) applyDeliveries(clock *sim.Clock, deliveries []delivery, sample *metrics.RoundSample) {
+	end := clock.RoundEnd()
+	// The in-flight queue is a shared heap whose tie-break is push order,
+	// so this partition pass stays sequential; it is a single cheap scan.
+	buckets := make([][]delivery, phaseShards)
+	for _, d := range deliveries {
+		if d.at > end {
+			w.inflight.Push(d.at, d)
+			continue
+		}
+		s := w.shardOf(d.to)
+		buckets[s] = append(buckets[s], d)
+	}
+	pos := w.playbackPos(w.round)
+	p := w.cfg.Stream.Rate
+	segBits := w.cfg.Stream.BitsPerSegment
+	now := clock.Now()
+	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseApply),
+		func(s int, _ *sim.RNG) metrics.RoundSample {
+			var local metrics.RoundSample
+			if len(buckets[s]) == 0 {
+				return local
+			}
+			byReceiver := make(map[overlay.NodeID][]delivery)
+			var receivers []overlay.NodeID
+			for _, d := range buckets[s] {
+				if _, ok := byReceiver[d.to]; !ok {
+					receivers = append(receivers, d.to)
+				}
+				byReceiver[d.to] = append(byReceiver[d.to], d)
+			}
+			sort.Slice(receivers, func(i, j int) bool { return receivers[i] < receivers[j] })
+			for _, id := range receivers {
+				n := w.nodes[id]
+				if n == nil {
+					continue
+				}
+				ds := byReceiver[id]
+				// Canonical arrival order: the (from, prefetch) tie-breaks
+				// make the outcome independent of how the delivery slice
+				// was assembled upstream.
+				sort.Slice(ds, func(a, b int) bool {
+					if ds[a].at != ds[b].at {
+						return ds[a].at < ds[b].at
+					}
+					if ds[a].id != ds[b].id {
+						return ds[a].id < ds[b].id
+					}
+					if ds[a].from != ds[b].from {
+						return ds[a].from < ds[b].from
+					}
+					return !ds[a].prefetch && ds[b].prefetch
+				})
+				w.applyToReceiver(n, ds, pos, p, segBits, now, &local)
+			}
+			return local
+		},
+		func(_ int, local metrics.RoundSample) {
+			sample.DataBits += local.DataBits
+			sample.PrefetchDataBits += local.PrefetchDataBits
+			sample.Deliveries += local.Deliveries
+			sample.Prefetches += local.Prefetches
+			sample.Overdue += local.Overdue
+			sample.Repeated += local.Repeated
+		})
+}
+
+// applyToReceiver ingests one receiver's ordered arrivals, accumulating the
+// traffic counters into local. Only the shard owning the receiver calls it.
+func (w *World) applyToReceiver(n *Node, ds []delivery, pos segment.ID, p int, segBits int64, now sim.Time, local *metrics.RoundSample) {
+	for _, d := range ds {
+		deadline := w.deadlineOf(d.id, pos, p, now)
+		if d.prefetch {
+			local.PrefetchDataBits += segBits
+			local.Prefetches++
+			already := n.Buf.Has(d.id)
+			stored := n.receive(d.id, d.at)
+			switch {
+			case already:
+				// Gossip beat the pre-fetch: repeated data.
+				local.Repeated++
+				n.repeated++
+				n.Tags.Clear(d.id)
+			case stored && d.at > deadline && d.id >= pos:
+				// Arrived, but after its play moment: overdue.
+				local.Overdue++
+				n.overdue++
+			}
+			if stored {
+				n.maybeBackup(w.space, d.id, w.cfg.Replicas)
+			}
+			continue
+		}
+		local.DataBits += segBits
+		local.Deliveries++
+		tagged := n.Tags != nil && n.Tags.Tagged(d.id)
+		already := n.Buf.Has(d.id)
+		stored := n.receive(d.id, d.at)
+		n.Ctrl.ObserveDelivery(int(d.from), (d.at - now).Seconds())
+		if tagged && (already || (stored && d.at <= deadline)) {
+			// The scheduler delivered a segment the pre-fetch also
+			// handled (or is handling): repeated data.
+			local.Repeated++
+			n.repeated++
+			n.Tags.Clear(d.id)
+		}
+		if stored {
+			n.maybeBackup(w.space, d.id, w.cfg.Replicas)
+		}
+	}
+}
+
+// playbackPhase evaluates the continuity metric, starts nodes whose
+// buffers have caught up, and applies α feedback.
+func (w *World) playbackPhase(clock *sim.Clock, sample *metrics.RoundSample) {
+	pos := w.playbackPos(w.round)
+	p := w.cfg.Stream.Rate
+	roundEnd := clock.RoundEnd()
+	playingBegun := w.virtualPos(w.round) >= 0
+	type result struct {
+		playing    bool
+		continuous bool
+	}
+	results := make([]result, len(w.order))
+	round := w.round
+	w.pool.ForEach(len(w.order), func(i int) {
+		n := w.nodes[w.order[i]]
+		if n.IsSource {
+			return
+		}
+		if !n.Started && playingBegun && n.Buf.Has(pos) {
+			n.Started = true
+			n.StartedRound = round
+		}
+		results[i].playing = n.Started
+		if n.Started {
+			// The node played this round continuously iff every due
+			// segment arrived by the end of the round it played in.
+			continuous := true
+			for off := 0; off < p; off++ {
+				if !n.arrivedInTime(pos+segment.ID(off), roundEnd) {
+					continuous = false
+					break
+				}
+			}
+			results[i].continuous = continuous
+			n.missedLastRound = !continuous
+			if continuous {
+				n.missStreak = 0
+			} else {
+				n.missStreak++
+			}
+		}
+		if n.Alpha != nil {
+			n.Alpha.Apply(n.overdue, n.repeated)
+		}
+		n.Ctrl.Tick()
+		for _, nb := range n.Table.Neighbors() {
+			n.Table.UpdateSupply(nb.ID, n.Ctrl.Supply(int(nb.ID)))
+		}
+	})
+	// The warm variant excludes nodes still inside their post-join
+	// warm-up window — the joiner ramp-up drag that the plain metric
+	// charges against the protocol. A round-r joiner is first evaluated
+	// here in round r+1, so warmth begins strictly after WarmupRounds
+	// evaluated rounds (round - joined > WarmupRounds); the initial
+	// population (JoinedRound -1) is warm from the start — the world is
+	// constructed converged, so its first rounds are not catch-up. In
+	// practice warm continuity sits at or above the plain metric
+	// (excluded joiners almost never play continuously), but that is an
+	// empirical tendency, not an enforced invariant: a joiner that
+	// catches up instantly counts in the plain numerator while excluded
+	// from the warm one.
+	for i, id := range w.order {
+		if id == w.source {
+			continue
+		}
+		sample.PlayingNodes++ // denominator: every alive non-source node
+		n := w.nodes[id]
+		warm := n.JoinedRound < 0 || w.round-n.JoinedRound > w.cfg.WarmupRounds
+		if warm {
+			sample.WarmNodes++
+		}
+		if results[i].playing && results[i].continuous {
+			sample.ContinuousNodes++
+			if warm {
+				sample.ContinuousWarmNodes++
+			}
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"continustreaming/internal/dht"
+	"continustreaming/internal/overlay"
+	"continustreaming/internal/protocol"
+	"continustreaming/internal/sim"
+)
+
+// hearEvent is one membership-gossip notification: `to` learns that
+// `about` exists at the given latency.
+type hearEvent struct {
+	to, about overlay.NodeID
+	lat       sim.Time
+}
+
+// maintenancePhase applies the paper's neighbour maintenance rules as a
+// three-stage sharded pipeline on sim.MapReduce, deterministic and
+// bit-identical at any worker count like the rest of the round pipeline.
+// The decisions — gossip picks and rewire intents — are
+// protocol.GossipPicks and protocol.PlanRewire; this driver owns the
+// sharding, the view assembly and the sequential intent application:
+//
+//  1. gossip scatter — each node, from a neighbour snapshot pinned at
+//     phase entry, tells every alive neighbour about two of its other
+//     neighbours (the SCAMP-style membership gossip CoolStreaming builds
+//     on, riding inside the existing buffer-map exchange and excluded from
+//     the 620-bit control costing). Events are bucketed by the shard that
+//     owns the hearing peer.
+//  2. shard-owned apply — each ownership shard delivers the hear events to
+//     its own nodes (in scatter-shard order, reproducing a sequential
+//     scan), drops neighbours discovered dead, and computes rewire
+//     intents from each node's local view (protocol.PlanRewire).
+//  3. sequential rewire — intents are applied in shard order, revalidated
+//     against the live edge set, because edge flips touch both endpoints.
+func (w *World) maintenancePhase() {
+	warm := w.virtualPos(w.round) > 0
+	nOrder := len(w.order)
+
+	// Stage 1: membership-gossip scatter over contiguous index ranges.
+	// Each node's picks consume its own RNG stream, so the draw sequence
+	// is a function of the node alone, never of worker interleaving.
+	scatter := make([][][]hearEvent, phaseShards)
+	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseGossip),
+		func(r int, _ *sim.RNG) [][]hearEvent {
+			lo, hi := sim.ShardRange(nOrder, phaseShards, r)
+			var buckets [][]hearEvent
+			for i := lo; i < hi; i++ {
+				id := w.order[i]
+				n := w.nodes[id]
+				// Pin the neighbour snapshot once; every later decision in
+				// the pipeline works from per-stage snapshots, never from a
+				// list re-read mid-mutation.
+				nbs := n.Table.NeighborIDs()
+				protocol.GossipPicks(n.RNG, nbs,
+					func(id overlay.NodeID) bool { return w.nodes[id] != nil },
+					func(to, about overlay.NodeID) {
+						if buckets == nil {
+							buckets = make([][]hearEvent, phaseShards)
+						}
+						ss := w.shardOf(to)
+						buckets[ss] = append(buckets[ss], hearEvent{to: to, about: about, lat: w.Latency(to, about)})
+					})
+			}
+			return buckets
+		},
+		func(r int, buckets [][]hearEvent) { scatter[r] = buckets })
+
+	// Stage 2: shard-owned hear delivery, dead-neighbour cleanup, and
+	// intent computation. Every mutation in this stage touches only state
+	// owned by the executing shard (the node's own tables, its own edge
+	// map, its own controller). One sequential pass builds the per-shard
+	// work lists so each shard walks only its own nodes.
+	shardNodes := w.shardWorkLists()
+	intents := make([][]protocol.RewireIntent, phaseShards)
+	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseRewire),
+		func(s int, _ *sim.RNG) []protocol.RewireIntent {
+			for r := 0; r < phaseShards; r++ {
+				if scatter[r] == nil {
+					continue
+				}
+				for _, ev := range scatter[r][s] {
+					if n := w.nodes[ev.to]; n != nil {
+						n.Table.Hear(ev.about, ev.lat)
+					}
+				}
+			}
+			var out []protocol.RewireIntent
+			for _, id := range shardNodes[s] {
+				n := w.nodes[id]
+				for _, nb := range n.Table.NeighborIDs() {
+					if w.nodes[nb] == nil {
+						// The dead side's node and edge map are gone, so
+						// this edge removal mutates only shard-owned state.
+						w.removeEdge(id, nb)
+						n.Table.ForgetOverheard(nb)
+					}
+				}
+				if intent, ok := protocol.PlanRewire(w.maintenanceView(n, warm), w.maintenanceTuning()); ok {
+					out = append(out, intent)
+				}
+			}
+			return out
+		},
+		func(s int, out []protocol.RewireIntent) { intents[s] = out })
+
+	// Stage 3: apply intents sequentially in shard order. Revalidation at
+	// apply time keeps the pass safe against intents interacting (an
+	// earlier adoption may have filled this node's degree or taken the
+	// candidate past its own target).
+	for _, shardIntents := range intents {
+		for _, intent := range shardIntents {
+			w.applyRewire(intent)
+		}
+	}
+}
+
+// maintenanceTuning maps the config knobs onto the protocol's tuning.
+func (w *World) maintenanceTuning() protocol.MaintenanceTuning {
+	return protocol.MaintenanceTuning{
+		LowSupplyThreshold:      w.cfg.LowSupplyThreshold,
+		ReplaceCooldownRounds:   w.cfg.ReplaceCooldownRounds,
+		MaxDistressReplacements: w.cfg.MaxDistressReplacements,
+	}
+}
+
+// maintenanceView assembles one node's rewire decision inputs from
+// shard-owned world state. The candidate pools are lazy closures — most
+// nodes are at target degree and PlanRewire never materialises them.
+func (w *World) maintenanceView(n *Node, warm bool) protocol.MaintenanceView {
+	v := protocol.MaintenanceView{
+		Node:            n.ID,
+		Source:          w.source,
+		IsSource:        n.IsSource,
+		Warm:            warm,
+		Round:           w.round,
+		LastReplace:     n.lastReplace,
+		Degree:          len(w.edges[n.ID]),
+		DegreeTarget:    w.degreeTarget(n),
+		MissedLastRound: n.missedLastRound,
+		MissStreak:      n.missStreak,
+		Alive:           func(id overlay.NodeID) bool { return w.nodes[id] != nil },
+		Connected:       func(id overlay.NodeID) bool { return w.edges[n.ID][id] },
+		Neighbors: func() []protocol.NeighborSupply {
+			nbs := n.Table.Neighbors()
+			out := make([]protocol.NeighborSupply, 0, len(nbs))
+			for _, nb := range nbs {
+				s := protocol.NeighborSupply{ID: nb.ID, Known: n.Ctrl.Known(int(nb.ID))}
+				if s.Known {
+					s.Supply = n.Ctrl.Supply(int(nb.ID))
+				}
+				out = append(out, s)
+			}
+			return out
+		},
+		Overheard: func() []protocol.CandidateSource {
+			overheard := n.Table.OverheardNodes()
+			out := make([]protocol.CandidateSource, 0, len(overheard))
+			for _, o := range overheard {
+				out = append(out, protocol.CandidateSource{ID: o.ID, Latency: o.Latency})
+			}
+			return out
+		},
+		DHTPeers: func() []protocol.CandidateSource {
+			var out []protocol.CandidateSource
+			for _, tbl := range []*dht.Table{n.Table.DHT(), w.dhtNet.Table(dht.ID(n.ID))} {
+				if tbl == nil {
+					continue
+				}
+				for _, p := range tbl.Peers() {
+					c := overlay.NodeID(p)
+					out = append(out, protocol.CandidateSource{ID: c, Latency: w.Latency(n.ID, c)})
+				}
+			}
+			return out
+		},
+	}
+	if n.IsSource {
+		v.RPCandidates = func(max int) []overlay.NodeID { return w.rp.Candidates(n.ID, max) }
+	}
+	return v
+}
+
+// shardWorkLists partitions the alive order into the ownership shards in
+// one sequential pass; w.order is sorted, so each shard's list ascends.
+func (w *World) shardWorkLists() [][]overlay.NodeID {
+	lists := make([][]overlay.NodeID, phaseShards)
+	for _, id := range w.order {
+		s := w.shardOf(id)
+		lists[s] = append(lists[s], id)
+	}
+	return lists
+}
+
+// degreeTarget is the connected-neighbour count maintenance refills the
+// node toward: M for ordinary peers, SourceDegreeTarget for the source
+// (degree protection — the stream's root is where every segment's
+// epidemic starts, and its outbound capacity dwarfs an M-sized fan-out).
+func (w *World) degreeTarget(n *Node) int {
+	if n.IsSource && w.cfg.SourceDegreeTarget > 0 {
+		return w.cfg.SourceDegreeTarget
+	}
+	return w.cfg.M
+}
+
+// applyRewire executes one intent against the live edge set: replacements
+// first (victim out only when a candidate comes in), then refills up to
+// the M target. Candidates consumed here are removed from the overheard
+// list, preserving the promote-on-connect invariant.
+func (w *World) applyRewire(intent protocol.RewireIntent) {
+	n := w.nodes[intent.Node]
+	if n == nil {
+		return
+	}
+	next := 0
+	takeCandidate := func() (overlay.NodeID, bool) {
+		for next < len(intent.Adopt) {
+			c := intent.Adopt[next]
+			next++
+			if w.nodes[c] != nil && !w.edges[n.ID][c] && c != n.ID {
+				return c, true
+			}
+		}
+		return -1, false
+	}
+	for _, victim := range intent.Drop {
+		if !w.edges[n.ID][victim] {
+			continue // already gone (dead, or dropped from the other side)
+		}
+		cand, ok := takeCandidate()
+		if !ok {
+			break
+		}
+		n.lastReplace = w.round
+		w.removeEdge(n.ID, victim)
+		n.Table.TakeOverheard(cand)
+		w.addEdge(n.ID, cand)
+	}
+	for len(w.edges[n.ID]) < w.degreeTarget(n) {
+		cand, ok := takeCandidate()
+		if !ok {
+			break
+		}
+		n.Table.TakeOverheard(cand)
+		w.addEdge(n.ID, cand)
+	}
+}

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"continustreaming/internal/bandwidth"
+	"continustreaming/internal/dht"
+	"continustreaming/internal/metrics"
+	"continustreaming/internal/overlay"
+	"continustreaming/internal/prefetch"
+	"continustreaming/internal/segment"
+	"continustreaming/internal/sim"
+)
+
+// worldDirectory adapts the world to the prefetch.Directory interface:
+// whether a ring node holds a backup and how much outbound it can still
+// spare this round.
+type worldDirectory struct{ w *World }
+
+func (d worldDirectory) HasBackup(node dht.ID, id segment.ID) bool {
+	n := d.w.nodes[overlay.NodeID(node)]
+	if n == nil {
+		return false
+	}
+	// The source trivially holds every segment it has generated — it is
+	// the retrieval path of last resort exactly as in a real deployment.
+	if n.IsSource {
+		return n.Buf.Has(id)
+	}
+	return n.Backup.Has(id)
+}
+
+func (d worldDirectory) AvailableRate(node dht.ID) float64 {
+	n := d.w.nodes[overlay.NodeID(node)]
+	if n == nil {
+		return 0
+	}
+	// The outbound ledger spans the gossip backlog horizon (2·O per
+	// round); whatever is left of it is spare capacity a pre-fetch may
+	// claim, reported as an effective sending rate capped at the line
+	// rate.
+	spare := 2*n.Rates.Out - d.w.outUsedOf(overlay.NodeID(node))
+	if spare <= 0 {
+		return 0
+	}
+	if spare > n.Rates.Out {
+		spare = n.Rates.Out
+	}
+	return float64(spare)
+}
+
+// resolvePrefetch executes Algorithm 2 for every triggered node. The
+// phase is sequential: DHT routing evicts dead table entries and consumes
+// supplier leftovers, both shared state.
+func (w *World) resolvePrefetch(clock *sim.Clock, plans []prefetch.Decision, sample *metrics.RoundSample) []delivery {
+	if !w.cfg.Profile.Prefetch {
+		return nil
+	}
+	retr := &prefetch.Retriever{
+		Space:    w.space,
+		Replicas: w.cfg.Replicas,
+		Locator:  w.dhtNet,
+		Dir:      worldDirectory{w},
+	}
+	start := clock.Now()
+	var out []delivery
+	for i, plan := range plans {
+		if !plan.Triggered {
+			continue
+		}
+		n := w.nodes[w.order[i]]
+		results := retr.LocateAll(dht.ID(n.ID), plan.Missed)
+		sample.LookupAttempts += int64(len(results))
+		for _, res := range results {
+			sample.PrefetchRoutingBits += int64(res.RoutingMessages) * w.cfg.RoutingMessageBits
+			if !res.Found {
+				// Classify the failure — the repair pipeline's health
+				// telemetry: routing rot, replica loss, and capacity
+				// exhaustion need different cures.
+				switch {
+				case len(res.Owners) == 0:
+					sample.LookupNoRoute++
+				case !anyOwnerHolds(retr.Dir, res.Owners, res.ID):
+					sample.LookupNoBackup++
+				default:
+					sample.LookupNoRate++
+				}
+				// Last resort: a direct ask at the media source. Every
+				// deployment has this path — the source generated the
+				// segment and its address is channel metadata — and it is
+				// what makes a segment whose k arc owners all churned away
+				// recoverable at all. Charged to the same outbound ledger
+				// as every other transfer, so the source's gossip serving
+				// shrinks correspondingly.
+				if w.cfg.SourceRescue {
+					src := w.nodes[w.source]
+					if src.Buf.Has(res.ID) && w.outUsedOf(w.source) < 2*src.Rates.Out {
+						w.addOutUsed(w.source, 1)
+						n.markPrefetchPending(res.ID, w.round)
+						sample.SourceRescues++
+						sample.PrefetchRoutingBits += w.cfg.RoutingMessageBits
+						direct := w.Latency(n.ID, w.source)
+						transfer := bandwidth.PerSegment(src.Rates.Out, sim.Second)
+						at := start + 2*direct + transfer + direct
+						out = append(out, delivery{to: n.ID, from: w.source, id: res.ID, at: at, prefetch: true})
+					}
+				}
+				continue
+			}
+			sample.LookupFound++
+			supplier := overlay.NodeID(res.Supplier)
+			if w.outUsedOf(supplier) >= 2*w.nodes[supplier].Rates.Out {
+				continue // leftover vanished since the lookup
+			}
+			w.addOutUsed(supplier, 1)
+			n.markPrefetchPending(res.ID, w.round)
+			// t_fetch = locate + reply + request + retrieve (eq. 6): the
+			// locate leg walks the routed path; the remaining three legs
+			// are direct exchanges with the chosen supplier.
+			direct := w.Latency(n.ID, supplier)
+			transfer := bandwidth.PerSegment(int(res.Rate), sim.Second)
+			at := start + sim.Time(res.LocateHops)*w.cfg.THop + 2*direct + transfer + direct
+			out = append(out, delivery{to: n.ID, from: supplier, id: res.ID, at: at, prefetch: true})
+			// Everyone on the winning route overhears the exchange.
+			w.overhearRoute(n.ID, res)
+		}
+	}
+	return out
+}
+
+// anyOwnerHolds reports whether any of the located arc owners holds a
+// backup of the segment (used to separate replica loss from capacity
+// exhaustion in the lookup-failure telemetry).
+func anyOwnerHolds(dir prefetch.Directory, owners []dht.ID, id segment.ID) bool {
+	for _, o := range owners {
+		if dir.HasBackup(o, id) {
+			return true
+		}
+	}
+	return false
+}
+
+// overhearRoute feeds routing-path observations into peer tables: each
+// node its level peers, the paper's zero-cost maintenance channel.
+func (w *World) overhearRoute(origin overlay.NodeID, res prefetch.LookupResult) {
+	for _, owner := range res.Owners {
+		oid := overlay.NodeID(owner)
+		if on := w.nodes[oid]; on != nil {
+			on.Table.Hear(origin, w.Latency(oid, origin))
+		}
+		if n := w.nodes[origin]; n != nil {
+			n.Table.Hear(oid, w.Latency(origin, oid))
+		}
+	}
+}

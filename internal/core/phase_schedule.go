@@ -1,0 +1,155 @@
+package core
+
+import (
+	"sort"
+
+	"continustreaming/internal/buffer"
+	"continustreaming/internal/metrics"
+	"continustreaming/internal/overlay"
+	"continustreaming/internal/prefetch"
+	"continustreaming/internal/scheduler"
+	"continustreaming/internal/segment"
+	"continustreaming/internal/sim"
+)
+
+// exchangePhase snapshots every node's buffer map (the per-round "periodic
+// buffer information exchange") and accounts its control cost: each node
+// receives one 620-bit map from every connected neighbour.
+func (w *World) exchangePhase(sample *metrics.RoundSample) []buffer.Map {
+	snaps := make([]buffer.Map, len(w.order))
+	w.pool.ForEach(len(w.order), func(i int) {
+		snaps[i] = w.nodes[w.order[i]].Buf.Snapshot()
+	})
+	var control int64
+	for _, id := range w.order {
+		if id == w.source {
+			continue
+		}
+		control += int64(len(w.edges[id])) * buffer.WireBits(w.cfg.BufferSegments)
+	}
+	sample.ControlBits = control
+	return snaps
+}
+
+// predictPhase runs the Urgent Line on every pre-fetch-enabled node.
+// Returned decisions align with w.order; nodes without pre-fetch get zero
+// decisions.
+func (w *World) predictPhase(clock *sim.Clock) []prefetch.Decision {
+	plans := make([]prefetch.Decision, len(w.order))
+	if !w.cfg.Profile.Prefetch {
+		return plans
+	}
+	pos := w.playbackPos(w.round)
+	p := w.cfg.Stream.Rate
+	now := clock.Now()
+	round := w.round
+	w.pool.ForEach(len(w.order), func(i int) {
+		n := w.nodes[w.order[i]]
+		if n.IsSource || n.Alpha == nil || !n.Started {
+			// The Urgent Line protects an active playback; a node that
+			// has not started yet has no deadlines to defend.
+			return
+		}
+		plans[i] = prefetch.Predict(n.Buf, pos, n.Alpha.Value(), w.cfg.PrefetchLimit,
+			func(id segment.ID) bool {
+				deadline := w.deadlineOf(id, pos, p, now)
+				return n.predictExcluded(id, round, now, deadline)
+			})
+	})
+	return plans
+}
+
+// schedulePhase runs each node's scheduling policy against its neighbours'
+// snapshots. The inbound budget reserves room for this round's pre-fetches
+// ("the on-demand data retrieval algorithm shares the inbound rate with
+// the data scheduling algorithm").
+func (w *World) schedulePhase(clock *sim.Clock, snaps []buffer.Map, index map[overlay.NodeID]int) [][]scheduler.Request {
+	pos := w.playbackPos(w.round)
+	vpos := w.virtualPos(w.round)
+	fetchWin := segment.Window{Lo: pos, Hi: w.fetchEdge(w.round)}
+	out := make([][]scheduler.Request, len(w.order))
+	round := w.round
+	w.pool.ForEach(len(w.order), func(i int) {
+		n := w.nodes[w.order[i]]
+		if n.IsSource {
+			return
+		}
+		// Push and pull share the inbound rate: segments the eager push
+		// already landed on this node's link this round come out of the
+		// same I·τ the scheduler may spend.
+		budget := n.Rates.In - n.pushReceived
+		if budget <= 0 {
+			return
+		}
+		cands := w.candidatesFor(n, index, snaps, fetchWin, round)
+		if len(cands) == 0 {
+			return
+		}
+		in := scheduler.Input{
+			PriorityInput: scheduler.PriorityInput{
+				Play:         vpos,
+				PlaybackRate: w.cfg.Stream.Rate,
+				BufferSize:   w.cfg.BufferSegments,
+				NoPlayback:   !n.Started,
+			},
+			Tau:           w.cfg.Tau,
+			InboundBudget: budget,
+			Candidates:    cands,
+			JitterSeed:    w.cfg.Seed ^ uint64(n.ID)*0x9e3779b97f4a7c15 ^ n.Gen*0xd1342543de82ef95,
+			RarityNoise:   w.cfg.RarityNoise,
+		}
+		reqs := n.Policy.Schedule(in)
+		perSupplier := map[int]int{}
+		for _, r := range reqs {
+			n.markGossipPending(r.ID, round, clock.Now()+r.ExpectedAt)
+			perSupplier[r.Supplier]++
+		}
+		for s, count := range perSupplier {
+			n.Ctrl.NoteRequested(s, count)
+		}
+		out[i] = reqs
+	})
+	return out
+}
+
+// candidatesFor enumerates the fresh segments any connected neighbour
+// advertises inside the fetch window, with per-supplier rate estimates and
+// FIFO positions.
+func (w *World) candidatesFor(n *Node, index map[overlay.NodeID]int, snaps []buffer.Map, win segment.Window, round int) []scheduler.Candidate {
+	type entry struct {
+		suppliers []scheduler.Supplier
+	}
+	found := make(map[segment.ID]*entry)
+	var ids []segment.ID
+	for _, nb := range w.neighborsOf(n.ID) {
+		j, ok := index[nb]
+		if !ok {
+			continue // neighbour died this round; maintenance will repair
+		}
+		snap := snaps[j]
+		wn := win.Intersect(snap.Window())
+		for id := wn.Lo; id < wn.Hi; id++ {
+			if !snap.Has(id) || !n.Fresh(id, round) {
+				continue
+			}
+			pft, _ := snap.PositionFromTail(id)
+			e := found[id]
+			if e == nil {
+				e = &entry{}
+				found[id] = e
+				ids = append(ids, id)
+			}
+			e.suppliers = append(e.suppliers, scheduler.Supplier{
+				Node:             int(nb),
+				Rate:             n.Ctrl.Rate(int(nb)),
+				PositionFromTail: pft,
+			})
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	cands := make([]scheduler.Candidate, 0, len(ids))
+	for _, id := range ids {
+		cands = append(cands, scheduler.Candidate{ID: id, Suppliers: found[id].suppliers})
+	}
+	return cands
+}

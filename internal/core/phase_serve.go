@@ -1,0 +1,231 @@
+package core
+
+import (
+	"sort"
+
+	"continustreaming/internal/bandwidth"
+	"continustreaming/internal/buffer"
+	"continustreaming/internal/metrics"
+	"continustreaming/internal/overlay"
+	"continustreaming/internal/protocol"
+	"continustreaming/internal/scheduler"
+	"continustreaming/internal/segment"
+	"continustreaming/internal/sim"
+)
+
+// transferReq is one requester->supplier ask, ordered deterministically.
+type transferReq struct {
+	supplier  overlay.NodeID
+	requester overlay.NodeID
+	id        segment.ID
+	expected  sim.Time
+}
+
+// resolveTransfers enforces supplier outbound budgets with the
+// dissemination engine's supplier-side service discipline. Each supplier
+// merges its round's fresh asks with the carry queue it kept from the
+// previous round and serves them earliest-deadline-first (rarest-first on
+// ties, computed from its own neighbours' buffer maps) at its real
+// service rate; like a pipelined TCP supplier it keeps transmitting into
+// the next period (slots past τ arrive next round via the in-flight
+// queue) up to one extra period's worth of backlog, minus whatever the
+// push phase already spent. Requests beyond the horizon are carried in a
+// bounded per-supplier queue to the next round — deadline-hopeless and
+// overflow entries are evicted and the requester times out and retries.
+//
+// The phase runs as a two-stage sharded pipeline. Stage 1 (scatter)
+// partitions requesters into contiguous index ranges and buckets their
+// asks by the owning supplier shard; because ranges ascend with the shard
+// index and w.order is sorted, concatenating a supplier shard's buckets in
+// scatter-shard order reproduces the requester-ascending arrival order a
+// sequential scan would produce. Stage 2 (serve) gives each supplier shard
+// exclusive ownership of its suppliers — including their carry queues and
+// push spend, which live in the engine's matching shard — so it runs the
+// service discipline and writes the ledger partition it owns, with
+// deliveries and counters merged in shard order afterwards.
+func (w *World) resolveTransfers(clock *sim.Clock, requests [][]scheduler.Request, snaps []buffer.Map, index map[overlay.NodeID]int, sample *metrics.RoundSample) []delivery {
+	n := len(requests)
+	scatter := make([][][]transferReq, phaseShards) // [requesterShard][supplierShard]
+	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseScatter),
+		func(r int, _ *sim.RNG) [][]transferReq {
+			lo, hi := sim.ShardRange(n, phaseShards, r)
+			var buckets [][]transferReq
+			for i := lo; i < hi; i++ {
+				if len(requests[i]) == 0 {
+					continue
+				}
+				if buckets == nil {
+					buckets = make([][]transferReq, phaseShards)
+				}
+				requester := w.order[i]
+				for _, req := range requests[i] {
+					s := overlay.NodeID(req.Supplier)
+					ss := w.shardOf(s)
+					buckets[ss] = append(buckets[ss], transferReq{
+						supplier: s, requester: requester, id: req.ID, expected: req.ExpectedAt,
+					})
+				}
+			}
+			return buckets
+		},
+		func(r int, buckets [][]transferReq) { scatter[r] = buckets })
+
+	type shardServe struct {
+		deliveries   []delivery
+		dropped      int64
+		queueServed  int64
+		queueCarried int64
+		evicted      protocol.Evictions
+	}
+	start := clock.Now()
+	horizon := clock.RoundEnd()
+	pos := w.playbackPos(w.round)
+	p := w.cfg.Stream.Rate
+	merged := make([][]delivery, phaseShards)
+	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseServe),
+		func(s int, _ *sim.RNG) shardServe {
+			bySupplier := make(map[overlay.NodeID][]transferReq)
+			suppliers := w.dissem.QueuedSuppliers(s)
+			for _, sup := range suppliers {
+				bySupplier[sup] = nil
+			}
+			for r := 0; r < phaseShards; r++ {
+				if scatter[r] == nil {
+					continue
+				}
+				for _, tr := range scatter[r][s] {
+					if _, ok := bySupplier[tr.supplier]; !ok {
+						suppliers = append(suppliers, tr.supplier)
+					}
+					bySupplier[tr.supplier] = append(bySupplier[tr.supplier], tr)
+				}
+			}
+			if len(suppliers) == 0 {
+				return shardServe{}
+			}
+			sort.Slice(suppliers, func(i, j int) bool { return suppliers[i] < suppliers[j] })
+			var res shardServe
+			for _, sup := range suppliers {
+				sr := w.serveSupplier(s, sup, bySupplier[sup], snaps, index, start, horizon, pos, p)
+				// The serving shard owns ledger partition s == shardOf(sup),
+				// so this write races with nothing.
+				w.outUsed[s][sup] += len(sr.Granted)
+				res.queueCarried += int64(len(sr.Queued))
+				res.evicted.Add(sr.Evicted)
+				res.dropped += sr.Evicted.Total()
+				sn := w.nodes[sup]
+				if sn == nil {
+					continue
+				}
+				// Grants queue behind the wire time the push phase
+				// already consumed: capacity accounting subtracts the
+				// push spend, and completion times must agree with it or
+				// a pushing supplier's pulls would land impossibly early.
+				per := bandwidth.PerSegment(sn.Rates.Out, w.cfg.Tau)
+				backlog := sim.Time(w.dissem.PushSpent(s, sup))
+				for k, g := range sr.Granted {
+					if g.Carried {
+						res.queueServed++
+					}
+					done := (backlog + sim.Time(k+1)) * per
+					at := start + done + w.Latency(sup, g.Requester)
+					res.deliveries = append(res.deliveries, delivery{to: g.Requester, from: sup, id: g.ID, at: at})
+				}
+			}
+			return res
+		},
+		func(s int, res shardServe) {
+			merged[s] = res.deliveries
+			sample.Dropped += res.dropped
+			sample.QueueServed += res.queueServed
+			sample.QueueCarried += res.queueCarried
+			sample.QueueEvictedDeadline += res.evicted.Deadline
+			sample.QueueEvictedOverflow += res.evicted.Overflow
+			sample.QueueEvictedStale += res.evicted.Stale
+		})
+
+	var all []delivery
+	for _, ds := range merged {
+		all = append(all, ds...)
+	}
+	return all
+}
+
+// serveSupplier runs one supplier's scheduling period: it assembles the
+// protocol.ServeInput from shard-owned world state (carry queue, buffer
+// predicates, snapshot views, the supplier's own neighbours' advertised
+// maps for the rarity term) and delegates the decision to
+// protocol.PlanServe — the same code path the livenet runtime serves
+// from — then stores the requests carried forward back into the engine.
+// It touches only state owned by shard s, so supplier shards invoke it
+// concurrently.
+func (w *World) serveSupplier(s int, sup overlay.NodeID, fresh []transferReq, snaps []buffer.Map, index map[overlay.NodeID]int, start, horizon sim.Time, pos segment.ID, p int) protocol.ServeResult {
+	carried := w.dissem.TakeQueue(s, sup)
+	sn := w.nodes[sup]
+	if sn == nil || sn.Rates.Out <= 0 {
+		// A dead or mute supplier abandons everything addressed to it.
+		return protocol.ServeResult{Evicted: protocol.Evictions{Stale: int64(len(carried) + len(fresh))}}
+	}
+	if !w.cfg.Profile.Engine {
+		// Baseline profiles keep the published pull-only discipline:
+		// fair-queued round-robin across requesters within the backlog
+		// horizon, drop-and-retry beyond it, no carry queue.
+		reqs := make([]protocol.Request, 0, len(fresh))
+		for _, tr := range fresh {
+			reqs = append(reqs, protocol.Request{
+				Requester: tr.requester, ID: tr.id, Expected: tr.expected,
+			})
+		}
+		return protocol.ServeRoundRobin(reqs, 2*sn.Rates.Out)
+	}
+	asks := make([]protocol.Ask, len(fresh))
+	for i, tr := range fresh {
+		asks[i] = protocol.Ask{
+			Requester: tr.requester,
+			ID:        tr.id,
+			Deadline:  w.deadlineOf(tr.id, pos, p, start),
+		}
+	}
+	// Supplier-side rarity, once per distinct segment: equation (2) over
+	// the advertised buffers of the supplier's own neighbours.
+	neighbours := w.neighborsOf(sup)
+	rarity := make(map[segment.ID]float64)
+	var positions []int
+	res := protocol.PlanServe(protocol.ServeInput{
+		Carried: carried,
+		Fresh:   asks,
+		// Backlog spill (up to one extra period of queued transmissions)
+		// minus what the push phase already transmitted this round.
+		Capacity:    2*sn.Rates.Out - w.dissem.PushSpent(s, sup),
+		QueueCap:    w.cfg.QueueFactor * sn.Rates.Out,
+		Horizon:     horizon,
+		SupplierHas: sn.Buf.Has,
+		RequesterAlive: func(id overlay.NodeID) bool {
+			return w.nodes[id] != nil
+		},
+		RequesterHas: func(id overlay.NodeID, seg segment.ID) bool {
+			j, ok := index[id]
+			return ok && snaps[j].Has(seg)
+		},
+		Rarity: func(id segment.ID) float64 {
+			if r, ok := rarity[id]; ok {
+				return r
+			}
+			positions = positions[:0]
+			for _, nb := range neighbours {
+				j, ok := index[nb]
+				if !ok {
+					continue
+				}
+				if pft, ok := snaps[j].PositionFromTail(id); ok {
+					positions = append(positions, pft)
+				}
+			}
+			r := protocol.SupplierRarity(w.cfg.BufferSegments, positions)
+			rarity[id] = r
+			return r
+		},
+	})
+	w.dissem.PutQueue(s, sup, res.Queued)
+	return res
+}

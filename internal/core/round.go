@@ -1,17 +1,8 @@
 package core
 
 import (
-	"slices"
-	"sort"
-
-	"continustreaming/internal/bandwidth"
-	"continustreaming/internal/buffer"
-	"continustreaming/internal/dht"
-	"continustreaming/internal/dissemination"
 	"continustreaming/internal/metrics"
 	"continustreaming/internal/overlay"
-	"continustreaming/internal/prefetch"
-	"continustreaming/internal/scheduler"
 	"continustreaming/internal/segment"
 	"continustreaming/internal/sim"
 )
@@ -44,11 +35,13 @@ func (w *World) phaseSeed(phase uint64) uint64 {
 }
 
 // Step executes one scheduling period as a sequence of barrier-separated
-// phases. Phases that touch only per-node state fan out over the worker
-// pool; transfer resolution and delivery application run as a sharded
-// map/reduce pipeline (partitioned by node ID, merged in shard order);
-// phases that rewire shared structures (DHT lookups, churn) run
-// deterministically single-threaded.
+// phases. Each phase is a thin sharded driver over the decision functions
+// in internal/protocol: phases that touch only per-node state fan out
+// over the worker pool; transfer resolution and delivery application run
+// as a sharded map/reduce pipeline (partitioned by node ID, merged in
+// shard order); phases that rewire shared structures (DHT lookups, churn)
+// run deterministically single-threaded. The per-phase drivers live in
+// the phase_*.go files of this package.
 func (w *World) Step(clock *sim.Clock) {
 	w.round = clock.Round()
 	sample := metrics.RoundSample{Round: w.round}
@@ -127,821 +120,6 @@ func (w *World) fetchEdge(round int) segment.ID {
 	return segment.ID((round + 1) * w.cfg.Stream.Rate)
 }
 
-// pushBudget is how much of a node's outbound the push phase may spend in
-// one round: one period's worth (O), leaving the second period of the
-// 2·O backlog horizon for pull serving. The spend is charged against the
-// shared outbound ledger, so push, gossip serving and pre-fetch grants
-// together never exceed the horizons the ledger invariants pin.
-func pushBudget(n *Node) int { return n.Rates.Out }
-
-// pushPhase eagerly forwards this round's freshly generated segments
-// along mesh edges for their first PushHops hops — the dissemination
-// engine's answer to the depth gap: a pure-pull epidemic starting from
-// one copy needs more doubling rounds than the playback delay allows at
-// 8000+ nodes, while a push-seeded one starts several generations deep.
-// Hop 1 is the source spraying its connected neighbours; hop h+1 is every
-// hop-h receiver forwarding what it just received.
-//
-// Each hop runs as a sharded map/reduce: pushers are partitioned by the
-// supplier-ownership shard, each shard plans its pushers' sends (pure
-// reads of target buffers) and charges its own outbound-ledger partition,
-// and the sends are applied sequentially in shard order afterwards, so
-// the phase is bit-identical at any worker count. Two same-hop pushers in
-// different shards may race a copy to the same target; the loser is
-// counted as a push duplicate, exactly the redundancy a real eager-push
-// mesh pays.
-func (w *World) pushPhase(clock *sim.Clock, sample *metrics.RoundSample) {
-	hops := w.cfg.PushHops
-	if hops <= 0 || !w.cfg.Profile.Engine {
-		return
-	}
-	lo := w.liveEdge(w.round)
-	if lo < 0 {
-		lo = 0
-	}
-	hi := w.fetchEdge(w.round)
-	src := w.nodes[w.source]
-	fresh := make([]segment.ID, 0, int(hi-lo))
-	for id := lo; id < hi; id++ {
-		if src.Buf.Has(id) {
-			fresh = append(fresh, id)
-		}
-	}
-	if len(fresh) == 0 {
-		return
-	}
-	start := clock.Now()
-	end := clock.RoundEnd()
-	segBits := w.cfg.Stream.BitsPerSegment
-	// Per-pusher send serialization across the whole phase: a pusher's
-	// k-th copy occupies its outbound wire for k+1 segment times, the
-	// same PerSegment accounting the pull and pre-fetch paths use.
-	sent := make(map[overlay.NodeID]int)
-	// Each frontier entry carries the instant its holder actually
-	// received the segment; hop h+1 sends anchor there, so no node ever
-	// forwards a copy at a simulated time before it arrived.
-	type pushSeg struct {
-		id      segment.ID
-		readyAt sim.Time
-	}
-	frontier := make(map[overlay.NodeID][]pushSeg, 1)
-	for _, id := range fresh {
-		frontier[w.source] = append(frontier[w.source], pushSeg{id: id, readyAt: start})
-	}
-	for hop := 1; hop <= hops && len(frontier) > 0; hop++ {
-		pushers := make([]overlay.NodeID, 0, len(frontier))
-		for id := range frontier {
-			pushers = append(pushers, id)
-		}
-		sort.Slice(pushers, func(i, j int) bool { return pushers[i] < pushers[j] })
-		byShard := make([][]overlay.NodeID, phaseShards)
-		for _, id := range pushers {
-			s := w.shardOf(id)
-			byShard[s] = append(byShard[s], id)
-		}
-		seed := w.phaseSeed(phasePush ^ uint64(hop)<<20)
-		planned := make([][]dissemination.Send, phaseShards)
-		sim.MapReduce(w.pool, phaseShards, seed,
-			func(s int, _ *sim.RNG) []dissemination.Send {
-				var out []dissemination.Send
-				for _, id := range byShard[s] {
-					n := w.nodes[id]
-					budget := pushBudget(n) - w.dissem.PushSpent(s, id)
-					if budget <= 0 {
-						continue
-					}
-					segs := make([]segment.ID, len(frontier[id]))
-					for i, ps := range frontier[id] {
-						segs[i] = ps.id
-					}
-					// Salting the plan seed per pusher decorrelates target
-					// orders, so pushers sharing neighbours spray different
-					// prefixes instead of racing to the same targets.
-					sends := dissemination.PlanPush(seed^uint64(id)*0x9e3779b97f4a7c15, id, segs, w.neighborsOf(id),
-						func(to overlay.NodeID, seg segment.ID) bool {
-							t := w.nodes[to]
-							// A target whose inbound link is already
-							// saturated by earlier push hops counts as
-							// unavailable; pushReceived lags the current
-							// hop's own sends (cross-shard state), which
-							// only lets the final hop overshoot by the
-							// in-flight few — counted on arrival below.
-							return t == nil || t.Buf.Has(seg) || t.pushReceived >= t.Rates.In
-						}, budget)
-					if len(sends) == 0 {
-						continue
-					}
-					// The planning shard owns both ledgers for its pushers.
-					w.dissem.ChargePush(s, id, len(sends))
-					w.outUsed[s][id] += len(sends)
-					out = append(out, sends...)
-				}
-				return out
-			},
-			func(s int, out []dissemination.Send) { planned[s] = out })
-
-		ready := make(map[overlay.NodeID]map[segment.ID]sim.Time, len(frontier))
-		for id, segs := range frontier {
-			m := make(map[segment.ID]sim.Time, len(segs))
-			for _, ps := range segs {
-				m[ps.id] = ps.readyAt
-			}
-			ready[id] = m
-		}
-		next := make(map[overlay.NodeID][]pushSeg)
-		for _, sends := range planned {
-			for _, snd := range sends {
-				t := w.nodes[snd.To]
-				if t == nil {
-					continue
-				}
-				// Every transmitted push occupies both links — the
-				// pusher's wire slot and the target's inbound —
-				// duplicates included; the pull scheduler's budget below
-				// shrinks accordingly.
-				sent[snd.From]++
-				t.pushReceived++
-				wire := sim.Time(sent[snd.From]) * bandwidth.PerSegment(w.nodes[snd.From].Rates.Out, w.cfg.Tau)
-				at := ready[snd.From][snd.ID] + wire + w.Latency(snd.From, snd.To)
-				if at > end {
-					// The pusher's wire ran past the round boundary: the
-					// copy is an ordinary transfer in flight, applied,
-					// counted and advertised only when it lands — same
-					// rule as every late pull or pre-fetch delivery.
-					// Landing it now would let the next hop (and this
-					// round's snapshots) see a segment before it arrived.
-					w.inflight.Push(at, delivery{to: snd.To, from: snd.From, id: snd.ID, at: at})
-					continue
-				}
-				sample.DataBits += segBits
-				sample.Deliveries++
-				if !t.receive(snd.ID, at) {
-					sample.PushDuplicates++
-					continue
-				}
-				sample.PushDeliveries++
-				t.Ctrl.ObserveDelivery(int(snd.From), (at - start).Seconds())
-				t.maybeBackup(w.space, snd.ID, w.cfg.Replicas)
-				next[snd.To] = append(next[snd.To], pushSeg{id: snd.ID, readyAt: at})
-			}
-		}
-		frontier = next
-	}
-}
-
-// exchangePhase snapshots every node's buffer map (the per-round "periodic
-// buffer information exchange") and accounts its control cost: each node
-// receives one 620-bit map from every connected neighbour.
-func (w *World) exchangePhase(sample *metrics.RoundSample) []buffer.Map {
-	snaps := make([]buffer.Map, len(w.order))
-	w.pool.ForEach(len(w.order), func(i int) {
-		snaps[i] = w.nodes[w.order[i]].Buf.Snapshot()
-	})
-	var control int64
-	for _, id := range w.order {
-		if id == w.source {
-			continue
-		}
-		control += int64(len(w.edges[id])) * buffer.WireBits(w.cfg.BufferSegments)
-	}
-	sample.ControlBits = control
-	return snaps
-}
-
-// predictPhase runs the Urgent Line on every pre-fetch-enabled node.
-// Returned decisions align with w.order; nodes without pre-fetch get zero
-// decisions.
-func (w *World) predictPhase(clock *sim.Clock) []prefetch.Decision {
-	plans := make([]prefetch.Decision, len(w.order))
-	if !w.cfg.Profile.Prefetch {
-		return plans
-	}
-	pos := w.playbackPos(w.round)
-	p := w.cfg.Stream.Rate
-	now := clock.Now()
-	round := w.round
-	w.pool.ForEach(len(w.order), func(i int) {
-		n := w.nodes[w.order[i]]
-		if n.IsSource || n.Alpha == nil || !n.Started {
-			// The Urgent Line protects an active playback; a node that
-			// has not started yet has no deadlines to defend.
-			return
-		}
-		plans[i] = prefetch.Predict(n.Buf, pos, n.Alpha.Value(), w.cfg.PrefetchLimit,
-			func(id segment.ID) bool {
-				deadline := w.deadlineOf(id, pos, p, now)
-				return n.predictExcluded(id, round, now, deadline)
-			})
-	})
-	return plans
-}
-
-// schedulePhase runs each node's scheduling policy against its neighbours'
-// snapshots. The inbound budget reserves room for this round's pre-fetches
-// ("the on-demand data retrieval algorithm shares the inbound rate with
-// the data scheduling algorithm").
-func (w *World) schedulePhase(clock *sim.Clock, snaps []buffer.Map, index map[overlay.NodeID]int) [][]scheduler.Request {
-	pos := w.playbackPos(w.round)
-	vpos := w.virtualPos(w.round)
-	fetchWin := segment.Window{Lo: pos, Hi: w.fetchEdge(w.round)}
-	out := make([][]scheduler.Request, len(w.order))
-	round := w.round
-	w.pool.ForEach(len(w.order), func(i int) {
-		n := w.nodes[w.order[i]]
-		if n.IsSource {
-			return
-		}
-		// Push and pull share the inbound rate: segments the eager push
-		// already landed on this node's link this round come out of the
-		// same I·τ the scheduler may spend.
-		budget := n.Rates.In - n.pushReceived
-		if budget <= 0 {
-			return
-		}
-		cands := w.candidatesFor(n, index, snaps, fetchWin, round)
-		if len(cands) == 0 {
-			return
-		}
-		in := scheduler.Input{
-			PriorityInput: scheduler.PriorityInput{
-				Play:         vpos,
-				PlaybackRate: w.cfg.Stream.Rate,
-				BufferSize:   w.cfg.BufferSegments,
-				NoPlayback:   !n.Started,
-			},
-			Tau:           w.cfg.Tau,
-			InboundBudget: budget,
-			Candidates:    cands,
-			JitterSeed:    w.cfg.Seed ^ uint64(n.ID)*0x9e3779b97f4a7c15 ^ n.Gen*0xd1342543de82ef95,
-			RarityNoise:   w.cfg.RarityNoise,
-		}
-		reqs := n.Policy.Schedule(in)
-		perSupplier := map[int]int{}
-		for _, r := range reqs {
-			n.markGossipPending(r.ID, round, clock.Now()+r.ExpectedAt)
-			perSupplier[r.Supplier]++
-		}
-		for s, count := range perSupplier {
-			n.Ctrl.NoteRequested(s, count)
-		}
-		out[i] = reqs
-	})
-	return out
-}
-
-// candidatesFor enumerates the fresh segments any connected neighbour
-// advertises inside the fetch window, with per-supplier rate estimates and
-// FIFO positions.
-func (w *World) candidatesFor(n *Node, index map[overlay.NodeID]int, snaps []buffer.Map, win segment.Window, round int) []scheduler.Candidate {
-	type entry struct {
-		suppliers []scheduler.Supplier
-	}
-	found := make(map[segment.ID]*entry)
-	var ids []segment.ID
-	for _, nb := range w.neighborsOf(n.ID) {
-		j, ok := index[nb]
-		if !ok {
-			continue // neighbour died this round; maintenance will repair
-		}
-		snap := snaps[j]
-		wn := win.Intersect(snap.Window())
-		for id := wn.Lo; id < wn.Hi; id++ {
-			if !snap.Has(id) || !n.Fresh(id, round) {
-				continue
-			}
-			pft, _ := snap.PositionFromTail(id)
-			e := found[id]
-			if e == nil {
-				e = &entry{}
-				found[id] = e
-				ids = append(ids, id)
-			}
-			e.suppliers = append(e.suppliers, scheduler.Supplier{
-				Node:             int(nb),
-				Rate:             n.Ctrl.Rate(int(nb)),
-				PositionFromTail: pft,
-			})
-		}
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	cands := make([]scheduler.Candidate, 0, len(ids))
-	for _, id := range ids {
-		cands = append(cands, scheduler.Candidate{ID: id, Suppliers: found[id].suppliers})
-	}
-	return cands
-}
-
-// transferReq is one requester->supplier ask, ordered deterministically.
-type transferReq struct {
-	supplier  overlay.NodeID
-	requester overlay.NodeID
-	id        segment.ID
-	expected  sim.Time
-}
-
-// resolveTransfers enforces supplier outbound budgets with the
-// dissemination engine's supplier-side service discipline. Each supplier
-// merges its round's fresh asks with the carry queue it kept from the
-// previous round and serves them earliest-deadline-first (rarest-first on
-// ties, computed from its own neighbours' buffer maps) at its real
-// service rate; like a pipelined TCP supplier it keeps transmitting into
-// the next period (slots past τ arrive next round via the in-flight
-// queue) up to one extra period's worth of backlog, minus whatever the
-// push phase already spent. Requests beyond the horizon are carried in a
-// bounded per-supplier queue to the next round — deadline-hopeless and
-// overflow entries are evicted and the requester times out and retries.
-//
-// The phase runs as a two-stage sharded pipeline. Stage 1 (scatter)
-// partitions requesters into contiguous index ranges and buckets their
-// asks by the owning supplier shard; because ranges ascend with the shard
-// index and w.order is sorted, concatenating a supplier shard's buckets in
-// scatter-shard order reproduces the requester-ascending arrival order a
-// sequential scan would produce. Stage 2 (serve) gives each supplier shard
-// exclusive ownership of its suppliers — including their carry queues and
-// push spend, which live in the engine's matching shard — so it runs the
-// service discipline and writes the ledger partition it owns, with
-// deliveries and counters merged in shard order afterwards.
-func (w *World) resolveTransfers(clock *sim.Clock, requests [][]scheduler.Request, snaps []buffer.Map, index map[overlay.NodeID]int, sample *metrics.RoundSample) []delivery {
-	n := len(requests)
-	scatter := make([][][]transferReq, phaseShards) // [requesterShard][supplierShard]
-	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseScatter),
-		func(r int, _ *sim.RNG) [][]transferReq {
-			lo, hi := sim.ShardRange(n, phaseShards, r)
-			var buckets [][]transferReq
-			for i := lo; i < hi; i++ {
-				if len(requests[i]) == 0 {
-					continue
-				}
-				if buckets == nil {
-					buckets = make([][]transferReq, phaseShards)
-				}
-				requester := w.order[i]
-				for _, req := range requests[i] {
-					s := overlay.NodeID(req.Supplier)
-					ss := w.shardOf(s)
-					buckets[ss] = append(buckets[ss], transferReq{
-						supplier: s, requester: requester, id: req.ID, expected: req.ExpectedAt,
-					})
-				}
-			}
-			return buckets
-		},
-		func(r int, buckets [][]transferReq) { scatter[r] = buckets })
-
-	type shardServe struct {
-		deliveries   []delivery
-		dropped      int64
-		queueServed  int64
-		queueCarried int64
-		evicted      dissemination.Evictions
-	}
-	start := clock.Now()
-	horizon := clock.RoundEnd()
-	pos := w.playbackPos(w.round)
-	p := w.cfg.Stream.Rate
-	merged := make([][]delivery, phaseShards)
-	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseServe),
-		func(s int, _ *sim.RNG) shardServe {
-			bySupplier := make(map[overlay.NodeID][]transferReq)
-			suppliers := w.dissem.QueuedSuppliers(s)
-			for _, sup := range suppliers {
-				bySupplier[sup] = nil
-			}
-			for r := 0; r < phaseShards; r++ {
-				if scatter[r] == nil {
-					continue
-				}
-				for _, tr := range scatter[r][s] {
-					if _, ok := bySupplier[tr.supplier]; !ok {
-						suppliers = append(suppliers, tr.supplier)
-					}
-					bySupplier[tr.supplier] = append(bySupplier[tr.supplier], tr)
-				}
-			}
-			if len(suppliers) == 0 {
-				return shardServe{}
-			}
-			sort.Slice(suppliers, func(i, j int) bool { return suppliers[i] < suppliers[j] })
-			var res shardServe
-			for _, sup := range suppliers {
-				sr := w.serveSupplier(s, sup, bySupplier[sup], snaps, index, start, horizon, pos, p)
-				// The serving shard owns ledger partition s == shardOf(sup),
-				// so this write races with nothing.
-				w.outUsed[s][sup] += len(sr.Granted)
-				res.queueCarried += int64(len(sr.Queued))
-				res.evicted.Add(sr.Evicted)
-				res.dropped += sr.Evicted.Total()
-				sn := w.nodes[sup]
-				if sn == nil {
-					continue
-				}
-				// Grants queue behind the wire time the push phase
-				// already consumed: capacity accounting subtracts the
-				// push spend, and completion times must agree with it or
-				// a pushing supplier's pulls would land impossibly early.
-				per := bandwidth.PerSegment(sn.Rates.Out, w.cfg.Tau)
-				backlog := sim.Time(w.dissem.PushSpent(s, sup))
-				for k, g := range sr.Granted {
-					if g.Carried {
-						res.queueServed++
-					}
-					done := (backlog + sim.Time(k+1)) * per
-					at := start + done + w.Latency(sup, g.Requester)
-					res.deliveries = append(res.deliveries, delivery{to: g.Requester, from: sup, id: g.ID, at: at})
-				}
-			}
-			return res
-		},
-		func(s int, res shardServe) {
-			merged[s] = res.deliveries
-			sample.Dropped += res.dropped
-			sample.QueueServed += res.queueServed
-			sample.QueueCarried += res.queueCarried
-			sample.QueueEvictedDeadline += res.evicted.Deadline
-			sample.QueueEvictedOverflow += res.evicted.Overflow
-			sample.QueueEvictedStale += res.evicted.Stale
-		})
-
-	var all []delivery
-	for _, ds := range merged {
-		all = append(all, ds...)
-	}
-	return all
-}
-
-// serveSupplier runs one supplier's earliest-deadline-first service
-// discipline over its fresh asks plus the carry queue from the previous
-// round, stores the requests it carries forward back into the engine, and
-// returns the serve outcome. The rarity tie-break is computed from the
-// supplier's own neighbours' advertised buffer maps — the supplier-side
-// mirror of the requesting-priority equation (2). It touches only state
-// owned by shard s, so supplier shards invoke it concurrently.
-func (w *World) serveSupplier(s int, sup overlay.NodeID, fresh []transferReq, snaps []buffer.Map, index map[overlay.NodeID]int, start, horizon sim.Time, pos segment.ID, p int) dissemination.ServeResult {
-	carried := w.dissem.TakeQueue(s, sup)
-	sn := w.nodes[sup]
-	if sn == nil || sn.Rates.Out <= 0 {
-		// A dead or mute supplier abandons everything addressed to it.
-		return dissemination.ServeResult{Evicted: dissemination.Evictions{Stale: int64(len(carried) + len(fresh))}}
-	}
-	if !w.cfg.Profile.Engine {
-		// Baseline profiles keep the published pull-only discipline:
-		// fair-queued round-robin across requesters within the backlog
-		// horizon, drop-and-retry beyond it, no carry queue.
-		reqs := make([]dissemination.Request, 0, len(fresh))
-		for _, tr := range fresh {
-			reqs = append(reqs, dissemination.Request{
-				Requester: tr.requester, ID: tr.id, Expected: tr.expected,
-			})
-		}
-		return dissemination.ServeRoundRobin(reqs, 2*sn.Rates.Out)
-	}
-	reqs := make([]dissemination.Request, 0, len(carried)+len(fresh))
-	queued := make(map[segment.ID][]overlay.NodeID, len(carried))
-	var stale int64
-	for _, c := range carried {
-		// Revalidate: the requester may have died, the segment may have
-		// slid out of the supplier's buffer while queued, or the
-		// requester may have obtained the segment elsewhere meanwhile
-		// (push, prefetch rescue, a retry at another supplier) — its
-		// current buffer-map snapshot says so, and serving it anyway
-		// would burn a grant slot on repeated data. Only survivors join
-		// the dedupe set — a fresh re-ask that matches a stale entry
-		// must not be swallowed with it.
-		if w.nodes[c.Requester] == nil || !sn.Buf.Has(c.ID) {
-			stale++
-			continue
-		}
-		if j, ok := index[c.Requester]; ok && snaps[j].Has(c.ID) {
-			stale++
-			continue
-		}
-		queued[c.ID] = append(queued[c.ID], c.Requester)
-		reqs = append(reqs, c)
-	}
-	// Supplier-side rarity, once per distinct segment: equation (2) over
-	// the advertised buffers of the supplier's own neighbours.
-	neighbours := w.neighborsOf(sup)
-	rarity := make(map[segment.ID]float64)
-	var positions []int
-	rarityOf := func(id segment.ID) float64 {
-		if r, ok := rarity[id]; ok {
-			return r
-		}
-		positions = positions[:0]
-		for _, nb := range neighbours {
-			j, ok := index[nb]
-			if !ok {
-				continue
-			}
-			if pft, ok := snaps[j].PositionFromTail(id); ok {
-				positions = append(positions, pft)
-			}
-		}
-		r := dissemination.SupplierRarity(w.cfg.BufferSegments, positions)
-		rarity[id] = r
-		return r
-	}
-	for i := range reqs {
-		reqs[i].Rarity = rarityOf(reqs[i].ID)
-	}
-	for _, tr := range fresh {
-		if slices.Contains(queued[tr.id], tr.requester) {
-			// Already carried: the re-ask merges into its queued twin
-			// and shares its fate (served or evicted), deliberately
-			// counted once in the eviction telemetry.
-			continue
-		}
-		reqs = append(reqs, dissemination.Request{
-			Requester: tr.requester,
-			ID:        tr.id,
-			Deadline:  w.deadlineOf(tr.id, pos, p, start),
-			Rarity:    rarityOf(tr.id),
-		})
-	}
-	// Backlog spill (up to one extra period of queued transmissions)
-	// minus what the push phase already transmitted this round.
-	capacity := 2*sn.Rates.Out - w.dissem.PushSpent(s, sup)
-	queueCap := w.cfg.QueueFactor * sn.Rates.Out
-	res := dissemination.Serve(reqs, capacity, queueCap, horizon)
-	res.Evicted.Stale += stale
-	w.dissem.PutQueue(s, sup, res.Queued)
-	return res
-}
-
-// worldDirectory adapts the world to the prefetch.Directory interface:
-// whether a ring node holds a backup and how much outbound it can still
-// spare this round.
-type worldDirectory struct{ w *World }
-
-func (d worldDirectory) HasBackup(node dht.ID, id segment.ID) bool {
-	n := d.w.nodes[overlay.NodeID(node)]
-	if n == nil {
-		return false
-	}
-	// The source trivially holds every segment it has generated — it is
-	// the retrieval path of last resort exactly as in a real deployment.
-	if n.IsSource {
-		return n.Buf.Has(id)
-	}
-	return n.Backup.Has(id)
-}
-
-func (d worldDirectory) AvailableRate(node dht.ID) float64 {
-	n := d.w.nodes[overlay.NodeID(node)]
-	if n == nil {
-		return 0
-	}
-	// The outbound ledger spans the gossip backlog horizon (2·O per
-	// round); whatever is left of it is spare capacity a pre-fetch may
-	// claim, reported as an effective sending rate capped at the line
-	// rate.
-	spare := 2*n.Rates.Out - d.w.outUsedOf(overlay.NodeID(node))
-	if spare <= 0 {
-		return 0
-	}
-	if spare > n.Rates.Out {
-		spare = n.Rates.Out
-	}
-	return float64(spare)
-}
-
-// resolvePrefetch executes Algorithm 2 for every triggered node. The
-// phase is sequential: DHT routing evicts dead table entries and consumes
-// supplier leftovers, both shared state.
-func (w *World) resolvePrefetch(clock *sim.Clock, plans []prefetch.Decision, sample *metrics.RoundSample) []delivery {
-	if !w.cfg.Profile.Prefetch {
-		return nil
-	}
-	retr := &prefetch.Retriever{
-		Space:    w.space,
-		Replicas: w.cfg.Replicas,
-		Locator:  w.dhtNet,
-		Dir:      worldDirectory{w},
-	}
-	start := clock.Now()
-	var out []delivery
-	for i, plan := range plans {
-		if !plan.Triggered {
-			continue
-		}
-		n := w.nodes[w.order[i]]
-		results := retr.LocateAll(dht.ID(n.ID), plan.Missed)
-		sample.LookupAttempts += int64(len(results))
-		for _, res := range results {
-			sample.PrefetchRoutingBits += int64(res.RoutingMessages) * w.cfg.RoutingMessageBits
-			if !res.Found {
-				// Classify the failure — the repair pipeline's health
-				// telemetry: routing rot, replica loss, and capacity
-				// exhaustion need different cures.
-				switch {
-				case len(res.Owners) == 0:
-					sample.LookupNoRoute++
-				case !anyOwnerHolds(retr.Dir, res.Owners, res.ID):
-					sample.LookupNoBackup++
-				default:
-					sample.LookupNoRate++
-				}
-				// Last resort: a direct ask at the media source. Every
-				// deployment has this path — the source generated the
-				// segment and its address is channel metadata — and it is
-				// what makes a segment whose k arc owners all churned away
-				// recoverable at all. Charged to the same outbound ledger
-				// as every other transfer, so the source's gossip serving
-				// shrinks correspondingly.
-				if w.cfg.SourceRescue {
-					src := w.nodes[w.source]
-					if src.Buf.Has(res.ID) && w.outUsedOf(w.source) < 2*src.Rates.Out {
-						w.addOutUsed(w.source, 1)
-						n.markPrefetchPending(res.ID, w.round)
-						sample.SourceRescues++
-						sample.PrefetchRoutingBits += w.cfg.RoutingMessageBits
-						direct := w.Latency(n.ID, w.source)
-						transfer := bandwidth.PerSegment(src.Rates.Out, sim.Second)
-						at := start + 2*direct + transfer + direct
-						out = append(out, delivery{to: n.ID, from: w.source, id: res.ID, at: at, prefetch: true})
-					}
-				}
-				continue
-			}
-			sample.LookupFound++
-			supplier := overlay.NodeID(res.Supplier)
-			if w.outUsedOf(supplier) >= 2*w.nodes[supplier].Rates.Out {
-				continue // leftover vanished since the lookup
-			}
-			w.addOutUsed(supplier, 1)
-			n.markPrefetchPending(res.ID, w.round)
-			// t_fetch = locate + reply + request + retrieve (eq. 6): the
-			// locate leg walks the routed path; the remaining three legs
-			// are direct exchanges with the chosen supplier.
-			direct := w.Latency(n.ID, supplier)
-			transfer := bandwidth.PerSegment(int(res.Rate), sim.Second)
-			at := start + sim.Time(res.LocateHops)*w.cfg.THop + 2*direct + transfer + direct
-			out = append(out, delivery{to: n.ID, from: supplier, id: res.ID, at: at, prefetch: true})
-			// Everyone on the winning route overhears the exchange.
-			w.overhearRoute(n.ID, res)
-		}
-	}
-	return out
-}
-
-// anyOwnerHolds reports whether any of the located arc owners holds a
-// backup of the segment (used to separate replica loss from capacity
-// exhaustion in the lookup-failure telemetry).
-func anyOwnerHolds(dir prefetch.Directory, owners []dht.ID, id segment.ID) bool {
-	for _, o := range owners {
-		if dir.HasBackup(o, id) {
-			return true
-		}
-	}
-	return false
-}
-
-// overhearRoute feeds routing-path observations into peer tables: each
-// node its level peers, the paper's zero-cost maintenance channel.
-func (w *World) overhearRoute(origin overlay.NodeID, res prefetch.LookupResult) {
-	for _, owner := range res.Owners {
-		oid := overlay.NodeID(owner)
-		if on := w.nodes[oid]; on != nil {
-			on.Table.Hear(origin, w.Latency(oid, origin))
-		}
-		if n := w.nodes[origin]; n != nil {
-			n.Table.Hear(oid, w.Latency(origin, oid))
-		}
-	}
-}
-
-// dueInflight drains cross-round deliveries that land during this round.
-func (w *World) dueInflight(clock *sim.Clock) []delivery {
-	events := w.inflight.PopUntil(clock.RoundEnd())
-	out := make([]delivery, 0, len(events))
-	for _, ev := range events {
-		out = append(out, ev.Payload)
-	}
-	return out
-}
-
-// applyDeliveries ingests every arrival of the round, in canonical
-// (timestamp, segment, sender) order per receiver, updating buffers,
-// backup stores, α feedback and the traffic counters. Deliveries landing
-// after the round boundary go to the in-flight queue instead.
-//
-// Receivers are partitioned into shards by node ID; every shard groups,
-// orders, and applies its own receivers' arrivals while accumulating into
-// a private metric sample, and the per-shard samples are folded in shard
-// order afterwards. A receiver belongs to exactly one shard, so all
-// per-node mutation stays shard-local.
-func (w *World) applyDeliveries(clock *sim.Clock, deliveries []delivery, sample *metrics.RoundSample) {
-	end := clock.RoundEnd()
-	// The in-flight queue is a shared heap whose tie-break is push order,
-	// so this partition pass stays sequential; it is a single cheap scan.
-	buckets := make([][]delivery, phaseShards)
-	for _, d := range deliveries {
-		if d.at > end {
-			w.inflight.Push(d.at, d)
-			continue
-		}
-		s := w.shardOf(d.to)
-		buckets[s] = append(buckets[s], d)
-	}
-	pos := w.playbackPos(w.round)
-	p := w.cfg.Stream.Rate
-	segBits := w.cfg.Stream.BitsPerSegment
-	now := clock.Now()
-	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseApply),
-		func(s int, _ *sim.RNG) metrics.RoundSample {
-			var local metrics.RoundSample
-			if len(buckets[s]) == 0 {
-				return local
-			}
-			byReceiver := make(map[overlay.NodeID][]delivery)
-			var receivers []overlay.NodeID
-			for _, d := range buckets[s] {
-				if _, ok := byReceiver[d.to]; !ok {
-					receivers = append(receivers, d.to)
-				}
-				byReceiver[d.to] = append(byReceiver[d.to], d)
-			}
-			sort.Slice(receivers, func(i, j int) bool { return receivers[i] < receivers[j] })
-			for _, id := range receivers {
-				n := w.nodes[id]
-				if n == nil {
-					continue
-				}
-				ds := byReceiver[id]
-				// Canonical arrival order: the (from, prefetch) tie-breaks
-				// make the outcome independent of how the delivery slice
-				// was assembled upstream.
-				sort.Slice(ds, func(a, b int) bool {
-					if ds[a].at != ds[b].at {
-						return ds[a].at < ds[b].at
-					}
-					if ds[a].id != ds[b].id {
-						return ds[a].id < ds[b].id
-					}
-					if ds[a].from != ds[b].from {
-						return ds[a].from < ds[b].from
-					}
-					return !ds[a].prefetch && ds[b].prefetch
-				})
-				w.applyToReceiver(n, ds, pos, p, segBits, now, &local)
-			}
-			return local
-		},
-		func(_ int, local metrics.RoundSample) {
-			sample.DataBits += local.DataBits
-			sample.PrefetchDataBits += local.PrefetchDataBits
-			sample.Deliveries += local.Deliveries
-			sample.Prefetches += local.Prefetches
-			sample.Overdue += local.Overdue
-			sample.Repeated += local.Repeated
-		})
-}
-
-// applyToReceiver ingests one receiver's ordered arrivals, accumulating the
-// traffic counters into local. Only the shard owning the receiver calls it.
-func (w *World) applyToReceiver(n *Node, ds []delivery, pos segment.ID, p int, segBits int64, now sim.Time, local *metrics.RoundSample) {
-	for _, d := range ds {
-		deadline := w.deadlineOf(d.id, pos, p, now)
-		if d.prefetch {
-			local.PrefetchDataBits += segBits
-			local.Prefetches++
-			already := n.Buf.Has(d.id)
-			stored := n.receive(d.id, d.at)
-			switch {
-			case already:
-				// Gossip beat the pre-fetch: repeated data.
-				local.Repeated++
-				n.repeated++
-				n.Tags.Clear(d.id)
-			case stored && d.at > deadline && d.id >= pos:
-				// Arrived, but after its play moment: overdue.
-				local.Overdue++
-				n.overdue++
-			}
-			if stored {
-				n.maybeBackup(w.space, d.id, w.cfg.Replicas)
-			}
-			continue
-		}
-		local.DataBits += segBits
-		local.Deliveries++
-		tagged := n.Tags != nil && n.Tags.Tagged(d.id)
-		already := n.Buf.Has(d.id)
-		stored := n.receive(d.id, d.at)
-		n.Ctrl.ObserveDelivery(int(d.from), (d.at - now).Seconds())
-		if tagged && (already || (stored && d.at <= deadline)) {
-			// The scheduler delivered a segment the pre-fetch also
-			// handled (or is handling): repeated data.
-			local.Repeated++
-			n.repeated++
-			n.Tags.Clear(d.id)
-		}
-		if stored {
-			n.maybeBackup(w.space, d.id, w.cfg.Replicas)
-		}
-	}
-}
-
 // deadlineOf returns the latest useful arrival time of segment id for a
 // node at position pos at round start `now`: the end of the scheduling
 // period in which the segment plays. Sub-period timing is below the
@@ -955,82 +133,12 @@ func (w *World) deadlineOf(id segment.ID, pos segment.ID, p int, now sim.Time) s
 	return now + (roundsAhead+1)*w.cfg.Tau
 }
 
-// playbackPhase evaluates the continuity metric, starts nodes whose
-// buffers have caught up, and applies α feedback.
-func (w *World) playbackPhase(clock *sim.Clock, sample *metrics.RoundSample) {
-	pos := w.playbackPos(w.round)
-	p := w.cfg.Stream.Rate
-	roundEnd := clock.RoundEnd()
-	playingBegun := w.virtualPos(w.round) >= 0
-	type result struct {
-		playing    bool
-		continuous bool
+// dueInflight drains cross-round deliveries that land during this round.
+func (w *World) dueInflight(clock *sim.Clock) []delivery {
+	events := w.inflight.PopUntil(clock.RoundEnd())
+	out := make([]delivery, 0, len(events))
+	for _, ev := range events {
+		out = append(out, ev.Payload)
 	}
-	results := make([]result, len(w.order))
-	round := w.round
-	w.pool.ForEach(len(w.order), func(i int) {
-		n := w.nodes[w.order[i]]
-		if n.IsSource {
-			return
-		}
-		if !n.Started && playingBegun && n.Buf.Has(pos) {
-			n.Started = true
-			n.StartedRound = round
-		}
-		results[i].playing = n.Started
-		if n.Started {
-			// The node played this round continuously iff every due
-			// segment arrived by the end of the round it played in.
-			continuous := true
-			for off := 0; off < p; off++ {
-				if !n.arrivedInTime(pos+segment.ID(off), roundEnd) {
-					continuous = false
-					break
-				}
-			}
-			results[i].continuous = continuous
-			n.missedLastRound = !continuous
-			if continuous {
-				n.missStreak = 0
-			} else {
-				n.missStreak++
-			}
-		}
-		if n.Alpha != nil {
-			n.Alpha.Apply(n.overdue, n.repeated)
-		}
-		n.Ctrl.Tick()
-		for _, nb := range n.Table.Neighbors() {
-			n.Table.UpdateSupply(nb.ID, n.Ctrl.Supply(int(nb.ID)))
-		}
-	})
-	// The warm variant excludes nodes still inside their post-join
-	// warm-up window — the joiner ramp-up drag that the plain metric
-	// charges against the protocol. A round-r joiner is first evaluated
-	// here in round r+1, so warmth begins strictly after WarmupRounds
-	// evaluated rounds (round - joined > WarmupRounds); the initial
-	// population (JoinedRound -1) is warm from the start — the world is
-	// constructed converged, so its first rounds are not catch-up. In
-	// practice warm continuity sits at or above the plain metric
-	// (excluded joiners almost never play continuously), but that is an
-	// empirical tendency, not an enforced invariant: a joiner that
-	// catches up instantly counts in the plain numerator while excluded
-	// from the warm one.
-	for i, id := range w.order {
-		if id == w.source {
-			continue
-		}
-		sample.PlayingNodes++ // denominator: every alive non-source node
-		n := w.nodes[id]
-		warm := n.JoinedRound < 0 || w.round-n.JoinedRound > w.cfg.WarmupRounds
-		if warm {
-			sample.WarmNodes++
-		}
-		if results[i].playing && results[i].continuous {
-			sample.ContinuousNodes++
-			if warm {
-				sample.ContinuousWarmNodes++
-			}
-		}
-	}
+	return out
 }

@@ -8,10 +8,10 @@ import (
 	"continustreaming/internal/buffer"
 	"continustreaming/internal/churn"
 	"continustreaming/internal/dht"
-	"continustreaming/internal/dissemination"
 	"continustreaming/internal/metrics"
 	"continustreaming/internal/overlay"
 	"continustreaming/internal/prefetch"
+	"continustreaming/internal/protocol"
 	"continustreaming/internal/scheduler"
 	"continustreaming/internal/segment"
 	"continustreaming/internal/sim"
@@ -48,7 +48,7 @@ type World struct {
 	// dissem is the dissemination engine's supplier-side state: per-
 	// supplier carry queues and push spend, sharded by the same supplier
 	// ownership rule as outUsed.
-	dissem *dissemination.Engine
+	dissem *protocol.Engine
 
 	// idGen counts how many times each ring ID has been assigned and
 	// vacated. It salts the per-node random streams so a joiner recycling
@@ -91,7 +91,7 @@ func NewWorld(cfg Config) (*World, error) {
 		collector: metrics.NewCollector(),
 		inflight:  sim.NewEventQueue[delivery](),
 		outUsed:   make([]map[overlay.NodeID]int, phaseShards),
-		dissem:    dissemination.NewEngine(phaseShards),
+		dissem:    protocol.NewEngine(phaseShards),
 		idGen:     make(map[overlay.NodeID]uint64),
 	}
 	for s := range w.outUsed {

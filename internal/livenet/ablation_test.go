@@ -1,0 +1,33 @@
+package livenet
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestAblationNumbers prints the kill-scenario comparison quoted in
+// EXPERIMENTS.md (run with -v). Not an assertion test: wall-clock numbers
+// vary run to run; the EXPERIMENTS section quotes a representative run.
+func TestAblationNumbers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("documentation numbers only")
+	}
+	base := DefaultConfig()
+	base.Peers = 32
+	base.Period = 10 * time.Millisecond
+	base.Seed = 99
+	base.Churn = []ChurnEvent{{Period: 30, KillFraction: 0.33}}
+	run := func(name string, mod func(*Config)) {
+		cfg := base
+		mod(&cfg)
+		st := Run(context.Background(), cfg, 80)
+		t.Logf("%-22s continuity=%.3f tail15=%.3f push=%d rescued=%d queueServed=%d replaced=%d deadDropped=%d endDeadLinks=%d",
+			name, st.Continuity, st.TailContinuity(15), st.PushDelivered, st.Rescued,
+			st.QueueServed, st.Replaced, st.DeadDropped, st.EndDeadLinks)
+	}
+	run("repair+engine", func(c *Config) {})
+	run("no-repair", func(c *Config) { c.Repair = false })
+	run("no-engine", func(c *Config) { c.Engine = false })
+	run("neither", func(c *Config) { c.Repair, c.Engine = false, false })
+}

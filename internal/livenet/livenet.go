@@ -1,313 +1,285 @@
 // Package livenet runs the streaming protocol over real message passing:
 // one goroutine per peer, channels as links, and a wall-clock ticker
 // driving scheduling periods (scaled down so demos finish in seconds). It
-// exercises the same scheduler and buffer substrates as the deterministic
-// simulation, demonstrating the protocol outside the BSP harness — the
-// repro target the paper left to future work (their PlanetLab plan),
-// scaled to a single process.
+// is the repro of the paper's planned PlanetLab deployment scaled to one
+// process — and it drives the same transport-agnostic decision core
+// (internal/protocol) as the deterministic simulator: mesh repair under
+// churn (PlanRewire + GossipPicks), DHT-backed rescue of urgent holes
+// (BackupResponsible + the urgent-line prediction), fresh-segment push
+// (PlanPush) and supplier-side EDF serving with bounded carry queues
+// (PlanServe). Only the input assembly and the transport differ; the
+// decisions are the shared code paths, which is what the sim↔livenet
+// parity tests pin.
 package livenet
 
 import (
 	"context"
+	"math"
+	"sort"
 	"sync"
 	"time"
 
-	"continustreaming/internal/buffer"
-	"continustreaming/internal/scheduler"
+	"continustreaming/internal/dht"
 	"continustreaming/internal/segment"
 	"continustreaming/internal/sim"
 )
 
-// Message is the union of protocol messages exchanged between peers.
-type Message struct {
-	From int
-	// Map is a buffer-availability announcement (non-nil at period start).
-	Map *buffer.Map
-	// Request asks the receiver for one segment; HasRequest marks it
-	// valid (segment 0 is a legal ID).
-	Request    segment.ID
-	HasRequest bool
-	// Data delivers one segment; HasData marks it valid.
-	Data    segment.ID
-	HasData bool
-}
-
-// Config parameterises a live session.
-type Config struct {
-	// Peers is the number of receivers (the source is extra).
-	Peers int
-	// Neighbors is M.
-	Neighbors int
-	// Period is the real-time scheduling period (scaled-down τ).
-	Period time.Duration
-	// Rate is p in segments per period.
-	Rate int
-	// BufferSegments is B.
-	BufferSegments int
-	// OutboundPerPeriod bounds how many segments a peer serves per period.
-	OutboundPerPeriod int
-	// SourceOutbound bounds the source's serving capacity (the paper's
-	// source has a much fatter uplink, O = 100).
-	SourceOutbound int
-	// PlaybackLagPeriods is how many periods playback trails the live
-	// edge; real message passing needs a few periods of pipeline.
-	PlaybackLagPeriods int
-	// Seed drives topology and policy randomness.
-	Seed uint64
-}
-
-// DefaultConfig returns a laptop-friendly live session.
-func DefaultConfig() Config {
-	return Config{
-		Peers:              24,
-		Neighbors:          5,
-		Period:             50 * time.Millisecond,
-		Rate:               10,
-		BufferSegments:     600,
-		OutboundPerPeriod:  15,
-		SourceOutbound:     100,
-		PlaybackLagPeriods: 6,
-		Seed:               1,
-	}
-}
+// ringSpace is the rescue ring's identifier space: comfortably larger
+// than any in-process session so recycled peer IDs spread uniformly.
+const ringSpace = 1 << 14
 
 // Stats summarises a finished session.
 type Stats struct {
 	// Periods is how many scheduling periods ran.
 	Periods int
-	// Delivered counts segment deliveries across all peers.
+	// Delivered counts segment deliveries (first copies) across all peers.
 	Delivered int64
 	// Continuity is the fraction of peer-periods in which a peer held
-	// every segment due that period.
+	// every segment due that period; PerPeriod is its per-period trace
+	// (one entry per evaluated period, i.e. from PlaybackLagPeriods on).
 	Continuity float64
+	PerPeriod  []float64
+	// PushDelivered counts first copies that arrived via the eager push,
+	// Rescued via the DHT backup path (RescueAsked the attempts).
+	PushDelivered int64
+	Rescued       int64
+	RescueAsked   int64
+	// QueueServed counts grants served out of supplier carry queues;
+	// QueueCarried the requests carried across a period boundary.
+	QueueServed  int64
+	QueueCarried int64
+	// DeadDropped counts neighbour links dropped because the far side
+	// died; Replaced counts low-supply replacements.
+	DeadDropped int64
+	Replaced    int64
+	// Killed and Joined count scripted churn events applied.
+	Killed int
+	Joined int
+	// EndDeadLinks counts links still pointing at dead peers when the
+	// session drained — zero when mesh repair kept up with the churn.
+	EndDeadLinks int
+	// AsksSent/AsksReceived/GrantsSent/GrantsEvicted trace the pull
+	// funnel: requests scheduled, requests that reached a supplier, data
+	// grants transmitted, and requests the service discipline abandoned.
+	AsksSent      int64
+	AsksReceived  int64
+	GrantsSent    int64
+	GrantsEvicted int64
 }
 
-// peer is one goroutine's state.
-type peer struct {
-	id      int
-	buf     *buffer.Buffer
-	inbox   chan Message
-	links   map[int]chan Message
-	nbrMaps map[int]buffer.Map
-	pending map[segment.ID]bool
-	rng     *sim.RNG
-	served  int
-
-	mu sync.Mutex
+// TailContinuity returns the mean of the last n per-period continuity
+// samples (all of them when fewer exist) — the recovery metric the churn
+// scenarios assert on.
+func (s Stats) TailContinuity(n int) float64 {
+	if len(s.PerPeriod) == 0 {
+		return 0
+	}
+	if n > len(s.PerPeriod) {
+		n = len(s.PerPeriod)
+	}
+	sum := 0.0
+	for _, v := range s.PerPeriod[len(s.PerPeriod)-n:] {
+		sum += v
+	}
+	return sum / float64(n)
 }
 
 // Run executes a live session for the given number of periods and returns
-// its stats. The source emits cfg.Rate fresh segments per period; peers
-// exchange maps, schedule with the paper's urgency+rarity policy, and pull
-// segments over channels. Run blocks until the session drains.
+// its stats. The source emits cfg.Rate fresh segments per period and
+// push-seeds them; peers exchange maps with piggybacked membership
+// gossip, schedule with the paper's urgency+rarity policy, pull over
+// channels, serve EDF with carry queues, repair their meshes, and rescue
+// urgent holes from the backup ring. Run blocks until the session drains.
 func Run(ctx context.Context, cfg Config, periods int) Stats {
-	n := cfg.Peers + 1 // index 0 is the source
-	peers := make([]*peer, n)
-	for i := range peers {
-		peers[i] = &peer{
-			id:      i,
-			buf:     buffer.New(cfg.BufferSegments, 0),
-			inbox:   make(chan Message, 16*n),
-			links:   make(map[int]chan Message),
-			nbrMaps: make(map[int]buffer.Map),
-			pending: make(map[segment.ID]bool),
-			rng:     sim.DeriveRNG(cfg.Seed, uint64(i)),
-		}
+	// A peer can hold at most cfg.Peers distinct links (the source plus
+	// every other receiver); an M above that would spin the bootstrap
+	// wiring forever looking for a new neighbour that cannot exist.
+	if cfg.Neighbors > cfg.Peers {
+		cfg.Neighbors = cfg.Peers
 	}
-	// Random M-regular-ish wiring; every peer links to the source's ring
-	// position with small probability, and the first M peers link to the
-	// source directly so content has an exit.
+	space := dht.NewSpace(ringSpace)
+	nw := newNetwork(max(256, 16*(cfg.Peers+1)))
+	st := &counters{}
+	peers := make(map[int]*peer)
+	var wg sync.WaitGroup
+	spawn := func(isSource bool, openAt segment.ID, joinPeriod int) *peer {
+		p := newPeer(nw, cfg, space, st, isSource, openAt, joinPeriod)
+		peers[p.id] = p
+		wg.Add(1)
+		go p.loop(&wg)
+		return p
+	}
+	src := spawn(true, 0, 0)
+	for i := 0; i < cfg.Peers; i++ {
+		spawn(false, 0, 0)
+	}
+	// Bootstrap wiring (the RP's initial contact lists): every peer links
+	// to cfg.Neighbors others, the first M of them to the source so
+	// content has an exit. Links are installed directly on both sides —
+	// this is the session's construction, not a protocol message.
 	rng := sim.DeriveRNG(cfg.Seed, 0x11fe)
 	connect := func(a, b int) {
 		if a == b {
 			return
 		}
-		peers[a].links[b] = peers[b].inbox
-		peers[b].links[a] = peers[a].inbox
+		pa, pb := peers[a], peers[b]
+		pa.links[b], pb.links[a] = true, true
+		pa.nbrSeen[b], pb.nbrSeen[a] = 0, 0
 	}
-	for i := 1; i < n; i++ {
+	for i := 1; i <= cfg.Peers; i++ {
 		if i <= cfg.Neighbors {
-			connect(i, 0)
+			connect(i, src.id)
 		}
 		for len(peers[i].links) < cfg.Neighbors {
 			connect(i, 1+rng.Intn(cfg.Peers))
 		}
 	}
 
-	var wg sync.WaitGroup
-	stop := make(chan struct{})
-	var delivered int64
-	var deliveredMu sync.Mutex
-	// Receiver loops: apply incoming messages to peer state.
-	for _, p := range peers {
-		wg.Add(1)
-		go func(p *peer) {
-			defer wg.Done()
-			for {
-				select {
-				case <-stop:
-					return
-				case m := <-p.inbox:
-					p.handle(m, cfg, &delivered, &deliveredMu)
-				}
-			}
-		}(p)
+	churnAt := make(map[int][]ChurnEvent)
+	for _, ev := range cfg.Churn {
+		churnAt[ev.Period] = append(churnAt[ev.Period], ev)
 	}
 
-	// Driver: wall-clock periods.
 	ticker := time.NewTicker(cfg.Period)
 	defer ticker.Stop()
+	stats := Stats{}
 	continuous, playingSamples := 0, 0
 	pos := segment.ID(0)
+	lag := cfg.PlaybackLagPeriods
+	if lag <= 0 {
+		lag = 6
+	}
 	ran := 0
 	for period := 0; period < periods; period++ {
 		select {
 		case <-ctx.Done():
-			periods = period
 		case <-ticker.C:
 		}
-		if ran = period + 1; ctx.Err() != nil {
+		if ctx.Err() != nil {
 			break
 		}
+		ran = period + 1
+
+		// Scripted churn: abrupt kills first (silence, not goodbyes),
+		// then rendezvous-path joins.
+		for _, ev := range churnAt[period] {
+			if ev.KillFraction > 0 {
+				var victims []int
+				for id := range peers {
+					if id != src.id {
+						victims = append(victims, id)
+					}
+				}
+				sort.Ints(victims)
+				rng.Shuffle(len(victims), func(i, j int) { victims[i], victims[j] = victims[j], victims[i] })
+				kill := int(math.Round(ev.KillFraction * float64(len(victims))))
+				for _, id := range victims[:min(kill, len(victims))] {
+					nw.unregister(id)
+					close(peers[id].stop)
+					delete(peers, id)
+					stats.Killed++
+				}
+			}
+			for j := 0; j < ev.Join; j++ {
+				np := spawn(false, pos, period)
+				for _, c := range nw.sample(rng, cfg.Neighbors+2, np.id) {
+					nw.send(c, Message{From: np.id, Kind: msgConnect})
+				}
+				stats.Joined++
+			}
+		}
+
+		members := nw.members()
+		memberSet := make(map[int]bool, len(members))
+		for _, id := range members {
+			memberSet[id] = true
+		}
+		rv := newRingView(space, members)
+
 		// Source ingests this period's fresh segments.
-		src := peers[0]
 		src.mu.Lock()
 		for s := segment.ID(period * cfg.Rate); s < segment.ID((period+1)*cfg.Rate); s++ {
 			src.buf.Insert(s)
 		}
 		src.mu.Unlock()
-		// Everyone announces, schedules, requests.
-		for _, p := range peers {
-			p.period(cfg, pos)
-		}
-		// Playback bookkeeping after the pipeline warm-up.
-		lag := cfg.PlaybackLagPeriods
-		if lag <= 0 {
-			lag = 6
-		}
+
 		if period >= lag {
 			pos = segment.ID((period - lag) * cfg.Rate)
+		}
+		order := make([]int, 0, len(peers))
+		for id := range peers {
+			order = append(order, id)
+		}
+		sort.Ints(order)
+		// Two passes per period, the simulator's schedule→serve phase
+		// order over real messages: every peer plans (announce, repair,
+		// request, rescue) before any peer serves, so a request sent
+		// this period is granted this period and a pull hop costs one
+		// period of pipeline, not two.
+		for _, id := range order {
+			peers[id].periodPlan(period, pos, rv, memberSet)
+		}
+		for _, id := range order {
+			peers[id].periodServe(period, memberSet)
+		}
+
+		// Playback bookkeeping after the pipeline warm-up.
+		if period >= lag {
 			win := segment.Window{Lo: pos, Hi: pos + segment.ID(cfg.Rate)}
-			for _, p := range peers[1:] {
+			periodContinuous, periodPlaying := 0, 0
+			for _, id := range order {
+				p := peers[id]
+				if p.isSource {
+					continue
+				}
 				p.mu.Lock()
 				ok := p.buf.HasAll(win)
-				p.buf.AdvanceTo(pos)
+				p.missedLast = !ok
+				if ok {
+					p.missStreak = 0
+				} else {
+					p.missStreak++
+				}
 				p.mu.Unlock()
+				periodPlaying++
 				playingSamples++
 				if ok {
+					periodContinuous++
 					continuous++
 				}
 			}
+			if periodPlaying > 0 {
+				stats.PerPeriod = append(stats.PerPeriod, float64(periodContinuous)/float64(periodPlaying))
+			}
 		}
 	}
-	close(stop)
+	for _, p := range peers {
+		close(p.stop)
+	}
 	wg.Wait()
-	st := Stats{Periods: ran, Delivered: delivered}
+
+	stats.Periods = ran
+	stats.Delivered = st.delivered.Load()
+	stats.PushDelivered = st.pushDelivered.Load()
+	stats.Rescued = st.rescued.Load()
+	stats.RescueAsked = st.rescueAsked.Load()
+	stats.QueueServed = st.queueServed.Load()
+	stats.QueueCarried = st.queueCarried.Load()
+	stats.DeadDropped = st.deadDropped.Load()
+	stats.Replaced = st.replaced.Load()
+	stats.AsksSent = st.asksSent.Load()
+	stats.AsksReceived = st.asksReceived.Load()
+	stats.GrantsSent = st.grantsSent.Load()
+	stats.GrantsEvicted = st.grantsEvicted.Load()
 	if playingSamples > 0 {
-		st.Continuity = float64(continuous) / float64(playingSamples)
+		stats.Continuity = float64(continuous) / float64(playingSamples)
 	}
-	return st
-}
-
-// handle applies one message under the peer's lock.
-func (p *peer) handle(m Message, cfg Config, delivered *int64, mu *sync.Mutex) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	switch {
-	case m.Map != nil:
-		p.nbrMaps[m.From] = *m.Map
-	case m.HasData:
-		delete(p.pending, m.Data)
-		if p.buf.Insert(m.Data) {
-			mu.Lock()
-			*delivered++
-			mu.Unlock()
-		}
-	case m.HasRequest:
-		limit := cfg.OutboundPerPeriod
-		if p.id == 0 {
-			limit = cfg.SourceOutbound
-		}
-		if p.served < limit && p.buf.Has(m.Request) {
-			p.served++
-			if ch, ok := p.links[m.From]; ok {
-				select {
-				case ch <- Message{From: p.id, Data: m.Request, HasData: true}:
-				default: // receiver saturated: drop, requester retries
-				}
+	for _, p := range peers {
+		for nb := range p.links {
+			if !nw.alive(nb) {
+				stats.EndDeadLinks++
 			}
 		}
 	}
-}
-
-// period runs one scheduling period for the peer: announce the buffer map
-// to all neighbours, then schedule requests against the latest maps.
-func (p *peer) period(cfg Config, pos segment.ID) {
-	p.mu.Lock()
-	p.served = 0
-	// Unanswered requests from the previous period are retried: a dropped
-	// channel send or saturated supplier must not wedge the segment.
-	clear(p.pending)
-	snap := p.buf.Snapshot()
-	maps := make(map[int]buffer.Map, len(p.nbrMaps))
-	for id, m := range p.nbrMaps {
-		maps[id] = m
-	}
-	p.mu.Unlock()
-	for _, ch := range p.links {
-		m := snap
-		select {
-		case ch <- Message{From: p.id, Map: &m}:
-		default:
-		}
-	}
-	if p.id == 0 {
-		return // the source only serves
-	}
-	// Build candidates from the latest neighbour maps.
-	found := map[segment.ID][]scheduler.Supplier{}
-	p.mu.Lock()
-	for nb, m := range maps {
-		w := m.Window()
-		for id := w.Lo; id < w.Hi; id++ {
-			if !m.Has(id) || p.buf.Has(id) || p.pending[id] {
-				continue
-			}
-			pft, _ := m.PositionFromTail(id)
-			found[id] = append(found[id], scheduler.Supplier{
-				Node: nb, Rate: float64(cfg.OutboundPerPeriod), PositionFromTail: pft,
-			})
-		}
-	}
-	p.mu.Unlock()
-	var cands []scheduler.Candidate
-	for id, sup := range found {
-		cands = append(cands, scheduler.Candidate{ID: id, Suppliers: sup})
-	}
-	in := scheduler.Input{
-		PriorityInput: scheduler.PriorityInput{
-			Play:         pos,
-			PlaybackRate: cfg.Rate,
-			BufferSize:   cfg.BufferSegments,
-		},
-		Tau:           sim.Second,
-		InboundBudget: cfg.OutboundPerPeriod,
-		Candidates:    cands,
-		JitterSeed:    uint64(p.id) * 0x9e3779b97f4a7c15,
-		RarityNoise:   0.3,
-	}
-	reqs := (scheduler.Greedy{}).Schedule(in)
-	p.mu.Lock()
-	for _, r := range reqs {
-		p.pending[r.ID] = true
-	}
-	p.mu.Unlock()
-	for _, r := range reqs {
-		if ch, ok := p.links[r.Supplier]; ok {
-			select {
-			case ch <- Message{From: p.id, Request: r.ID, HasRequest: true}:
-			default:
-			}
-		}
-	}
+	return stats
 }

@@ -1,0 +1,208 @@
+package livenet
+
+import (
+	"sort"
+	"sync"
+
+	"continustreaming/internal/buffer"
+	"continustreaming/internal/dht"
+	"continustreaming/internal/segment"
+	"continustreaming/internal/sim"
+)
+
+// MsgKind discriminates the protocol messages peers exchange.
+type MsgKind uint8
+
+// The livenet wire protocol: the periodic buffer-map exchange (with
+// piggybacked membership gossip), pull requests and data grants, the
+// DHT-backed rescue pair, and the mesh-repair control messages.
+const (
+	msgMap MsgKind = iota
+	msgRequest
+	msgData
+	msgRescueReq
+	msgConnect
+	msgConnectOK
+	msgBye
+)
+
+// Message is the union of protocol messages exchanged between peers.
+type Message struct {
+	From int
+	Kind MsgKind
+	// Map is the buffer-availability announcement (msgMap, msgConnectOK).
+	Map *buffer.Map
+	// Gossip piggybacks membership gossip on a map announcement: peer IDs
+	// the sender tells the receiver about (the SCAMP-style channel the
+	// simulator's maintenance phase also rides).
+	Gossip []int
+	// Seg is the segment a request asks for or a data message delivers.
+	Seg segment.ID
+	// Deadline is the period in which Seg plays at the requester, the
+	// supplier-side EDF key (msgRequest).
+	Deadline sim.Time
+	// Hop is the push-hop counter on data (0 = pull grant or rescue
+	// reply; h >= 1 = eager push, forwarded while h < PushHops).
+	Hop int
+	// Rescue marks data served from the DHT backup path.
+	Rescue bool
+}
+
+// network is the in-process transport and rendezvous: the address book
+// every real deployment reaches through its RP server and DHT routing,
+// scaled to one process. Sends are non-blocking — a saturated or dead
+// receiver drops the message, and the protocol's retry/repair paths are
+// what recover, exactly as over UDP.
+type network struct {
+	mu       sync.RWMutex
+	inboxes  map[int]chan Message
+	nextID   int
+	inboxCap int
+}
+
+func newNetwork(inboxCap int) *network {
+	return &network{inboxes: make(map[int]chan Message), inboxCap: inboxCap}
+}
+
+// register allocates the next peer ID and its inbox.
+func (nw *network) register() (int, chan Message) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	id := nw.nextID
+	nw.nextID++
+	ch := make(chan Message, nw.inboxCap)
+	nw.inboxes[id] = ch
+	return id, ch
+}
+
+// unregister removes a departed peer; in-flight sends to it fail from now
+// on, which is how the rest of the mesh eventually notices.
+func (nw *network) unregister(id int) {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	delete(nw.inboxes, id)
+}
+
+// alive reports whether a peer is currently registered (the RP liveness
+// ping of the join/repair protocol).
+func (nw *network) alive(id int) bool {
+	nw.mu.RLock()
+	defer nw.mu.RUnlock()
+	_, ok := nw.inboxes[id]
+	return ok
+}
+
+// send delivers non-blockingly; false means the receiver is gone or
+// saturated and the message was dropped.
+func (nw *network) send(to int, m Message) bool {
+	nw.mu.RLock()
+	ch, ok := nw.inboxes[to]
+	nw.mu.RUnlock()
+	if !ok {
+		return false
+	}
+	select {
+	case ch <- m:
+		return true
+	default:
+		return false
+	}
+}
+
+// members returns the registered peer IDs in ascending order.
+func (nw *network) members() []int {
+	nw.mu.RLock()
+	out := make([]int, 0, len(nw.inboxes))
+	for id := range nw.inboxes {
+		out = append(out, id)
+	}
+	nw.mu.RUnlock()
+	sort.Ints(out)
+	return out
+}
+
+// sample returns up to max random alive members excluding one ID — the
+// RP's candidate list for joins and source refills.
+func (nw *network) sample(rng *sim.RNG, max, exclude int) []int {
+	ms := nw.members()
+	out := make([]int, 0, max)
+	for _, i := range rng.Perm(len(ms)) {
+		if ms[i] == exclude {
+			continue
+		}
+		out = append(out, ms[i])
+		if len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+// ringView is one period's snapshot of the rescue ring: every member's
+// position in the DHT identifier space, sorted clockwise. Peers derive
+// their backup responsibility (successor arc) and rescue targets (key
+// owners) from it — the livenet stand-in for the structured overlay's
+// routed lookups, scaled to one process.
+type ringView struct {
+	space dht.Space
+	ids   []int    // member peer IDs, sorted by ring position
+	rings []dht.ID // ring positions, ascending
+}
+
+// ringOf spreads peer IDs uniformly over the identifier space: an odd
+// multiplier modulo a power of two is a bijection, so consecutive peer
+// IDs land on well-separated ring arcs.
+func ringOf(space dht.Space, id int) dht.ID {
+	return dht.ID(uint64(id) * 0x9e3779b1 & uint64(space.N()-1))
+}
+
+// newRingView builds the snapshot from the registry's member list.
+func newRingView(space dht.Space, members []int) ringView {
+	type pos struct {
+		id   int
+		ring dht.ID
+	}
+	ps := make([]pos, len(members))
+	for i, id := range members {
+		ps[i] = pos{id: id, ring: ringOf(space, id)}
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].ring != ps[j].ring {
+			return ps[i].ring < ps[j].ring
+		}
+		return ps[i].id < ps[j].id
+	})
+	rv := ringView{space: space, ids: make([]int, len(ps)), rings: make([]dht.ID, len(ps))}
+	for i, p := range ps {
+		rv.ids[i] = p.id
+		rv.rings[i] = p.ring
+	}
+	return rv
+}
+
+// successor returns the clockwise next ring position after ring (the arc
+// bound the backup rule needs), or false with fewer than two members.
+func (rv ringView) successor(ring dht.ID) (dht.ID, bool) {
+	if len(rv.rings) < 2 {
+		return 0, false
+	}
+	i := sort.Search(len(rv.rings), func(i int) bool { return rv.rings[i] > ring })
+	if i == len(rv.rings) {
+		i = 0
+	}
+	return rv.rings[i], true
+}
+
+// owner returns the peer responsible for a key: the one whose arc
+// (predecessor, self] contains it — i.e. the first member at or clockwise
+// after the key.
+func (rv ringView) owner(key dht.ID) (int, bool) {
+	if len(rv.ids) == 0 {
+		return 0, false
+	}
+	i := sort.Search(len(rv.rings), func(i int) bool { return rv.rings[i] >= key })
+	if i == len(rv.rings) {
+		i = 0
+	}
+	return rv.ids[i], true
+}

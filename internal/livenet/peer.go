@@ -1,0 +1,694 @@
+package livenet
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"continustreaming/internal/bandwidth"
+	"continustreaming/internal/buffer"
+	"continustreaming/internal/dht"
+	"continustreaming/internal/overlay"
+	"continustreaming/internal/prefetch"
+	"continustreaming/internal/protocol"
+	"continustreaming/internal/scheduler"
+	"continustreaming/internal/segment"
+	"continustreaming/internal/sim"
+)
+
+// counters aggregates session telemetry across all peer goroutines.
+type counters struct {
+	delivered     atomic.Int64
+	pushDelivered atomic.Int64
+	rescued       atomic.Int64
+	rescueAsked   atomic.Int64
+	queueServed   atomic.Int64
+	queueCarried  atomic.Int64
+	replaced      atomic.Int64
+	deadDropped   atomic.Int64
+	asksSent      atomic.Int64
+	asksReceived  atomic.Int64
+	grantsSent    atomic.Int64
+	grantsEvicted atomic.Int64
+}
+
+// peer is one goroutine's protocol state: the same per-node architecture
+// the simulator hosts (buffer, rate controller, urgent-line α, VoD
+// backup), driven by messages instead of phases. All mutable state is
+// guarded by mu; the inbox goroutine and the driver's per-period call
+// both take it.
+type peer struct {
+	id       int
+	ring     dht.ID
+	isSource bool
+	nw       *network
+	cfg      Config
+	space    dht.Space
+	st       *counters
+	inbox    chan Message
+	stop     chan struct{}
+	rng      *sim.RNG
+
+	mu      sync.Mutex
+	buf     *buffer.Buffer
+	backup  *dht.Store
+	links   map[int]bool
+	nbrMaps map[int]buffer.Map
+	nbrSeen map[int]int
+	// overheard is the adoption candidate pool: peer IDs learned from
+	// piggybacked membership gossip, stamped with the period heard.
+	overheard map[int]int
+	ctrl      *bandwidth.Controller
+	alpha     *prefetch.Alpha
+	// pending / rescuePending map in-flight pulls and rescues to their
+	// expiry period, after which the peer re-asks.
+	pending       map[segment.ID]int
+	rescuePending map[segment.ID]int
+	// carry is the supplier-side bounded carry queue; asks the fresh
+	// requests accumulated since the last serve.
+	carry []protocol.Request
+	asks  []protocol.Ask
+	// lastRequested holds the previous period's per-supplier ask counts.
+	// A livenet supplier serves at its next period boundary, so a
+	// request's data arrives one period after the ask; crediting the
+	// rate controller on the period the reply is due keeps requests and
+	// deliveries paired the way the BSP simulator pairs them — without
+	// this, every ask looks unanswered in its own period and the service
+	// estimates decay until the scheduler deems every supplier too slow
+	// to bother asking (measured: pull traffic collapses to zero).
+	lastRequested map[int]int
+
+	curPeriod    int
+	pos          segment.ID
+	rv           ringView
+	pushSpent    int
+	rescueSpent  int
+	pushReceived int
+	overdue      int
+	repeated     int
+	missedLast   bool
+	missStreak   int
+	lastReplace  int
+}
+
+// newPeer constructs a peer registered with the network; joiners open
+// their buffer at the shared playback position instead of the stream
+// start.
+func newPeer(nw *network, cfg Config, space dht.Space, st *counters, isSource bool, openAt segment.ID, joinPeriod int) *peer {
+	id, inbox := nw.register()
+	p := &peer{
+		id:            id,
+		ring:          ringOf(space, id),
+		isSource:      isSource,
+		nw:            nw,
+		cfg:           cfg,
+		space:         space,
+		st:            st,
+		inbox:         inbox,
+		stop:          make(chan struct{}),
+		rng:           sim.DeriveRNG(cfg.Seed, uint64(id)+0x9000),
+		buf:           buffer.New(cfg.BufferSegments, openAt),
+		backup:        dht.NewStore(),
+		links:         make(map[int]bool),
+		nbrMaps:       make(map[int]buffer.Map),
+		nbrSeen:       make(map[int]int),
+		overheard:     make(map[int]int),
+		ctrl:          bandwidth.NewController(0.3, float64(cfg.Rate)),
+		pending:       make(map[segment.ID]int),
+		rescuePending: make(map[segment.ID]int),
+		lastRequested: make(map[int]int),
+		curPeriod:     joinPeriod,
+		lastReplace:   joinPeriod - 1000, // no artificial cooldown at birth
+	}
+	if !isSource {
+		p.alpha = prefetch.NewAlpha(prefetch.AlphaConfig{
+			PlaybackRate:  cfg.Rate,
+			BufferSize:    cfg.BufferSegments,
+			Tau:           sim.Second,
+			THop:          50 * sim.Millisecond,
+			ExpectedNodes: cfg.Peers,
+		})
+	}
+	return p
+}
+
+// outbound is the peer's per-period serving capacity O.
+func (p *peer) outbound() int {
+	if p.isSource {
+		return p.cfg.SourceOutbound
+	}
+	return p.cfg.OutboundPerPeriod
+}
+
+// degreeTarget mirrors the simulator's rule: M for peers, the protected
+// source degree for the root.
+func (p *peer) degreeTarget() int {
+	if p.isSource {
+		return p.cfg.sourceDegree()
+	}
+	return p.cfg.Neighbors
+}
+
+// loop drains the inbox until the peer is stopped.
+func (p *peer) loop(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case m := <-p.inbox:
+			p.handle(m)
+		}
+	}
+}
+
+// handle applies one incoming message under the peer's lock.
+func (p *peer) handle(m Message) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	switch m.Kind {
+	case msgMap:
+		p.nbrMaps[m.From] = *m.Map
+		p.nbrSeen[m.From] = p.curPeriod
+		for _, g := range m.Gossip {
+			if g != p.id && !p.links[g] {
+				p.overheard[g] = p.curPeriod
+			}
+		}
+	case msgRequest:
+		p.st.asksReceived.Add(1)
+		p.asks = append(p.asks, protocol.Ask{
+			Requester: overlay.NodeID(m.From), ID: m.Seg, Deadline: m.Deadline,
+		})
+	case msgData:
+		p.receiveData(m)
+	case msgRescueReq:
+		// The rescue serve path: a backup (or buffer) holder answers a
+		// routed retrieval directly, exactly the paper's on-demand
+		// retrieval exchange. Rescue grants draw on the same 2·O
+		// outbound horizon the serve and push paths share — the
+		// simulator debits its supplier ledger identically — so a hot
+		// backup owner degrades to next-period retries instead of
+		// serving unbounded copies for free.
+		if p.pushSpent+p.rescueSpent < 2*p.outbound() && (p.buf.Has(m.Seg) || p.backup.Has(m.Seg)) {
+			p.rescueSpent++
+			p.nw.send(m.From, Message{From: p.id, Kind: msgData, Seg: m.Seg, Rescue: true})
+		}
+	case msgConnect:
+		// Adoption is bidirectional, as in the simulator's addEdge; the
+		// accepting side replies with its current map so the newcomer can
+		// schedule against it immediately.
+		p.links[m.From] = true
+		p.nbrSeen[m.From] = p.curPeriod
+		delete(p.overheard, m.From)
+		snap := p.buf.Snapshot()
+		p.nw.send(m.From, Message{From: p.id, Kind: msgConnectOK, Map: &snap})
+	case msgConnectOK:
+		p.links[m.From] = true
+		p.nbrSeen[m.From] = p.curPeriod
+		delete(p.overheard, m.From)
+		if m.Map != nil {
+			p.nbrMaps[m.From] = *m.Map
+		}
+	case msgBye:
+		delete(p.links, m.From)
+		delete(p.nbrMaps, m.From)
+		p.ctrl.Forget(m.From)
+	}
+}
+
+// receiveData ingests one data message: store, account, back up under the
+// §4.3 responsibility rule, and — for eager-push copies below the hop
+// bound — forward the fresh segment one hop further (the livenet mirror
+// of the simulator's pushPhase frontier).
+func (p *peer) receiveData(m Message) {
+	delete(p.pending, m.Seg)
+	wasRescue := false
+	if _, ok := p.rescuePending[m.Seg]; ok && m.Rescue {
+		wasRescue = true
+	}
+	delete(p.rescuePending, m.Seg)
+	already := p.buf.Has(m.Seg)
+	stored := p.buf.Insert(m.Seg)
+	if stored {
+		p.st.delivered.Add(1)
+		// A full-period observation window: the reply to a period-T ask
+		// lands during period T+1, so per-period delivery counts are
+		// segments-per-period rates as-is.
+		p.ctrl.ObserveDelivery(m.From, 1)
+		if m.Rescue {
+			p.st.rescued.Add(1)
+		}
+		if m.Hop > 0 {
+			p.st.pushDelivered.Add(1)
+			p.pushReceived++
+		}
+		if succ, ok := p.rv.successor(p.ring); ok &&
+			protocol.BackupResponsible(p.space, p.ring, succ, m.Seg, p.cfg.Replicas) {
+			p.backup.Put(m.Seg)
+		}
+	}
+	if wasRescue {
+		switch {
+		case already:
+			p.repeated++ // gossip beat the rescue: repeated data
+		case stored && m.Seg < p.pos:
+			p.overdue++ // arrived after its play moment
+		}
+	}
+	// Push forwarding: hop h receivers forward to hop h+1 while the hop
+	// bound allows, spending from the same per-period outbound the serve
+	// path draws on.
+	if p.cfg.Engine && m.Hop > 0 && m.Hop < p.cfg.PushHops && stored {
+		budget := p.outbound() - p.pushSpent
+		sends := protocol.PlanPush(
+			p.cfg.Seed^uint64(p.id)*0x9e3779b97f4a7c15^uint64(p.curPeriod),
+			overlay.NodeID(p.id), []segment.ID{m.Seg}, p.neighbourNodeIDs(),
+			func(to overlay.NodeID, seg segment.ID) bool {
+				nm, ok := p.nbrMaps[int(to)]
+				return ok && nm.Has(seg)
+			}, budget)
+		p.pushSpent += len(sends)
+		for _, s := range sends {
+			p.nw.send(int(s.To), Message{From: p.id, Kind: msgData, Seg: s.ID, Hop: m.Hop + 1})
+		}
+	}
+}
+
+// neighbourNodeIDs returns the connected neighbours as overlay IDs in
+// ascending order (the protocol functions' canonical neighbour form).
+func (p *peer) neighbourNodeIDs() []overlay.NodeID {
+	out := make([]overlay.NodeID, 0, len(p.links))
+	for id := range p.links {
+		out = append(out, overlay.NodeID(id))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// periodPlan is the first half of a scheduling period, run for every peer
+// before any peer serves: advance the window, push fresh segments
+// (source), repair the mesh, announce the buffer map with piggybacked
+// membership gossip, schedule pulls, and fire DHT rescues for urgent
+// holes. Splitting plan from serve mirrors the simulator's phase order —
+// requests scheduled in a period are served within that same period — so
+// a pull hop costs one period, not two; message handling still
+// interleaves concurrently under the same lock.
+func (p *peer) periodPlan(now int, pos segment.ID, rv ringView, members map[int]bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.curPeriod = now
+	p.pos = pos
+	p.rv = rv
+	// This period's serve pass answers the asks scheduled below; credit
+	// them so the end-of-period Tick pairs requests with arrivals.
+	for s, count := range p.lastRequested {
+		p.ctrl.NoteRequested(s, count)
+	}
+	p.lastRequested = map[int]int{}
+	p.buf.AdvanceTo(pos)
+	p.backup.PruneBelow(pos)
+	for seg, exp := range p.pending {
+		if exp <= now {
+			delete(p.pending, seg)
+		}
+	}
+	for seg, exp := range p.rescuePending {
+		if exp <= now {
+			delete(p.rescuePending, seg)
+		}
+	}
+	if p.alpha != nil {
+		p.alpha.Apply(p.overdue, p.repeated)
+		p.overdue, p.repeated = 0, 0
+	}
+
+	if p.isSource {
+		p.pushFresh(now)
+	}
+	if p.cfg.Repair {
+		p.maintainMesh(now, members)
+	}
+	p.announce(members)
+	if !p.isSource {
+		p.schedulePulls(now)
+		if p.cfg.Repair && now >= p.cfg.PlaybackLagPeriods {
+			p.rescueUrgent(now)
+		}
+	}
+}
+
+// periodServe is the second half: drain the asks that arrived — including
+// this period's, sent during the plan pass — through the supplier-side
+// service discipline, then fold the period's rate observations.
+func (p *peer) periodServe(now int, members map[int]bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.servePeriod(now, members)
+	p.ctrl.Tick()
+	p.pushSpent, p.rescueSpent, p.pushReceived = 0, 0, 0
+}
+
+// pushFresh is the source's hop-1 spray of this period's new segments.
+func (p *peer) pushFresh(now int) {
+	if !p.cfg.Engine || p.cfg.PushHops <= 0 {
+		return
+	}
+	fresh := make([]segment.ID, 0, p.cfg.Rate)
+	for s := segment.ID(now * p.cfg.Rate); s < segment.ID((now+1)*p.cfg.Rate); s++ {
+		if p.buf.Has(s) {
+			fresh = append(fresh, s)
+		}
+	}
+	sends := protocol.PlanPush(
+		p.cfg.Seed^0x51c^uint64(now), overlay.NodeID(p.id), fresh, p.neighbourNodeIDs(),
+		func(to overlay.NodeID, seg segment.ID) bool {
+			nm, ok := p.nbrMaps[int(to)]
+			return ok && nm.Has(seg)
+		}, p.outbound())
+	p.pushSpent += len(sends)
+	for _, s := range sends {
+		p.nw.send(int(s.To), Message{From: p.id, Kind: msgData, Seg: s.ID, Hop: 1})
+	}
+}
+
+// servePeriod drains the period's accumulated asks through the shared
+// supplier-side discipline: protocol.PlanServe (EDF + rarity + bounded
+// carry) with the engine, protocol.ServeRoundRobin without — the same
+// code paths the simulator's serveSupplier drives.
+func (p *peer) servePeriod(now int, members map[int]bool) {
+	asks := p.asks
+	p.asks = nil
+	var res protocol.ServeResult
+	if p.cfg.Engine {
+		res = protocol.PlanServe(protocol.ServeInput{
+			Carried:     p.carry,
+			Fresh:       asks,
+			Capacity:    2*p.outbound() - p.pushSpent - p.rescueSpent,
+			QueueCap:    p.cfg.QueueFactor * p.outbound(),
+			Horizon:     sim.Time(now),
+			SupplierHas: p.buf.Has,
+			RequesterAlive: func(id overlay.NodeID) bool {
+				return members[int(id)]
+			},
+			RequesterHas: func(id overlay.NodeID, seg segment.ID) bool {
+				nm, ok := p.nbrMaps[int(id)]
+				return ok && nm.Has(seg)
+			},
+			Rarity: func(seg segment.ID) float64 {
+				var positions []int
+				for nb := range p.links {
+					if nm, ok := p.nbrMaps[nb]; ok {
+						if pft, ok := nm.PositionFromTail(seg); ok {
+							positions = append(positions, pft)
+						}
+					}
+				}
+				return protocol.SupplierRarity(p.cfg.BufferSegments, positions)
+			},
+		})
+		p.carry = res.Queued
+		p.st.queueCarried.Add(int64(len(res.Queued)))
+	} else {
+		reqs := make([]protocol.Request, len(asks))
+		for i, a := range asks {
+			reqs[i] = protocol.Request{Requester: a.Requester, ID: a.ID, Expected: a.Deadline}
+		}
+		res = protocol.ServeRoundRobin(reqs, 2*p.outbound())
+		p.carry = nil
+	}
+	p.st.grantsEvicted.Add(res.Evicted.Total())
+	for _, g := range res.Granted {
+		if g.Carried {
+			p.st.queueServed.Add(1)
+		}
+		if p.buf.Has(g.ID) {
+			p.st.grantsSent.Add(1)
+			p.nw.send(int(g.Requester), Message{From: p.id, Kind: msgData, Seg: g.ID})
+		}
+	}
+}
+
+// maintainMesh drops neighbours discovered dead (registry failure or
+// silence beyond the staleness bound) and runs the shared rewire decision
+// — protocol.PlanRewire, the simulator's maintenance rules — over the
+// peer's locally learned view, sending Bye/Connect control messages for
+// the resulting intent.
+func (p *peer) maintainMesh(now int, members map[int]bool) {
+	for nb := range p.links {
+		silent := now-p.nbrSeen[nb] > p.cfg.DeadAfterPeriods
+		if !members[nb] || silent {
+			delete(p.links, nb)
+			delete(p.nbrMaps, nb)
+			delete(p.overheard, nb)
+			p.ctrl.Forget(nb)
+			p.st.deadDropped.Add(1)
+		}
+	}
+	view := protocol.MaintenanceView{
+		Node:            overlay.NodeID(p.id),
+		Source:          0, // the source is always peer 0
+		IsSource:        p.isSource,
+		Warm:            now > p.cfg.PlaybackLagPeriods,
+		Round:           now,
+		LastReplace:     p.lastReplace,
+		Degree:          len(p.links),
+		DegreeTarget:    p.degreeTarget(),
+		MissedLastRound: p.missedLast,
+		MissStreak:      p.missStreak,
+		Alive:           func(id overlay.NodeID) bool { return members[int(id)] },
+		Connected:       func(id overlay.NodeID) bool { return p.links[int(id)] },
+		Neighbors: func() []protocol.NeighborSupply {
+			out := make([]protocol.NeighborSupply, 0, len(p.links))
+			for _, nb := range p.neighbourNodeIDs() {
+				s := protocol.NeighborSupply{ID: nb, Known: p.ctrl.Known(int(nb))}
+				if s.Known {
+					s.Supply = p.ctrl.Supply(int(nb))
+				}
+				out = append(out, s)
+			}
+			return out
+		},
+		Overheard: func() []protocol.CandidateSource {
+			out := make([]protocol.CandidateSource, 0, len(p.overheard))
+			for id := range p.overheard {
+				// Livenet links have no measured latency; a per-pair hash
+				// stands in so different peers prefer different candidates
+				// instead of all adopting the lowest ID.
+				out = append(out, protocol.CandidateSource{
+					ID:      overlay.NodeID(id),
+					Latency: sim.Time(scheduler.Jitter(p.cfg.Seed, uint64(p.id), uint64(id)) % 1000),
+				})
+			}
+			return out
+		},
+		DHTPeers: func() []protocol.CandidateSource {
+			// The ring neighbours clockwise of this peer, wrapping past
+			// the top of the ring like every successor scan: the
+			// structured overlay's membership view of last resort.
+			var out []protocol.CandidateSource
+			n := len(p.rv.ids)
+			start := sort.Search(n, func(i int) bool { return p.rv.rings[i] > p.ring })
+			for k := 0; k < n && len(out) < 4; k++ {
+				id := p.rv.ids[(start+k)%n]
+				if id == p.id {
+					continue
+				}
+				out = append(out, protocol.CandidateSource{
+					ID:      overlay.NodeID(id),
+					Latency: sim.Time(scheduler.Jitter(p.cfg.Seed, uint64(p.id), uint64(id)) % 1000),
+				})
+			}
+			return out
+		},
+	}
+	if p.isSource {
+		view.RPCandidates = func(max int) []overlay.NodeID {
+			out := make([]overlay.NodeID, 0, max)
+			for _, id := range p.nw.sample(p.rng, max, p.id) {
+				out = append(out, overlay.NodeID(id))
+			}
+			return out
+		}
+	}
+	intent, ok := protocol.PlanRewire(view, p.cfg.maintenanceTuning())
+	if !ok {
+		return
+	}
+	next := 0
+	takeCandidate := func() (int, bool) {
+		for next < len(intent.Adopt) {
+			c := int(intent.Adopt[next])
+			next++
+			if members[c] && !p.links[c] && c != p.id {
+				return c, true
+			}
+		}
+		return -1, false
+	}
+	for _, victim := range intent.Drop {
+		v := int(victim)
+		if !p.links[v] {
+			continue
+		}
+		cand, ok := takeCandidate()
+		if !ok {
+			break
+		}
+		p.lastReplace = now
+		p.st.replaced.Add(1)
+		delete(p.links, v)
+		delete(p.nbrMaps, v)
+		p.ctrl.Forget(v)
+		p.nw.send(v, Message{From: p.id, Kind: msgBye})
+		delete(p.overheard, cand)
+		p.nw.send(cand, Message{From: p.id, Kind: msgConnect})
+	}
+	for want := p.degreeTarget() - len(p.links); want > 0; want-- {
+		cand, ok := takeCandidate()
+		if !ok {
+			break
+		}
+		delete(p.overheard, cand)
+		p.nw.send(cand, Message{From: p.id, Kind: msgConnect})
+	}
+}
+
+// announce sends the buffer map to every neighbour, with membership
+// gossip piggybacked via the shared protocol picks (two of the sender's
+// other neighbours per receiver).
+func (p *peer) announce(members map[int]bool) {
+	snap := p.buf.Snapshot()
+	nbs := p.neighbourNodeIDs()
+	gossip := make(map[overlay.NodeID][]int, len(nbs))
+	protocol.GossipPicks(p.rng, nbs,
+		func(id overlay.NodeID) bool { return members[int(id)] },
+		func(to, about overlay.NodeID) {
+			gossip[to] = append(gossip[to], int(about))
+		})
+	for _, nb := range nbs {
+		m := snap
+		p.nw.send(int(nb), Message{From: p.id, Kind: msgMap, Map: &m, Gossip: gossip[nb]})
+	}
+}
+
+// schedulePulls runs the paper's urgency+rarity scheduling policy over
+// the latest neighbour maps and sends the resulting requests, each tagged
+// with the period its segment plays in (the supplier's EDF key).
+func (p *peer) schedulePulls(now int) {
+	budget := p.cfg.OutboundPerPeriod - p.pushReceived
+	if budget <= 0 {
+		return
+	}
+	found := map[segment.ID][]scheduler.Supplier{}
+	for nb, m := range p.nbrMaps {
+		if !p.links[nb] {
+			continue
+		}
+		// Clamp to the fetch window: an older map's window can start
+		// below the current playback position, and segments behind pos
+		// are pruned on both sides — asking for them burns the whole
+		// inbound budget on unfulfillable requests (the simulator's
+		// schedulePhase applies the same [pos, edge) floor).
+		w := m.Window()
+		if w.Lo < p.pos {
+			w.Lo = p.pos
+		}
+		for id := w.Lo; id < w.Hi; id++ {
+			if !m.Has(id) || p.buf.Has(id) {
+				continue
+			}
+			if _, ok := p.pending[id]; ok {
+				continue
+			}
+			if _, ok := p.rescuePending[id]; ok {
+				continue
+			}
+			pft, _ := m.PositionFromTail(id)
+			found[id] = append(found[id], scheduler.Supplier{
+				Node: nb, Rate: p.ctrl.Rate(nb), PositionFromTail: pft,
+			})
+		}
+	}
+	cands := make([]scheduler.Candidate, 0, len(found))
+	for id, sup := range found {
+		cands = append(cands, scheduler.Candidate{ID: id, Suppliers: sup})
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].ID < cands[j].ID })
+	in := scheduler.Input{
+		PriorityInput: scheduler.PriorityInput{
+			Play:         p.pos,
+			PlaybackRate: p.cfg.Rate,
+			BufferSize:   p.cfg.BufferSegments,
+			NoPlayback:   now < p.cfg.PlaybackLagPeriods,
+		},
+		Tau:           sim.Second,
+		InboundBudget: budget,
+		Candidates:    cands,
+		JitterSeed:    p.cfg.Seed ^ uint64(p.id)*0x9e3779b97f4a7c15,
+		RarityNoise:   0.3,
+	}
+	reqs := (scheduler.Greedy{}).Schedule(in)
+	perSupplier := map[int]int{}
+	for _, r := range reqs {
+		p.st.asksSent.Add(1)
+		p.pending[r.ID] = now + 2
+		perSupplier[r.Supplier]++
+		p.nw.send(r.Supplier, Message{
+			From: p.id, Kind: msgRequest, Seg: r.ID, Deadline: p.playDeadline(r.ID),
+		})
+	}
+	// Credited next period, when the supplier's serve actually replies
+	// (see lastRequested).
+	p.lastRequested = perSupplier
+}
+
+// playDeadline is the period in which a segment plays — the EDF key the
+// supplier orders by and the horizon test for carrying.
+func (p *peer) playDeadline(seg segment.ID) sim.Time {
+	return sim.Time(int(seg)/p.cfg.Rate + p.cfg.PlaybackLagPeriods)
+}
+
+// rescueUrgent runs the urgent-line prediction (the same α-adapted
+// prefetch.Predict the simulator drives) and fires DHT-backed retrievals
+// for the predicted-missed segments: each goes to the ring owner of one
+// of its k backup keys, falling back to the source when the ring is too
+// thin to locate one.
+func (p *peer) rescueUrgent(now int) {
+	if p.alpha == nil {
+		return
+	}
+	plan := prefetch.Predict(p.buf, p.pos, p.alpha.Value(), p.cfg.RescueLimit,
+		func(id segment.ID) bool {
+			if _, ok := p.pending[id]; ok {
+				return true
+			}
+			_, ok := p.rescuePending[id]
+			return ok
+		})
+	if !plan.Triggered {
+		return
+	}
+	for _, seg := range plan.Missed {
+		// Spread load across the k replicas: start from a replica keyed
+		// by (segment, period) and take the first owner that is not us.
+		// Replica indices are 1..k — the §4.3 placement rule the backup
+		// side (BackupResponsible) stores under; index 0 would hash to a
+		// segment-independent constant key.
+		target := -1
+		for r := 0; r < p.cfg.Replicas; r++ {
+			replica := 1 + (int(seg)+now+r)%p.cfg.Replicas
+			key := dht.HashKey(p.space, seg, replica)
+			if owner, ok := p.rv.owner(key); ok && owner != p.id {
+				target = owner
+				break
+			}
+		}
+		if target < 0 {
+			target = 0 // the source: the retrieval path of last resort
+		}
+		p.rescuePending[seg] = now + 2
+		p.st.rescueAsked.Add(1)
+		p.nw.send(target, Message{From: p.id, Kind: msgRescueReq, Seg: seg})
+	}
+}

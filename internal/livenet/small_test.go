@@ -1,0 +1,17 @@
+package livenet
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSmallAudienceClampsNeighbors(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Peers = 4 // below the default M=5: must clamp, not hang
+	cfg.Period = 2 * time.Millisecond
+	st := Run(context.Background(), cfg, 12)
+	if st.Periods != 12 || st.Delivered == 0 {
+		t.Fatalf("small session did not run: %+v", st)
+	}
+}

@@ -1,0 +1,78 @@
+package protocol
+
+import (
+	"continustreaming/internal/bandwidth"
+	"continustreaming/internal/segment"
+)
+
+// Defaults is the single source of the protocol's paper-calibrated
+// constants, shared by every runtime. core.DefaultConfig and
+// livenet.DefaultConfig both derive from it, so the simulator and the
+// live runtime cannot drift apart on M, p, B, O or the engine knobs —
+// the drift that previously let livenet re-state the numbers by hand.
+type Defaults struct {
+	// M is the connected-neighbour target; H the overheard-list capacity
+	// (paper defaults 5 and 20).
+	M int
+	H int
+	// Rate is the playback rate p in segments per scheduling period and
+	// BufferSegments the buffer size B (paper: 10 and 600).
+	Rate           int
+	BufferSegments int
+	// OutboundPerPeriod is the mean peer outbound O in segments per
+	// period and SourceOutbound the source's uplink (paper §5.2: 15 and
+	// 100), both taken from the bandwidth profile so the numbers exist
+	// in exactly one place.
+	OutboundPerPeriod int
+	SourceOutbound    int
+	// Replicas is k (backup copies per segment) and PrefetchLimit l
+	// (max on-demand retrievals per node per period).
+	Replicas      int
+	PrefetchLimit int
+	// PushHops and QueueFactor are the dissemination-engine knobs: push
+	// depth of the fresh-segment eager forward, and the carry-queue
+	// bound in multiples of a supplier's outbound rate.
+	PushHops    int
+	QueueFactor int
+	// Maintenance is the neighbour-maintenance tuning (low-supply
+	// threshold, replacement cooldown, distress cap).
+	Maintenance MaintenanceTuning
+	// DHTRepairIntervalRounds is the active DHT refresh cadence and
+	// SourceDegreeTarget the degree protection held at the source.
+	DHTRepairIntervalRounds int
+	SourceDegreeTarget      int
+	// WarmupRounds is the post-join exclusion window of the warm
+	// continuity metric.
+	WarmupRounds int
+	// RarityNoise perturbs rarity rankings per (node, segment),
+	// standing in for real-deployment measurement heterogeneity.
+	RarityNoise float64
+}
+
+// Default returns the protocol defaults. Stream and bandwidth numbers are
+// read from their substrate packages rather than restated.
+func Default() Defaults {
+	stream := segment.DefaultStream()
+	bw := bandwidth.DefaultProfile()
+	return Defaults{
+		M:                 5,
+		H:                 20,
+		Rate:              stream.Rate,
+		BufferSegments:    600,
+		OutboundPerPeriod: bw.MeanOut,
+		SourceOutbound:    bw.SourceOut,
+		Replicas:          4,
+		PrefetchLimit:     5,
+		PushHops:          2,
+		QueueFactor:       2,
+		Maintenance: MaintenanceTuning{
+			LowSupplyThreshold:      1,
+			ReplaceCooldownRounds:   8,
+			MaxDistressReplacements: 3,
+		},
+		DHTRepairIntervalRounds: 1,
+		SourceDegreeTarget:      20,
+		WarmupRounds:            2,
+		RarityNoise:             0.3,
+	}
+}

@@ -1,4 +1,4 @@
-package dissemination
+package protocol
 
 import (
 	"sort"
@@ -10,8 +10,10 @@ import (
 // carry queues and the per-round push spend. Both are partitioned into
 // the caller's supplier-ownership shards — shard s holds the state of
 // every supplier whose ID maps to s — so the parallel serve and push
-// stages of the round pipeline mutate their own partition without locks,
-// and the combined outcome is identical at any worker count.
+// stages of the simulator's round pipeline mutate their own partition
+// without locks, and the combined outcome is identical at any worker
+// count. A single-threaded runtime (livenet keeps per-peer carry queues
+// instead) can use it with one shard.
 type Engine struct {
 	queues    []map[overlay.NodeID][]Request
 	pushSpent []map[overlay.NodeID]int

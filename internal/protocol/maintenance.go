@@ -1,0 +1,303 @@
+package protocol
+
+import (
+	"sort"
+
+	"continustreaming/internal/overlay"
+	"continustreaming/internal/sim"
+)
+
+// GossipPicks draws one node's membership-gossip payload for the round:
+// for every alive neighbour, up to two picks of its other neighbours (the
+// SCAMP-style membership gossip CoolStreaming builds on, riding inside
+// the existing buffer-map exchange). Each pick draws from rng exactly
+// once, so the draw sequence is a function of the node's own stream alone
+// — never of worker interleaving or transport timing — and a pick that
+// lands on the hearing neighbour itself or on a dead node is simply
+// skipped, exactly the redundancy a real gossip payload pays.
+func GossipPicks(rng *sim.RNG, neighbours []overlay.NodeID, alive func(overlay.NodeID) bool, emit func(to, about overlay.NodeID)) {
+	for _, nb := range neighbours {
+		if !alive(nb) {
+			continue
+		}
+		for c := 0; c < 2 && len(neighbours) > 1; c++ {
+			cand := neighbours[rng.Intn(len(neighbours))]
+			if cand == nb || !alive(cand) {
+				continue
+			}
+			emit(nb, cand)
+		}
+	}
+}
+
+// RewireIntent is one node's desired mesh changes for the round, computed
+// from a local view and applied by the runtime afterwards. Candidates are
+// in preference order; the apply step must revalidate every entry against
+// the live edge set, because earlier intents (or remote connects) may
+// have changed it.
+type RewireIntent struct {
+	Node overlay.NodeID
+	// Drop lists low-supply victims, worst first. Each is swapped out
+	// only if a fresh adoption candidate remains.
+	Drop []overlay.NodeID
+	// Adopt lists replacement/refill candidates, best first.
+	Adopt []overlay.NodeID
+}
+
+// NeighborSupply is one connected neighbour as the low-supply judgement
+// sees it: the long-run delivery-rate estimate and whether the estimator
+// has observed it long enough to judge at all.
+type NeighborSupply struct {
+	ID overlay.NodeID
+	// Known reports whether the rate controller has an estimate; only
+	// observed neighbours are judged.
+	Known bool
+	// Supply is the long-run receiving-rate estimate in segments/s — the
+	// paper's "supplied little data" signal.
+	Supply float64
+}
+
+// CandidateSource is one ranked pool of adoption candidates: IDs with the
+// latency the ranking sorts by.
+type CandidateSource struct {
+	ID      overlay.NodeID
+	Latency sim.Time
+}
+
+// MaintenanceView is everything one node's rewire decision depends on,
+// assembled by the runtime from its own state: the simulator from
+// shard-owned node state, livenet from what a peer learned over its
+// channels.
+type MaintenanceView struct {
+	// Node is the deciding node; Source the stream source's ID (never a
+	// low-supply victim — it is the root of all data).
+	Node   overlay.NodeID
+	Source overlay.NodeID
+	// IsSource marks the source itself (it never sheds neighbours, and
+	// it alone may refill from the RP membership list).
+	IsSource bool
+	// Warm reports whether playback has begun overlay-wide; before that
+	// there is no supply signal worth acting on.
+	Warm bool
+	// Round is the current scheduling period and LastReplace the most
+	// recent period in which this node swapped a low-supply neighbour
+	// (cooldown enforcement).
+	Round       int
+	LastReplace int
+	// Degree is the node's current connected-neighbour count and
+	// DegreeTarget what maintenance refills it toward.
+	Degree       int
+	DegreeTarget int
+	// MissedLastRound and MissStreak are the playback-distress signals:
+	// only struggling nodes shed neighbours, and a streak of two or more
+	// unlocks multi-replacement.
+	MissedLastRound bool
+	MissStreak      int
+	// Neighbors returns the connected neighbours with their supply
+	// estimates, in the node's table order. Lazy for the same reason as
+	// the candidate pools: the supply judgement only runs for nodes in
+	// playback distress past their cooldown.
+	Neighbors func() []NeighborSupply
+	// Overheard returns the overheard-node pool (the paper's replacement
+	// source) with learned latencies; DHTPeers the node's structured-
+	// overlay peer levels (the membership view churn cannot empty), with
+	// measured latencies, in table order. Both are lazy — most nodes are
+	// at target degree with nothing to drop, and the decision returns
+	// before ever assembling a candidate pool.
+	Overheard func() []CandidateSource
+	DHTPeers  func() []CandidateSource
+	// RPCandidates supplies the rendezvous point's membership list (the
+	// source's degree-protection refill of last resort); nil for
+	// ordinary nodes.
+	RPCandidates func(max int) []overlay.NodeID
+	// Alive reports whether a candidate is currently a live overlay
+	// member; Connected whether it is already a neighbour.
+	Alive     func(overlay.NodeID) bool
+	Connected func(overlay.NodeID) bool
+}
+
+// MaintenanceTuning is the paper-calibrated maintenance knobs, shared by
+// both runtimes via Defaults.
+type MaintenanceTuning struct {
+	// LowSupplyThreshold is the segments/s below which a neighbour
+	// counts as "supplied little data" and becomes replaceable (§4.1).
+	LowSupplyThreshold float64
+	// ReplaceCooldownRounds is the minimum spacing between two
+	// low-supply replacements by the same node: every swap discards the
+	// rate estimates both sides learned, and a node that rewires every
+	// round never learns who its good suppliers are.
+	ReplaceCooldownRounds int
+	// MaxDistressReplacements caps how many starved links a node in
+	// sustained playback distress (MissStreak >= 2) may shed at once;
+	// outside distress the paper's one-replacement rule holds.
+	MaxDistressReplacements int
+}
+
+// PlanRewire computes one node's desired mesh changes from its local
+// view: low-supply victims (multi-replacement under playback distress)
+// and refill/replacement candidates in preference order — overheard nodes
+// by latency (the paper's replacement rule), then the node's own DHT peer
+// levels when the overheard list runs dry, then, for the source only, the
+// RP's membership list (degree protection: the stream's root must never
+// sit under-degreed, since its edges are where fresh segments enter the
+// mesh).
+func PlanRewire(v MaintenanceView, t MaintenanceTuning) (RewireIntent, bool) {
+	intent := RewireIntent{Node: v.Node}
+	deficit := v.DegreeTarget - v.Degree
+	if v.Warm && !v.IsSource {
+		intent.Drop = lowSupplyVictims(v, t)
+	}
+	if deficit <= 0 && len(intent.Drop) == 0 {
+		return RewireIntent{}, false
+	}
+	// Replacement is one-out-one-in and does not raise degree, so an
+	// over-degreed node (bidirectional adoptions routinely push past the
+	// target) must not let its negative deficit cancel the replacement
+	// budget. A little slack beyond the strict need absorbs candidates
+	// that the apply pass invalidates (adopted from the other side,
+	// died, already connected).
+	want := len(intent.Drop) + 2
+	if deficit > 0 {
+		want += deficit
+	}
+	intent.Adopt = adoptionCandidates(v, want)
+	if len(intent.Adopt) == 0 && deficit <= 0 {
+		return RewireIntent{}, false
+	}
+	return intent, len(intent.Adopt) > 0
+}
+
+// lowSupplyVictims returns the node's under-delivering neighbours, worst
+// first, up to the distress-scaled replacement cap. Outside distress the
+// paper's one-replacement-per-cooldown rule holds; a node that has missed
+// two or more consecutive rounds is bleeding playback and may shed up to
+// MaxDistressReplacements starved links at once — waiting one cooldown
+// window per link is exactly how churned meshes died before this rule.
+func lowSupplyVictims(v MaintenanceView, t MaintenanceTuning) []overlay.NodeID {
+	if !v.MissedLastRound || v.Round-v.LastReplace < t.ReplaceCooldownRounds {
+		// The cooldown holds even under distress: every swap discards the
+		// rate estimates both sides learned, and a node that rewires every
+		// round never learns who its good suppliers are — that feedback
+		// loop, not degree loss, is what used to collapse churned meshes.
+		return nil
+	}
+	limit := 1
+	if v.MissStreak >= 2 && t.MaxDistressReplacements > limit {
+		limit = t.MaxDistressReplacements
+	}
+	type victim struct {
+		id   overlay.NodeID
+		rate float64
+	}
+	var victims []victim
+	var neighbours []NeighborSupply
+	if v.Neighbors != nil {
+		neighbours = v.Neighbors()
+	}
+	for _, nb := range neighbours {
+		if nb.ID == v.Source {
+			continue // the source is the root of all data, never dropped
+		}
+		// Only judge neighbours we have had time to observe; the long-run
+		// supply estimate is the "supplied little data" signal.
+		if !nb.Known {
+			continue
+		}
+		if nb.Supply < t.LowSupplyThreshold {
+			victims = append(victims, victim{id: nb.ID, rate: nb.Supply})
+		}
+	}
+	sort.Slice(victims, func(i, j int) bool {
+		if victims[i].rate != victims[j].rate {
+			return victims[i].rate < victims[j].rate
+		}
+		return victims[i].id < victims[j].id
+	})
+	if len(victims) > limit {
+		victims = victims[:limit]
+	}
+	out := make([]overlay.NodeID, len(victims))
+	for i, v := range victims {
+		out[i] = v.id
+	}
+	return out
+}
+
+// adoptionCandidates assembles up to want connection candidates in
+// preference order from the view's pools. Pools are filtered in priority
+// order and deduplicated across pools: an overheard candidate beyond the
+// want cut still shadows its DHT-pool duplicate, exactly as a node
+// consulting its own tables would skip an entry it already considered.
+func adoptionCandidates(v MaintenanceView, want int) []overlay.NodeID {
+	if want <= 0 {
+		return nil
+	}
+	seen := map[overlay.NodeID]bool{v.Node: true}
+	usable := func(c overlay.NodeID) bool {
+		if c < 0 || seen[c] || !v.Alive(c) || v.Connected(c) {
+			return false
+		}
+		seen[c] = true
+		return true
+	}
+	var out []overlay.NodeID
+	var overheard []CandidateSource
+	if v.Overheard != nil {
+		overheard = v.Overheard()
+	}
+	cands := make([]CandidateSource, 0, len(overheard))
+	for _, o := range overheard {
+		if usable(o.ID) {
+			cands = append(cands, o)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Latency != cands[j].Latency {
+			return cands[i].Latency < cands[j].Latency
+		}
+		return cands[i].ID < cands[j].ID
+	})
+	for _, c := range cands {
+		if len(out) >= want {
+			return out
+		}
+		out = append(out, c.ID)
+	}
+	// Eager refill: the structured overlay's peer levels survive churn
+	// (the repair cadence keeps them alive), so they are the membership
+	// view of last resort when gossip has not overheard enough fresh
+	// nodes.
+	var dhtPeers []CandidateSource
+	if v.DHTPeers != nil {
+		dhtPeers = v.DHTPeers()
+	}
+	dhtCands := make([]CandidateSource, 0, len(dhtPeers))
+	for _, p := range dhtPeers {
+		if usable(p.ID) {
+			dhtCands = append(dhtCands, p)
+		}
+	}
+	sort.Slice(dhtCands, func(i, j int) bool {
+		if dhtCands[i].Latency != dhtCands[j].Latency {
+			return dhtCands[i].Latency < dhtCands[j].Latency
+		}
+		return dhtCands[i].ID < dhtCands[j].ID
+	})
+	for _, c := range dhtCands {
+		if len(out) >= want {
+			return out
+		}
+		out = append(out, c.ID)
+	}
+	if v.RPCandidates != nil {
+		for _, c := range v.RPCandidates(2 * want) {
+			if len(out) >= want {
+				break
+			}
+			if usable(c) {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}

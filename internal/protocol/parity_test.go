@@ -1,0 +1,300 @@
+package protocol
+
+import (
+	"reflect"
+	"testing"
+
+	"continustreaming/internal/buffer"
+	"continustreaming/internal/overlay"
+	"continustreaming/internal/segment"
+	"continustreaming/internal/sim"
+)
+
+// The parity tests pin the tentpole contract of the protocol extraction:
+// the simulator and the livenet runtime feed the same decision functions
+// through differently shaped adapters — the simulator from its per-round
+// snapshot slice indexed by order position, livenet from the per-peer map
+// of announced buffer maps — and identical situations must yield
+// identical decisions. If either runtime's input assembly drifts (a
+// filter lost, an order changed), these tests fail before the divergence
+// can hide inside end-to-end noise.
+
+// parityWorld is one shared scenario: a supplier holding segments 100+,
+// three requesters with known buffer maps, one dead requester, and a
+// carry queue from the previous round.
+type parityWorld struct {
+	supplier  *buffer.Buffer
+	order     []overlay.NodeID
+	bufs      map[overlay.NodeID]*buffer.Buffer
+	alive     map[overlay.NodeID]bool
+	neighbors []overlay.NodeID
+}
+
+func newParityWorld(t *testing.T) *parityWorld {
+	t.Helper()
+	w := &parityWorld{
+		supplier: buffer.New(600, 100),
+		order:    []overlay.NodeID{1, 2, 3},
+		bufs:     make(map[overlay.NodeID]*buffer.Buffer),
+		alive:    map[overlay.NodeID]bool{1: true, 2: true, 3: true},
+		// 3 is also a mesh neighbour of the supplier (rarity view).
+		neighbors: []overlay.NodeID{3},
+	}
+	for id := segment.ID(100); id < 140; id++ {
+		w.supplier.Insert(id)
+	}
+	for _, r := range w.order {
+		w.bufs[r] = buffer.New(600, 100)
+	}
+	w.bufs[2].Insert(105) // requester 2 already obtained 105 elsewhere
+	w.bufs[3].Insert(120)
+	w.bufs[3].Insert(121)
+	return w
+}
+
+func (w *parityWorld) carried() []Request {
+	return []Request{
+		{Requester: 1, ID: 104, Deadline: 12, Carried: true},
+		{Requester: 2, ID: 105, Deadline: 12, Carried: true}, // stale: obtained elsewhere
+		{Requester: 4, ID: 106, Deadline: 13, Carried: true}, // stale: requester died
+	}
+}
+
+func (w *parityWorld) fresh() []Ask {
+	return []Ask{
+		{Requester: 3, ID: 110, Deadline: 14},
+		{Requester: 1, ID: 104, Deadline: 12}, // re-ask of a carried twin
+		{Requester: 2, ID: 130, Deadline: 20},
+		{Requester: 1, ID: 131, Deadline: 9}, // past horizon unless granted
+	}
+}
+
+// simServeInput assembles the ServeInput the way core.serveSupplier does:
+// from a snapshot slice aligned with a sorted order and an index map.
+func (w *parityWorld) simServeInput() ServeInput {
+	snaps := make([]buffer.Map, len(w.order))
+	index := make(map[overlay.NodeID]int, len(w.order))
+	for i, id := range w.order {
+		snaps[i] = w.bufs[id].Snapshot()
+		index[id] = i
+	}
+	return ServeInput{
+		Carried:     w.carried(),
+		Fresh:       w.fresh(),
+		Capacity:    3,
+		QueueCap:    2,
+		Horizon:     10,
+		SupplierHas: w.supplier.Has,
+		RequesterAlive: func(id overlay.NodeID) bool {
+			_, ok := index[id]
+			return ok
+		},
+		RequesterHas: func(id overlay.NodeID, seg segment.ID) bool {
+			j, ok := index[id]
+			return ok && snaps[j].Has(seg)
+		},
+		Rarity: func(seg segment.ID) float64 {
+			var positions []int
+			for _, nb := range w.neighbors {
+				if j, ok := index[nb]; ok {
+					if pft, ok := snaps[j].PositionFromTail(seg); ok {
+						positions = append(positions, pft)
+					}
+				}
+			}
+			return SupplierRarity(600, positions)
+		},
+	}
+}
+
+// liveServeInput assembles the same situation the way a livenet peer
+// does: from the per-peer map of announced buffer maps and the registry
+// liveness view.
+func (w *parityWorld) liveServeInput() ServeInput {
+	nbrMaps := make(map[int]buffer.Map)
+	for id, b := range w.bufs {
+		nbrMaps[int(id)] = b.Snapshot()
+	}
+	links := map[int]bool{}
+	for _, nb := range w.neighbors {
+		links[int(nb)] = true
+	}
+	return ServeInput{
+		Carried:     w.carried(),
+		Fresh:       w.fresh(),
+		Capacity:    3,
+		QueueCap:    2,
+		Horizon:     10,
+		SupplierHas: w.supplier.Has,
+		RequesterAlive: func(id overlay.NodeID) bool {
+			return w.alive[id]
+		},
+		RequesterHas: func(id overlay.NodeID, seg segment.ID) bool {
+			nm, ok := nbrMaps[int(id)]
+			return ok && nm.Has(seg)
+		},
+		Rarity: func(seg segment.ID) float64 {
+			var positions []int
+			for nb := range links {
+				if nm, ok := nbrMaps[nb]; ok {
+					if pft, ok := nm.PositionFromTail(seg); ok {
+						positions = append(positions, pft)
+					}
+				}
+			}
+			return SupplierRarity(600, positions)
+		},
+	}
+}
+
+// TestServeParitySimVsLivenet asserts the supplier-side serve decision is
+// identical no matter which runtime assembled its inputs.
+func TestServeParitySimVsLivenet(t *testing.T) {
+	w := newParityWorld(t)
+	simRes := PlanServe(w.simServeInput())
+	liveRes := PlanServe(w.liveServeInput())
+	if !reflect.DeepEqual(simRes, liveRes) {
+		t.Fatalf("serve decisions diverged:\nsim  %+v\nlive %+v", simRes, liveRes)
+	}
+	// Sanity on the shared outcome, so parity cannot be trivially
+	// satisfied by two empty results: the stale carried entries are
+	// evicted, the EDF order grants the earliest deadlines.
+	if simRes.Evicted.Stale != 2 {
+		t.Fatalf("stale evictions = %d, want 2 (dead requester + obtained elsewhere): %+v", simRes.Evicted.Stale, simRes)
+	}
+	if len(simRes.Granted) != 3 {
+		t.Fatalf("granted %d, want capacity 3: %+v", len(simRes.Granted), simRes)
+	}
+}
+
+// TestPushParitySimVsLivenet asserts the eager-push plan is identical for
+// both runtimes' has-views of the same neighbourhood.
+func TestPushParitySimVsLivenet(t *testing.T) {
+	w := newParityWorld(t)
+	segs := []segment.ID{120, 121, 122}
+	nbs := w.order
+	// Sim-shaped view: direct buffer reads.
+	simHas := func(to overlay.NodeID, seg segment.ID) bool {
+		b, ok := w.bufs[to]
+		return ok && b.Has(seg)
+	}
+	// Livenet-shaped view: announced map reads.
+	nbrMaps := make(map[int]buffer.Map)
+	for id, b := range w.bufs {
+		nbrMaps[int(id)] = b.Snapshot()
+	}
+	liveHas := func(to overlay.NodeID, seg segment.ID) bool {
+		nm, ok := nbrMaps[int(to)]
+		return ok && nm.Has(seg)
+	}
+	const seed, budget = 0xfeed, 5
+	simPlan := PlanPush(seed, 7, segs, nbs, simHas, budget)
+	livePlan := PlanPush(seed, 7, segs, nbs, liveHas, budget)
+	if !reflect.DeepEqual(simPlan, livePlan) {
+		t.Fatalf("push plans diverged:\nsim  %+v\nlive %+v", simPlan, livePlan)
+	}
+	if len(simPlan) == 0 {
+		t.Fatal("parity trivially satisfied by empty plans")
+	}
+	for _, s := range simPlan {
+		if s.To == 3 && (s.ID == 120 || s.ID == 121) {
+			t.Fatalf("pushed %v to a holder: %+v", s.ID, simPlan)
+		}
+	}
+}
+
+// TestGossipPicksDeterministic pins the draw-for-draw RNG contract the
+// simulator's worker-count determinism depends on: picks are a function
+// of the stream and neighbour list alone.
+func TestGossipPicksDeterministic(t *testing.T) {
+	nbs := []overlay.NodeID{2, 5, 9, 11}
+	alive := func(id overlay.NodeID) bool { return id != 9 }
+	collect := func() [][2]overlay.NodeID {
+		var out [][2]overlay.NodeID
+		GossipPicks(sim.DeriveRNG(42, 7), nbs, alive,
+			func(to, about overlay.NodeID) { out = append(out, [2]overlay.NodeID{to, about}) })
+		return out
+	}
+	a, b := collect(), collect()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("gossip picks not deterministic: %v vs %v", a, b)
+	}
+	for _, ev := range a {
+		if ev[0] == 9 || ev[1] == 9 {
+			t.Fatalf("dead neighbour 9 in picks: %v", a)
+		}
+		if ev[0] == ev[1] {
+			t.Fatalf("neighbour told about itself: %v", a)
+		}
+	}
+}
+
+// TestPlanRewire covers the extracted maintenance decision: distress
+// unlocks multi-replacement, cooldown suppresses it, pools are consulted
+// in preference order with cross-pool dedupe.
+func TestPlanRewire(t *testing.T) {
+	base := MaintenanceView{
+		Node:            1,
+		Source:          0,
+		Warm:            true,
+		Round:           20,
+		LastReplace:     0,
+		Degree:          3,
+		DegreeTarget:    5,
+		MissedLastRound: true,
+		MissStreak:      3,
+		Alive:           func(id overlay.NodeID) bool { return id != 99 },
+		Connected:       func(id overlay.NodeID) bool { return id == 7 },
+		Neighbors: func() []NeighborSupply {
+			return []NeighborSupply{
+				{ID: 0, Known: true, Supply: 0},   // the source: never a victim
+				{ID: 7, Known: true, Supply: 0.2}, // starved link
+				{ID: 8, Known: false},             // unobserved: not judged
+				{ID: 12, Known: true, Supply: 5},  // healthy
+			}
+		},
+		Overheard: func() []CandidateSource {
+			return []CandidateSource{
+				{ID: 30, Latency: 50},
+				{ID: 99, Latency: 10}, // dead: filtered
+				{ID: 31, Latency: 20},
+				{ID: 7, Latency: 5}, // already connected: filtered
+			}
+		},
+		DHTPeers: func() []CandidateSource {
+			return []CandidateSource{
+				{ID: 31, Latency: 1}, // duplicate of overheard: shadowed
+				{ID: 40, Latency: 9},
+			}
+		},
+	}
+	tuning := MaintenanceTuning{LowSupplyThreshold: 1, ReplaceCooldownRounds: 8, MaxDistressReplacements: 3}
+
+	intent, ok := PlanRewire(base, tuning)
+	if !ok {
+		t.Fatal("rewire not planned despite deficit and distress")
+	}
+	if len(intent.Drop) != 1 || intent.Drop[0] != 7 {
+		t.Fatalf("drop = %v, want the one starved judged neighbour [7]", intent.Drop)
+	}
+	// Preference order: overheard by latency (31 then 30), then the DHT
+	// pool's non-duplicate (40).
+	want := []overlay.NodeID{31, 30, 40}
+	if !reflect.DeepEqual(intent.Adopt, want) {
+		t.Fatalf("adopt = %v, want %v", intent.Adopt, want)
+	}
+
+	cooled := base
+	cooled.LastReplace = 15 // within the 8-round cooldown
+	intent, _ = PlanRewire(cooled, tuning)
+	if len(intent.Drop) != 0 {
+		t.Fatalf("drop = %v during cooldown, want none", intent.Drop)
+	}
+
+	satisfied := base
+	satisfied.Degree = 5
+	satisfied.MissedLastRound = false
+	if _, ok := PlanRewire(satisfied, tuning); ok {
+		t.Fatal("rewire planned for a healthy full-degree node")
+	}
+}

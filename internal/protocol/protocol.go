@@ -1,0 +1,91 @@
+// Package protocol is the transport-agnostic core of the streaming
+// protocol: the per-node decision functions and state machines that both
+// runtimes — the deterministic BSP simulator (internal/core) and the
+// goroutine-per-peer livenet runtime (internal/livenet) — drive with their
+// own notion of time, membership and message passing.
+//
+// Everything here is pure with respect to the hosting runtime: functions
+// take explicit inputs (local views, buffer-map snapshots, an RNG stream,
+// clock values) and return intents (sends, grants, rewires) that the
+// caller executes over whatever transport it owns. The package knows
+// nothing of sim.MapReduce, goroutines or channels; that is what makes the
+// same code paths runnable inside a bit-deterministic sharded pipeline and
+// across real message passing.
+//
+// The decision families:
+//
+//   - Membership maintenance — SCAMP-style membership gossip picks
+//     (GossipPicks) and the paper's neighbour maintenance rules with
+//     distress-scaled low-supply replacement (PlanRewire).
+//   - DHT upkeep — refresh cadence (RepairDue) and the backup
+//     re-evaluation trigger when a node's believed successor moves
+//     (SuccessorMoved), which stops replica decay under arc reshuffle.
+//   - Fresh-segment push — breadth-first eager forwarding plans for newly
+//     generated segments (PlanPush), the dissemination engine's answer to
+//     the pull-epidemic depth gap at 8000+ nodes.
+//   - Supplier-side service — earliest-deadline-first serving with a
+//     neighbourhood-rarity tie-break and bounded carry queues (PlanServe,
+//     Serve), plus the published pull-only round-robin discipline the
+//     CoolStreaming baseline keeps (ServeRoundRobin), and the sharded
+//     supplier-state container (Engine).
+//
+// Design notes for the dissemination engine (push + EDF serve + queueing)
+// live with the respective functions; the three are one coordinated
+// mechanism — EDF service without push seeding starves the frontier
+// replication that keeps new content multiplying.
+package protocol
+
+import (
+	"continustreaming/internal/overlay"
+	"continustreaming/internal/scheduler"
+	"continustreaming/internal/segment"
+	"continustreaming/internal/sim"
+)
+
+// Request is one requester→supplier ask as the supplier's service
+// discipline sees it.
+type Request struct {
+	// Requester is the asking node.
+	Requester overlay.NodeID
+	// ID is the requested segment.
+	ID segment.ID
+	// Deadline is the latest useful arrival time of the segment at the
+	// requester (the end of the scheduling period it plays in).
+	Deadline sim.Time
+	// Rarity is the supplier-side rarity of the segment (equation (2)
+	// evaluated over the supplier's neighbour buffer maps); rarer
+	// segments win deadline ties because their copies are about to
+	// vanish from the neighbourhood.
+	Rarity float64
+	// Expected is the requester's expected completion offset, used only
+	// by the baseline round-robin discipline (ServeRoundRobin).
+	Expected sim.Time
+	// Carried marks a request served out of the carry queue rather than
+	// scheduled this round.
+	Carried bool
+}
+
+// Send is one eager fresh-segment transmission.
+type Send struct {
+	From, To overlay.NodeID
+	ID       segment.ID
+}
+
+// SupplierRarity evaluates the requesting-priority rarity term from the
+// supplier's point of view: positions are the segment's FIFO
+// positions-from-tail in the advertised buffers of the supplier's
+// neighbours that hold it. It reuses the requester-side scheduler.Rarity
+// (equation (2)); a segment none of the supplier's neighbours hold is
+// maximally rare — the supplier may be its sole holder in the
+// neighbourhood, so the empty product is 1, not scheduler.Rarity's
+// no-candidate 0.
+func SupplierRarity(bufferSize int, positions []int) float64 {
+	if len(positions) == 0 {
+		return 1
+	}
+	c := scheduler.Candidate{Suppliers: make([]scheduler.Supplier, len(positions))}
+	for i, p := range positions {
+		c.Suppliers[i] = scheduler.Supplier{PositionFromTail: p}
+	}
+	return scheduler.Rarity(scheduler.PriorityInput{BufferSize: bufferSize}, c)
+}

@@ -1,4 +1,4 @@
-package dissemination
+package protocol
 
 import (
 	"sort"
@@ -7,12 +7,6 @@ import (
 	"continustreaming/internal/scheduler"
 	"continustreaming/internal/segment"
 )
-
-// Send is one eager fresh-segment transmission.
-type Send struct {
-	From, To overlay.NodeID
-	ID       segment.ID
-}
 
 // PlanPush computes one pusher's eager transmissions for one hop of the
 // fresh-segment push: for every fresh segment it holds, the pusher

@@ -1,9 +1,11 @@
-package dissemination
+package protocol
 
 import (
+	"slices"
 	"sort"
 
 	"continustreaming/internal/overlay"
+	"continustreaming/internal/segment"
 	"continustreaming/internal/sim"
 )
 
@@ -103,6 +105,96 @@ func Serve(reqs []Request, capacity, queueCap int, horizon sim.Time) ServeResult
 		q.Carried = true
 		res.Queued = append(res.Queued, q)
 	}
+	return res
+}
+
+// Ask is one fresh requester→supplier ask as it arrives at the supplier,
+// before the serve plan attaches deadlines and rarity.
+type Ask struct {
+	Requester overlay.NodeID
+	ID        segment.ID
+	Deadline  sim.Time
+}
+
+// ServeInput is everything one supplier's engine-profile serve decision
+// depends on, expressed as explicit views so both runtimes can build it:
+// the simulator from its round snapshots, livenet from the buffer maps
+// its peers announced over channels.
+type ServeInput struct {
+	// Carried is the supplier's carry queue from the previous round (in
+	// stored order); Fresh this round's new asks (in arrival order).
+	Carried []Request
+	Fresh   []Ask
+	// Capacity is how many grants the supplier can transmit within its
+	// backlog horizon this round (already net of any push spend);
+	// QueueCap bounds the carry queue; Horizon is the end of the current
+	// round (deadlines at or before it cannot be saved by queueing).
+	Capacity int
+	QueueCap int
+	Horizon  sim.Time
+	// SupplierHas reports whether the supplier still holds a segment.
+	SupplierHas func(segment.ID) bool
+	// RequesterAlive reports whether a requester is still a live peer.
+	RequesterAlive func(overlay.NodeID) bool
+	// RequesterHas reports whether a requester's advertised buffer map
+	// already shows a segment (it obtained it elsewhere meanwhile).
+	RequesterHas func(overlay.NodeID, segment.ID) bool
+	// Rarity evaluates the supplier-side rarity of a segment over the
+	// supplier's own neighbours' advertised maps (SupplierRarity).
+	Rarity func(segment.ID) float64
+}
+
+// PlanServe runs one supplier's full engine-profile scheduling period as
+// a pure decision: revalidate the carry queue against membership and
+// buffer drift, merge the surviving entries with this round's fresh asks
+// (re-asks that match a carried twin are deduplicated into it), attach
+// supplier-side rarity, and run the earliest-deadline-first service
+// discipline with bounded carry. Both the simulator's serveSupplier
+// driver and the livenet peer serve path call it — the decision is the
+// shared protocol; only the input assembly differs.
+func PlanServe(in ServeInput) ServeResult {
+	reqs := make([]Request, 0, len(in.Carried)+len(in.Fresh))
+	queued := make(map[segment.ID][]overlay.NodeID, len(in.Carried))
+	var stale int64
+	for _, c := range in.Carried {
+		// Revalidate: the requester may have died, the segment may have
+		// slid out of the supplier's buffer while queued, or the
+		// requester may have obtained the segment elsewhere meanwhile
+		// (push, prefetch rescue, a retry at another supplier) — its
+		// current buffer-map snapshot says so, and serving it anyway
+		// would burn a grant slot on repeated data. Only survivors join
+		// the dedupe set — a fresh re-ask that matches a stale entry
+		// must not be swallowed with it.
+		if !in.RequesterAlive(c.Requester) || !in.SupplierHas(c.ID) {
+			stale++
+			continue
+		}
+		if in.RequesterHas(c.Requester, c.ID) {
+			stale++
+			continue
+		}
+		queued[c.ID] = append(queued[c.ID], c.Requester)
+		reqs = append(reqs, c)
+	}
+	for i := range reqs {
+		reqs[i].Rarity = in.Rarity(reqs[i].ID)
+	}
+	for _, a := range in.Fresh {
+		if slices.Contains(queued[a.ID], a.Requester) {
+			// Already carried: the re-ask merges into its queued twin
+			// and shares its fate (served or evicted), deliberately
+			// counted once in the eviction telemetry.
+			continue
+		}
+		reqs = append(reqs, Request{
+			Requester: a.Requester,
+			ID:        a.ID,
+			Deadline:  a.Deadline,
+			Rarity:    in.Rarity(a.ID),
+		})
+	}
+	res := Serve(reqs, in.Capacity, in.QueueCap, in.Horizon)
+	res.Evicted.Stale += stale
 	return res
 }
 

@@ -1,4 +1,4 @@
-package dissemination
+package protocol
 
 import (
 	"reflect"
