@@ -127,10 +127,10 @@ func main() {
 			// absolute ns/op values say nothing about this runner, so
 			// the regression gate carries no signal. Warn — loudly
 			// enough to prompt a baseline refresh — but do not fail.
-			fmt.Fprintln(os.Stderr, "WARNING: runner fingerprint differs from baseline; ns/op gate downgraded to warnings")
-			fmt.Fprintln(os.Stderr, "WARNING: refresh the baseline on this runner class: benchreport -update-baseline "+*baseline)
+			warnf("runner fingerprint differs from baseline; ns/op gate downgraded to warnings")
+			warnf("refresh the baseline on this runner class: benchreport -update-baseline %s", *baseline)
 			for _, f := range res.regressions {
-				fmt.Fprintln(os.Stderr, "WARNING:", f)
+				warnf("%s", f)
 			}
 			res.regressions = nil
 		}
@@ -262,6 +262,22 @@ func writeReport(path string, rep Report) {
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		fatalf("write %s: %v", path, err)
 	}
+}
+
+// warnf surfaces a non-fatal gate downgrade. Under GitHub Actions it
+// emits a ::warning workflow command, which annotates the run in the
+// checks UI instead of scrolling by in the log; elsewhere it prints a
+// plain WARNING line on stderr.
+func warnf(format string, args ...any) {
+	msg := fmt.Sprintf(format, args...)
+	if os.Getenv("GITHUB_ACTIONS") == "true" {
+		// Workflow commands are parsed off stdout; newlines would split
+		// the annotation, so they are escaped per the Actions spec.
+		esc := strings.NewReplacer("%", "%25", "\r", "%0D", "\n", "%0A").Replace(msg)
+		fmt.Printf("::warning title=benchreport::%s\n", esc)
+		return
+	}
+	fmt.Fprintln(os.Stderr, "WARNING:", msg)
 }
 
 func fatalf(format string, args ...any) {

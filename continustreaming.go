@@ -47,7 +47,11 @@
 // core (internal/protocol) the simulator uses: mesh repair under churn,
 // DHT-backed rescue, fresh-segment push and EDF serving. LiveConfig's
 // kill/join knobs script a churn session; this is the in-process repro
-// of the paper's planned real-network validation.
+// of the paper's planned real-network validation. Setting
+// LiveConfig.Listen switches to the multi-process socket path: the
+// process runs one peer over UDP, bootstrapping through the rendezvous
+// point at LiveConfig.Bootstrap (see cmd/livenode for the per-process
+// binary and examples/multiproc for a whole-session driver).
 //
 // See cmd/continusim for the full experiment driver, examples/ for runnable
 // scenarios, and EXPERIMENTS.md for paper-versus-measured results.
@@ -302,6 +306,20 @@ type LiveConfig struct {
 	KillFraction float64
 	JoinCount    int
 	JoinAfter    int
+	// Listen switches RunLive to the multi-process socket path: this
+	// process runs ONE peer bound to the given UDP address ("host:port",
+	// port 0 picks a free one) instead of hosting the whole session
+	// in-process. Messages cross real process boundaries as wire-encoded
+	// datagrams; membership comes from the rendezvous bootstrap and
+	// gossip instead of an in-process registry.
+	Listen string
+	// Bootstrap is the rendezvous point's address to join through. Empty
+	// with Listen set makes this process the source/RP (which must be
+	// NodeID 0). Ignored when Listen is empty.
+	Bootstrap string
+	// NodeID is this process's peer identity on the socket path (0 = the
+	// source/RP). Every process in a session needs a distinct ID.
+	NodeID int
 	// Seed drives topology and policy randomness.
 	Seed uint64
 }
@@ -356,6 +374,28 @@ func RunLive(ctx context.Context, cfg LiveConfig, periods int) (LiveResult, erro
 	if cfg.Seed != 0 {
 		inner.Seed = cfg.Seed
 	}
+	if cfg.Listen != "" {
+		// Socket path: one peer per process over UDP. The in-process
+		// churn script drives whole-session membership and has no meaning
+		// for a single node — churn happens by processes dying.
+		if cfg.KillFraction > 0 || cfg.JoinCount > 0 {
+			return LiveResult{}, fmt.Errorf("continustreaming: churn scripts apply to in-process sessions, not a single socket-path node")
+		}
+		node, err := livenet.NewNode(inner, livenet.NodeConfig{
+			ID:        cfg.NodeID,
+			Listen:    cfg.Listen,
+			Bootstrap: cfg.Bootstrap,
+			Source:    cfg.Bootstrap == "",
+		})
+		if err != nil {
+			return LiveResult{}, err
+		}
+		st, err := node.Run(ctx, periods)
+		if err != nil {
+			return LiveResult{}, err
+		}
+		return liveResultOf(st), nil
+	}
 	if cfg.KillFraction > 0 {
 		if cfg.KillAtPeriod <= 0 || cfg.KillAtPeriod >= periods {
 			return LiveResult{}, fmt.Errorf("continustreaming: kill period %d outside session (1..%d)", cfg.KillAtPeriod, periods-1)
@@ -373,6 +413,12 @@ func RunLive(ctx context.Context, cfg LiveConfig, periods int) (LiveResult, erro
 		inner.Churn = append(inner.Churn, livenet.ChurnEvent{Period: joinAt, Join: cfg.JoinCount})
 	}
 	st := livenet.Run(ctx, inner, periods)
+	return liveResultOf(st), nil
+}
+
+// liveResultOf condenses livenet session stats into the public result;
+// the tail metric covers the final quarter of the evaluated periods.
+func liveResultOf(st livenet.Stats) LiveResult {
 	tail := len(st.PerPeriod) / 4
 	if tail < 1 {
 		tail = 1
@@ -388,7 +434,7 @@ func RunLive(ctx context.Context, cfg LiveConfig, periods int) (LiveResult, erro
 		Replaced:       st.Replaced,
 		DeadDropped:    st.DeadDropped,
 		EndDeadLinks:   st.EndDeadLinks,
-	}, nil
+	}
 }
 
 // TheoreticalContinuity evaluates the paper's §5.1 Poisson model: the

@@ -2,7 +2,10 @@ package continustreaming
 
 import (
 	"context"
+	"fmt"
 	"math"
+	"net"
+	"sync"
 	"testing"
 )
 
@@ -225,5 +228,72 @@ func TestRunLiveKillAndRecover(t *testing.T) {
 	}
 	if res.EndDeadLinks != 0 {
 		t.Fatalf("%d dead links survived the session", res.EndDeadLinks)
+	}
+}
+
+// freeUDPPort reserves an ephemeral UDP port and releases it for the
+// caller to rebind — the rendezvous point needs an address known before
+// it starts.
+func freeUDPPort(t *testing.T) int {
+	t.Helper()
+	c, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	port := c.LocalAddr().(*net.UDPAddr).Port
+	c.Close()
+	return port
+}
+
+// TestRunLiveSocketPath drives the public multi-process surface: each
+// RunLive call with Listen set runs ONE peer over a real UDP socket,
+// here a source/RP plus three receivers sharing loopback — the same
+// shape cmd/livenode runs with one call per process.
+func TestRunLiveSocketPath(t *testing.T) {
+	if _, err := RunLive(context.Background(), LiveConfig{
+		Listen: "127.0.0.1:0", KillAtPeriod: 5, KillFraction: 0.5,
+	}, 20); err == nil {
+		t.Fatal("churn script on the socket path must be rejected")
+	}
+	if _, err := RunLive(context.Background(), LiveConfig{
+		Listen: "127.0.0.1:0", NodeID: 3,
+	}, 20); err == nil {
+		t.Fatal("a bootstrap-less non-zero node must be rejected (only the RP runs without one)")
+	}
+
+	rp := fmt.Sprintf("127.0.0.1:%d", freeUDPPort(t))
+	const receivers = 3
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	results := make(map[int]LiveResult)
+	node := func(id int, cfg LiveConfig) {
+		defer wg.Done()
+		cfg.Peers = receivers
+		cfg.PeriodMillis = 20
+		cfg.NodeID = id
+		res, err := RunLive(ctx, cfg, 40)
+		if err != nil {
+			t.Errorf("node %d: %v", id, err)
+			return
+		}
+		mu.Lock()
+		results[id] = res
+		mu.Unlock()
+	}
+	wg.Add(1 + receivers)
+	go node(0, LiveConfig{Listen: rp})
+	for i := 1; i <= receivers; i++ {
+		go node(i, LiveConfig{Listen: "127.0.0.1:0", Bootstrap: rp})
+	}
+	wg.Wait()
+	if len(results) != 1+receivers {
+		t.Fatalf("%d of %d nodes finished", len(results), 1+receivers)
+	}
+	for i := 1; i <= receivers; i++ {
+		if results[i].Delivered == 0 {
+			t.Fatalf("receiver %d got no segments over UDP: %+v", i, results[i])
+		}
 	}
 }

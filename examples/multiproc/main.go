@@ -1,0 +1,201 @@
+// Multiproc: the multi-process kill scenario over real UDP sockets —
+// the paper's PlanetLab validation shape on one machine. The driver
+// forks one livenode process per peer on loopback (the source doubling
+// as rendezvous point), scripts an abrupt failure of a third of the
+// audience mid-session, and asserts that the survivors' recovered tail
+// plays continuously again: the same scenario the in-process livenet
+// demo runs over channels, now with process boundaries, wire-encoded
+// datagrams and gossip-routed membership between every pair of peers.
+//
+//	go run ./examples/multiproc
+//	go run ./examples/multiproc -peers 8 -kill 3 -min-tail 0.9 -logdir multiproc-logs
+//
+// Exit status is non-zero when a survivor crashes or the mean recovered
+// tail falls below -min-tail; per-peer logs land in -logdir either way.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	"continustreaming/internal/livenet"
+)
+
+// nodeStats is livenode's JSON stats line — the exact shape it encodes,
+// so the tail metric below is livenet's own TailContinuity, the same
+// definition the in-process tests gate on.
+type nodeStats struct {
+	ID int
+	livenet.Stats
+}
+
+// proc is one forked livenode: its command, its log sink, and the
+// LISTEN/stats lines scraped off its stdout.
+type proc struct {
+	id     int
+	doomed bool
+	cmd    *exec.Cmd
+	listen chan string
+	stats  *nodeStats
+	err    error
+}
+
+func main() {
+	var (
+		peers   = flag.Int("peers", 8, "audience size (the source is extra)")
+		kill    = flag.Int("kill", 3, "how many peers die abruptly mid-session")
+		killat  = flag.Int("killat", 30, "period at which the doomed peers drop off")
+		periods = flag.Int("periods", 60, "session length in periods")
+		period  = flag.Duration("period", 50*time.Millisecond, "scheduling period")
+		seed    = flag.Uint64("seed", 1, "policy randomness seed")
+		tail    = flag.Int("tail", 15, "periods of recovered tail to average")
+		minTail = flag.Float64("min-tail", 0.9, "required mean survivor tail continuity")
+		binPath = flag.String("livenode", "", "prebuilt livenode binary (empty = go build it)")
+		logdir  = flag.String("logdir", "multiproc-logs", "per-peer log directory")
+	)
+	flag.Parse()
+	if *kill >= *peers {
+		fatalf("cannot kill %d of %d peers", *kill, *peers)
+	}
+	if err := os.MkdirAll(*logdir, 0o755); err != nil {
+		fatalf("logdir: %v", err)
+	}
+
+	bin := *binPath
+	if bin == "" {
+		bin = filepath.Join(os.TempDir(), fmt.Sprintf("livenode-%d", os.Getpid()))
+		build := exec.Command("go", "build", "-o", bin, "./cmd/livenode")
+		build.Stdout, build.Stderr = os.Stdout, os.Stderr
+		if err := build.Run(); err != nil {
+			fatalf("building livenode: %v", err)
+		}
+		defer os.Remove(bin)
+	}
+
+	fmt.Printf("multiproc: %d peers + source over UDP loopback, killing %d at period %d/%d\n",
+		*peers, *kill, *killat, *periods)
+
+	var wg sync.WaitGroup
+	start := func(id int, doomed bool, args ...string) *proc {
+		base := []string{
+			"-id", fmt.Sprint(id),
+			"-peers", fmt.Sprint(*peers),
+			"-periods", fmt.Sprint(*periods),
+			"-period", period.String(),
+			"-seed", fmt.Sprint(*seed),
+		}
+		p := &proc{id: id, doomed: doomed, listen: make(chan string, 1)}
+		p.cmd = exec.Command(bin, append(base, args...)...)
+		logf, err := os.Create(filepath.Join(*logdir, fmt.Sprintf("peer-%02d.log", id)))
+		if err != nil {
+			fatalf("log file: %v", err)
+		}
+		p.cmd.Stderr = logf
+		stdout, err := p.cmd.StdoutPipe()
+		if err != nil {
+			fatalf("stdout pipe: %v", err)
+		}
+		if err := p.cmd.Start(); err != nil {
+			fatalf("starting peer %d: %v", id, err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer logf.Close()
+			sc := bufio.NewScanner(stdout)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			for sc.Scan() {
+				line := sc.Text()
+				fmt.Fprintln(logf, line)
+				if addr, ok := strings.CutPrefix(line, "LISTEN="); ok {
+					p.listen <- addr
+				} else if strings.HasPrefix(line, "{") {
+					var st nodeStats
+					if err := json.Unmarshal([]byte(line), &st); err == nil {
+						p.stats = &st
+					}
+				}
+			}
+			p.err = p.cmd.Wait()
+		}()
+		return p
+	}
+
+	src := start(0, false, "-source", "-listen", "127.0.0.1:0")
+	var rp string
+	select {
+	case rp = <-src.listen:
+	case <-time.After(10 * time.Second):
+		fatalf("source never reported its address")
+	}
+	fmt.Printf("source/RP listening on %s\n", rp)
+
+	procs := []*proc{src}
+	for i := 1; i <= *peers; i++ {
+		args := []string{"-bootstrap", rp, "-listen", "127.0.0.1:0"}
+		doomed := i <= *kill
+		if doomed {
+			args = append(args, "-exitat", fmt.Sprint(*killat))
+		}
+		procs = append(procs, start(i, doomed, args...))
+	}
+	wg.Wait()
+
+	failures := 0
+	tailSum, survivors := 0.0, 0
+	fmt.Printf("%-6s %-8s %-9s %-10s %-8s %s\n", "peer", "fate", "periods", "continuity", "tail", "detail")
+	for _, p := range procs[1:] {
+		fate := "survived"
+		if p.doomed {
+			fate = "killed"
+		}
+		switch {
+		case p.doomed && p.err == nil && p.stats != nil:
+			fmt.Printf("%-6d %-8s %-9s %-10s %-8s dropped off at period %d\n", p.id, fate, "-", "-", "-", *killat)
+		case p.doomed:
+			// A doomed peer still has to run cleanly up to its scripted
+			// exit; a crash or bootstrap failure before that is a real
+			// failure, not churn.
+			failures++
+			fmt.Printf("%-6d %-8s %-9s %-10s %-8s CRASHED before its scripted exit: %v\n", p.id, fate, "-", "-", "-", p.err)
+		case p.err != nil || p.stats == nil:
+			failures++
+			fmt.Printf("%-6d %-8s %-9s %-10s %-8s CRASHED: %v\n", p.id, fate, "-", "-", "-", p.err)
+		default:
+			survivors++
+			t := p.stats.TailContinuity(*tail)
+			tailSum += t
+			fmt.Printf("%-6d %-8s %-9d %-10.3f %-8.3f push=%d rescued=%d replaced=%d deadLinks=%d\n",
+				p.id, fate, p.stats.Periods, p.stats.Continuity, t,
+				p.stats.PushDelivered, p.stats.Rescued, p.stats.Replaced, p.stats.EndDeadLinks)
+		}
+	}
+	if src.err != nil {
+		failures++
+		fmt.Printf("source CRASHED: %v\n", src.err)
+	}
+	if survivors == 0 {
+		fatalf("no survivors reported stats")
+	}
+	meanTail := tailSum / float64(survivors)
+	fmt.Printf("recovered-tail continuity (last %d periods, %d survivors): %.3f (require >= %.2f)\n",
+		*tail, survivors, meanTail, *minTail)
+	if failures > 0 || meanTail < *minTail {
+		fmt.Printf("FAIL: %d crashes, tail %.3f\n", failures, meanTail)
+		os.Exit(1)
+	}
+	fmt.Println("PASS")
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "multiproc: "+format+"\n", args...)
+	os.Exit(1)
+}

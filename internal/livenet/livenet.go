@@ -97,13 +97,26 @@ func Run(ctx context.Context, cfg Config, periods int) Stats {
 	if cfg.Neighbors > cfg.Peers {
 		cfg.Neighbors = cfg.Peers
 	}
+	// Resolve the lag default once, up front: every consumer of the raw
+	// field (playback evaluation, ask deadlines, warm-up gates, rescue
+	// gating) must see the same value.
+	cfg.PlaybackLagPeriods = cfg.lagPeriods()
 	space := dht.NewSpace(ringSpace)
 	nw := newNetwork(max(256, 16*(cfg.Peers+1)))
 	st := &counters{}
 	peers := make(map[int]*peer)
 	var wg sync.WaitGroup
 	spawn := func(isSource bool, openAt segment.ID, joinPeriod int) *peer {
-		p := newPeer(nw, cfg, space, st, isSource, openAt, joinPeriod)
+		id, inbox := nw.register()
+		p := newPeer(nw, id, inbox, cfg, space, st, isSource, openAt, joinPeriod)
+		if isSource {
+			// Driver mode's RP candidate pool is the registry oracle; the
+			// socket path replaces it with the peer's sighting history
+			// (see RunNode).
+			p.sample = func(max, exclude int) []int {
+				return nw.sample(p.rng, max, exclude)
+			}
+		}
 		peers[p.id] = p
 		wg.Add(1)
 		go p.loop(&wg)
@@ -145,10 +158,7 @@ func Run(ctx context.Context, cfg Config, periods int) Stats {
 	stats := Stats{}
 	continuous, playingSamples := 0, 0
 	pos := segment.ID(0)
-	lag := cfg.PlaybackLagPeriods
-	if lag <= 0 {
-		lag = 6
-	}
+	lag := cfg.lagPeriods()
 	ran := 0
 	for period := 0; period < periods; period++ {
 		select {
@@ -183,7 +193,7 @@ func Run(ctx context.Context, cfg Config, periods int) Stats {
 			for j := 0; j < ev.Join; j++ {
 				np := spawn(false, pos, period)
 				for _, c := range nw.sample(rng, cfg.Neighbors+2, np.id) {
-					nw.send(c, Message{From: np.id, Kind: msgConnect})
+					nw.Send(c, Message{From: np.id, Kind: msgConnect})
 				}
 				stats.Joined++
 			}

@@ -46,13 +46,20 @@ type Message struct {
 	Hop int
 	// Rescue marks data served from the DHT backup path.
 	Rescue bool
+	// GossipAddrs optionally parallels Gossip with transport addresses
+	// for the named peers. Peers never set it: the UDP transport fills
+	// it from its address book on encode and absorbs it back into the
+	// book on decode, so membership gossip stays reachable across
+	// process boundaries. In-process it is always nil.
+	GossipAddrs []string
 }
 
-// network is the in-process transport and rendezvous: the address book
+// network is the in-process Transport and rendezvous: the address book
 // every real deployment reaches through its RP server and DHT routing,
 // scaled to one process. Sends are non-blocking — a saturated or dead
 // receiver drops the message, and the protocol's retry/repair paths are
-// what recover, exactly as over UDP.
+// what recover, exactly as over UDP (the drop model udpTransport
+// mirrors).
 type network struct {
 	mu       sync.RWMutex
 	inboxes  map[int]chan Message
@@ -92,9 +99,9 @@ func (nw *network) alive(id int) bool {
 	return ok
 }
 
-// send delivers non-blockingly; false means the receiver is gone or
+// Send delivers non-blockingly; false means the receiver is gone or
 // saturated and the message was dropped.
-func (nw *network) send(to int, m Message) bool {
+func (nw *network) Send(to int, m Message) bool {
 	nw.mu.RLock()
 	ch, ok := nw.inboxes[to]
 	nw.mu.RUnlock()

@@ -41,13 +41,28 @@ type peer struct {
 	id       int
 	ring     dht.ID
 	isSource bool
-	nw       *network
+	tr       Transport
 	cfg      Config
 	space    dht.Space
 	st       *counters
 	inbox    chan Message
 	stop     chan struct{}
 	rng      *sim.RNG
+	// sample draws up to max live peer IDs (excluding the given one and
+	// the peer itself) for the RP candidate pool and bootstrap replies.
+	// Driver mode backs it with the registry; node mode with the peer's
+	// own sighting history. Nil on peers that never act as RP.
+	sample func(max, exclude int) []int
+	// rpServer makes this peer answer msgConnect as a rendezvous point:
+	// the ConnectOK carries a membership sample and the current period,
+	// the bootstrap handshake a socket-path joiner syncs from. Only set
+	// in node mode (the driver wires in-process joins directly).
+	rpServer bool
+	// nodeMode marks a socket-path peer: gossip arrives from an open
+	// socket there, so sighting-derived state is pruned by TTL each
+	// period. Driver-mode peers skip the overheard pruning to keep the
+	// in-process candidate pools exactly as before the seam.
+	nodeMode bool
 
 	mu      sync.Mutex
 	buf     *buffer.Buffer
@@ -58,8 +73,15 @@ type peer struct {
 	// overheard is the adoption candidate pool: peer IDs learned from
 	// piggybacked membership gossip, stamped with the period heard.
 	overheard map[int]int
-	ctrl      *bandwidth.Controller
-	alpha     *prefetch.Alpha
+	// sighted stamps every peer ID this peer has evidence of — a message
+	// received from it, or gossip naming it — with the period of the last
+	// sighting. Node mode derives its membership view from it (there is
+	// no registry oracle across processes); driver mode maintains it too
+	// but never reads it, keeping the two paths' message handling
+	// identical.
+	sighted map[int]int
+	ctrl    *bandwidth.Controller
+	alpha   *prefetch.Alpha
 	// pending / rescuePending map in-flight pulls and rescues to their
 	// expiry period, after which the peer re-asks.
 	pending       map[segment.ID]int
@@ -91,16 +113,15 @@ type peer struct {
 	lastReplace  int
 }
 
-// newPeer constructs a peer registered with the network; joiners open
-// their buffer at the shared playback position instead of the stream
-// start.
-func newPeer(nw *network, cfg Config, space dht.Space, st *counters, isSource bool, openAt segment.ID, joinPeriod int) *peer {
-	id, inbox := nw.register()
+// newPeer constructs a peer on a transport-provided identity and inbox;
+// joiners open their buffer at the shared playback position instead of
+// the stream start.
+func newPeer(tr Transport, id int, inbox chan Message, cfg Config, space dht.Space, st *counters, isSource bool, openAt segment.ID, joinPeriod int) *peer {
 	p := &peer{
 		id:            id,
 		ring:          ringOf(space, id),
 		isSource:      isSource,
-		nw:            nw,
+		tr:            tr,
 		cfg:           cfg,
 		space:         space,
 		st:            st,
@@ -113,6 +134,7 @@ func newPeer(nw *network, cfg Config, space dht.Space, st *counters, isSource bo
 		nbrMaps:       make(map[int]buffer.Map),
 		nbrSeen:       make(map[int]int),
 		overheard:     make(map[int]int),
+		sighted:       make(map[int]int),
 		ctrl:          bandwidth.NewController(0.3, float64(cfg.Rate)),
 		pending:       make(map[segment.ID]int),
 		rescuePending: make(map[segment.ID]int),
@@ -166,15 +188,27 @@ func (p *peer) loop(wg *sync.WaitGroup) {
 func (p *peer) handle(m Message) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	// Every message is a sighting of its sender, and every gossip entry
+	// of the peer it names — the membership evidence node mode's view is
+	// built from. Gossip feeds the adoption pool regardless of which
+	// message carried it (in-process only map announcements do; the
+	// socket path's bootstrap ConnectOK rides a sample too).
+	p.sighted[m.From] = p.curPeriod
+	for _, g := range m.Gossip {
+		if g == p.id {
+			continue
+		}
+		p.sighted[g] = p.curPeriod
+		if !p.links[g] {
+			p.overheard[g] = p.curPeriod
+		}
+	}
 	switch m.Kind {
 	case msgMap:
-		p.nbrMaps[m.From] = *m.Map
-		p.nbrSeen[m.From] = p.curPeriod
-		for _, g := range m.Gossip {
-			if g != p.id && !p.links[g] {
-				p.overheard[g] = p.curPeriod
-			}
+		if m.Map != nil {
+			p.nbrMaps[m.From] = *m.Map
 		}
+		p.nbrSeen[m.From] = p.curPeriod
 	case msgRequest:
 		p.st.asksReceived.Add(1)
 		p.asks = append(p.asks, protocol.Ask{
@@ -192,17 +226,27 @@ func (p *peer) handle(m Message) {
 		// serving unbounded copies for free.
 		if p.pushSpent+p.rescueSpent < 2*p.outbound() && (p.buf.Has(m.Seg) || p.backup.Has(m.Seg)) {
 			p.rescueSpent++
-			p.nw.send(m.From, Message{From: p.id, Kind: msgData, Seg: m.Seg, Rescue: true})
+			p.tr.Send(m.From, Message{From: p.id, Kind: msgData, Seg: m.Seg, Rescue: true})
 		}
 	case msgConnect:
 		// Adoption is bidirectional, as in the simulator's addEdge; the
 		// accepting side replies with its current map so the newcomer can
-		// schedule against it immediately.
+		// schedule against it immediately. A rendezvous point additionally
+		// stamps the reply with the current period (the joiner's clock
+		// sync) and a membership sample (its first adoption candidates) —
+		// the bootstrap handshake of the socket path.
 		p.links[m.From] = true
 		p.nbrSeen[m.From] = p.curPeriod
 		delete(p.overheard, m.From)
 		snap := p.buf.Snapshot()
-		p.nw.send(m.From, Message{From: p.id, Kind: msgConnectOK, Map: &snap})
+		reply := Message{From: p.id, Kind: msgConnectOK, Map: &snap}
+		if p.rpServer {
+			reply.Deadline = sim.Time(p.curPeriod)
+			if p.sample != nil {
+				reply.Gossip = p.sample(p.cfg.Neighbors+2, m.From)
+			}
+		}
+		p.tr.Send(m.From, reply)
 	case msgConnectOK:
 		p.links[m.From] = true
 		p.nbrSeen[m.From] = p.curPeriod
@@ -270,7 +314,7 @@ func (p *peer) receiveData(m Message) {
 			}, budget)
 		p.pushSpent += len(sends)
 		for _, s := range sends {
-			p.nw.send(int(s.To), Message{From: p.id, Kind: msgData, Seg: s.ID, Hop: m.Hop + 1})
+			p.tr.Send(int(s.To), Message{From: p.id, Kind: msgData, Seg: s.ID, Hop: m.Hop + 1})
 		}
 	}
 }
@@ -316,6 +360,24 @@ func (p *peer) periodPlan(now int, pos segment.ID, rv ringView, members map[int]
 	for seg, exp := range p.rescuePending {
 		if exp <= now {
 			delete(p.rescuePending, seg)
+		}
+	}
+	// Sighting state is fed by untrusted gossip on the socket path;
+	// expiring it by TTL bounds what a hostile datagram stream can make
+	// a peer hold. sighted is node-mode-only state and always safe to
+	// prune; overheard shapes driver-mode adoption pools, so only node
+	// mode expires it.
+	ttl := p.sightTTL()
+	for id, seen := range p.sighted {
+		if now-seen > ttl {
+			delete(p.sighted, id)
+		}
+	}
+	if p.nodeMode {
+		for id, seen := range p.overheard {
+			if now-seen > ttl {
+				delete(p.overheard, id)
+			}
 		}
 	}
 	if p.alpha != nil {
@@ -368,7 +430,7 @@ func (p *peer) pushFresh(now int) {
 		}, p.outbound())
 	p.pushSpent += len(sends)
 	for _, s := range sends {
-		p.nw.send(int(s.To), Message{From: p.id, Kind: msgData, Seg: s.ID, Hop: 1})
+		p.tr.Send(int(s.To), Message{From: p.id, Kind: msgData, Seg: s.ID, Hop: 1})
 	}
 }
 
@@ -424,7 +486,7 @@ func (p *peer) servePeriod(now int, members map[int]bool) {
 		}
 		if p.buf.Has(g.ID) {
 			p.st.grantsSent.Add(1)
-			p.nw.send(int(g.Requester), Message{From: p.id, Kind: msgData, Seg: g.ID})
+			p.tr.Send(int(g.Requester), Message{From: p.id, Kind: msgData, Seg: g.ID})
 		}
 	}
 }
@@ -502,10 +564,10 @@ func (p *peer) maintainMesh(now int, members map[int]bool) {
 			return out
 		},
 	}
-	if p.isSource {
+	if p.isSource && p.sample != nil {
 		view.RPCandidates = func(max int) []overlay.NodeID {
 			out := make([]overlay.NodeID, 0, max)
-			for _, id := range p.nw.sample(p.rng, max, p.id) {
+			for _, id := range p.sample(max, p.id) {
 				out = append(out, overlay.NodeID(id))
 			}
 			return out
@@ -540,9 +602,9 @@ func (p *peer) maintainMesh(now int, members map[int]bool) {
 		delete(p.links, v)
 		delete(p.nbrMaps, v)
 		p.ctrl.Forget(v)
-		p.nw.send(v, Message{From: p.id, Kind: msgBye})
+		p.tr.Send(v, Message{From: p.id, Kind: msgBye})
 		delete(p.overheard, cand)
-		p.nw.send(cand, Message{From: p.id, Kind: msgConnect})
+		p.tr.Send(cand, Message{From: p.id, Kind: msgConnect})
 	}
 	for want := p.degreeTarget() - len(p.links); want > 0; want-- {
 		cand, ok := takeCandidate()
@@ -550,7 +612,7 @@ func (p *peer) maintainMesh(now int, members map[int]bool) {
 			break
 		}
 		delete(p.overheard, cand)
-		p.nw.send(cand, Message{From: p.id, Kind: msgConnect})
+		p.tr.Send(cand, Message{From: p.id, Kind: msgConnect})
 	}
 }
 
@@ -568,7 +630,7 @@ func (p *peer) announce(members map[int]bool) {
 		})
 	for _, nb := range nbs {
 		m := snap
-		p.nw.send(int(nb), Message{From: p.id, Kind: msgMap, Map: &m, Gossip: gossip[nb]})
+		p.tr.Send(int(nb), Message{From: p.id, Kind: msgMap, Map: &m, Gossip: gossip[nb]})
 	}
 }
 
@@ -634,7 +696,7 @@ func (p *peer) schedulePulls(now int) {
 		p.st.asksSent.Add(1)
 		p.pending[r.ID] = now + 2
 		perSupplier[r.Supplier]++
-		p.nw.send(r.Supplier, Message{
+		p.tr.Send(r.Supplier, Message{
 			From: p.id, Kind: msgRequest, Seg: r.ID, Deadline: p.playDeadline(r.ID),
 		})
 	}
@@ -689,6 +751,6 @@ func (p *peer) rescueUrgent(now int) {
 		}
 		p.rescuePending[seg] = now + 2
 		p.st.rescueAsked.Add(1)
-		p.nw.send(target, Message{From: p.id, Kind: msgRescueReq, Seg: seg})
+		p.tr.Send(target, Message{From: p.id, Kind: msgRescueReq, Seg: seg})
 	}
 }

@@ -1,0 +1,192 @@
+package livenet
+
+import (
+	"encoding/binary"
+	"reflect"
+	"testing"
+
+	"continustreaming/internal/buffer"
+	"continustreaming/internal/segment"
+	"continustreaming/internal/sim"
+)
+
+// randomMessage builds a message of the given kind with randomized
+// fields, populating exactly the fields that kind carries on the real
+// paths (plus occasional extras — the codec is a union and must carry
+// any field for any kind).
+func randomMessage(rng *sim.RNG, kind MsgKind) Message {
+	m := Message{From: rng.Intn(1 << 16), Kind: kind}
+	switch kind {
+	case msgMap, msgConnectOK:
+		b := buffer.New(1+rng.Intn(700), segment.ID(rng.Intn(10000)))
+		for i := 0; i < 40; i++ {
+			b.Insert(b.Lo() + segment.ID(rng.Intn(b.Size())))
+		}
+		snap := b.Snapshot()
+		m.Map = &snap
+		if n := rng.Intn(5); n > 0 {
+			m.Gossip = make([]int, n)
+			m.GossipAddrs = make([]string, n)
+			for i := range m.Gossip {
+				m.Gossip[i] = rng.Intn(1 << 20)
+				if rng.Bool(0.7) {
+					m.GossipAddrs[i] = "127.0.0.1:40000"
+				}
+			}
+			allEmpty := true
+			for _, a := range m.GossipAddrs {
+				if a != "" {
+					allEmpty = false
+				}
+			}
+			if allEmpty {
+				// The wire collapses all-empty address lists to nil.
+				m.GossipAddrs = nil
+			}
+		}
+		if kind == msgConnectOK {
+			m.Deadline = sim.Time(rng.Intn(1 << 20))
+		}
+	case msgRequest:
+		m.Seg = segment.ID(rng.Intn(1 << 20))
+		m.Deadline = sim.Time(rng.Intn(1 << 20))
+	case msgData:
+		m.Seg = segment.ID(rng.Intn(1 << 20))
+		m.Hop = rng.Intn(4)
+		m.Rescue = rng.Bool(0.3)
+	case msgRescueReq:
+		m.Seg = segment.ID(rng.Intn(1 << 20))
+	case msgConnect, msgBye:
+		// identity-only control messages
+	}
+	return m
+}
+
+// TestWireRoundTripAllKinds is the property test: every message kind,
+// with randomized field contents, survives encode→decode unchanged.
+func TestWireRoundTripAllKinds(t *testing.T) {
+	rng := sim.DeriveRNG(42, 0x319e)
+	for kind := msgMap; kind <= msgBye; kind++ {
+		for trial := 0; trial < 200; trial++ {
+			m := randomMessage(rng, kind)
+			frame, err := EncodeMessage(m)
+			if err != nil {
+				t.Fatalf("kind %d trial %d: encode: %v (message %+v)", kind, trial, err, m)
+			}
+			got, err := DecodeMessage(frame)
+			if err != nil {
+				t.Fatalf("kind %d trial %d: decode: %v", kind, trial, err)
+			}
+			if !reflect.DeepEqual(m, got) {
+				t.Fatalf("kind %d trial %d: round trip changed the message\nsent %+v\ngot  %+v", kind, trial, m, got)
+			}
+		}
+	}
+}
+
+// TestWireRejectsTruncation: every strict prefix of a valid frame must
+// be rejected, never misparsed.
+func TestWireRejectsTruncation(t *testing.T) {
+	rng := sim.DeriveRNG(7, 0x7a0)
+	for kind := msgMap; kind <= msgBye; kind++ {
+		m := randomMessage(rng, kind)
+		frame, err := EncodeMessage(m)
+		if err != nil {
+			t.Fatalf("encode kind %d: %v", kind, err)
+		}
+		for cut := 0; cut < len(frame); cut++ {
+			if _, err := DecodeMessage(frame[:cut]); err == nil {
+				t.Fatalf("kind %d: %d-byte prefix of a %d-byte frame decoded without error", kind, cut, len(frame))
+			}
+		}
+	}
+}
+
+// TestWireRejectsMalformedFrames covers the explicit bounds checks:
+// oversized frames, lying length prefixes, bogus versions/kinds/flags,
+// hostile gossip counts and map lengths, trailing bytes.
+func TestWireRejectsMalformedFrames(t *testing.T) {
+	valid, err := EncodeMessage(Message{From: 3, Kind: msgBye})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(b []byte) []byte) []byte {
+		b := append([]byte(nil), valid...)
+		return f(b)
+	}
+	cases := map[string][]byte{
+		"empty":           {},
+		"prefix only":     {0, 0, 0, 0},
+		"oversized frame": make([]byte, maxFrame+1),
+		"lying prefix": mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[0:4], 9999)
+			return b
+		}),
+		"bad version": mutate(func(b []byte) []byte { b[4] = 99; return b }),
+		"bad kind":    mutate(func(b []byte) []byte { b[5] = byte(msgBye) + 1; return b }),
+		"bad flags":   mutate(func(b []byte) []byte { b[6] = 0x80; return b }),
+		"trailing bytes": mutate(func(b []byte) []byte {
+			b = append(b, 0xAB)
+			binary.LittleEndian.PutUint32(b[0:4], uint32(len(b)-4))
+			return b
+		}),
+		"hostile gossip count": mutate(func(b []byte) []byte {
+			// Claim maxGossipEntries entries with no bytes behind them.
+			binary.LittleEndian.PutUint16(b[4+24:], maxGossipEntries)
+			return b
+		}),
+		"gossip count over cap": mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint16(b[4+24:], maxGossipEntries+1)
+			return b
+		}),
+	}
+	for name, frame := range cases {
+		if _, err := DecodeMessage(frame); err == nil {
+			t.Errorf("%s: decoded without error", name)
+		}
+	}
+
+	// A map length that points past the frame end must be caught before
+	// the map parse, and a corrupt map payload must fail cleanly.
+	b := buffer.New(64, 5)
+	b.Insert(7)
+	snap := b.Snapshot()
+	withMap, err := EncodeMessage(Message{From: 1, Kind: msgMap, Map: &snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long := append([]byte(nil), withMap...)
+	binary.LittleEndian.PutUint32(long[4+wireHeaderLen:], 1<<30)
+	if _, err := DecodeMessage(long); err == nil {
+		t.Error("map length past frame end decoded without error")
+	}
+	short := append([]byte(nil), withMap...)
+	binary.LittleEndian.PutUint32(short[4+wireHeaderLen:], 3)
+	if _, err := DecodeMessage(short); err == nil {
+		t.Error("map shorter than its own header decoded without error")
+	}
+}
+
+// TestWireEncodeRejectsUncarriableValues pins the encode-side guards.
+func TestWireEncodeRejectsUncarriableValues(t *testing.T) {
+	cases := map[string]Message{
+		"unknown kind":       {Kind: msgBye + 1},
+		"negative from":      {From: -1},
+		"oversized from":     {From: 1 << 40},
+		"negative hop":       {Kind: msgData, Hop: -1},
+		"oversized hop":      {Kind: msgData, Hop: 300},
+		"negative gossip id": {Kind: msgMap, Gossip: []int{-4}},
+		"too much gossip":    {Kind: msgMap, Gossip: make([]int, maxGossipEntries+1)},
+		"addr/gossip mismatch": {
+			Kind: msgMap, Gossip: []int{1, 2}, GossipAddrs: []string{"x"},
+		},
+		"oversized addr": {
+			Kind: msgMap, Gossip: []int{1}, GossipAddrs: []string{string(make([]byte, 256))},
+		},
+	}
+	for name, m := range cases {
+		if _, err := EncodeMessage(m); err == nil {
+			t.Errorf("%s: encoded without error", name)
+		}
+	}
+}
