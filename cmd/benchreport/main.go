@@ -18,6 +18,11 @@
 // new runner hardware should prompt a baseline refresh, not break CI.
 // Refresh the baseline (and say so in the PR) when a change is *meant* to
 // shift the step cost or when the runner class changes.
+//
+// benchreport measures wall time by design; cmd/ packages are exempt
+// wholesale from the continulint wallclock contract (see
+// analysis.SimulatedPath), which bans time.Now only inside the
+// simulator's deterministic loop.
 package main
 
 import (
@@ -162,6 +167,11 @@ func cpuModel() string {
 			}
 		}
 	}
+	if err := sc.Err(); err != nil {
+		// A truncated read is indistinguishable from "no model line";
+		// treat it as unknown rather than guessing a fingerprint.
+		fmt.Fprintf(os.Stderr, "benchreport: reading /proc/cpuinfo: %v\n", err)
+	}
 	return ""
 }
 
@@ -226,6 +236,15 @@ func gate(rep Report, baselinePath string, tolerance float64) gateResult {
 	var base Report
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fatalf("baseline %s: %v", baselinePath, err)
+	}
+	// A structurally-valid JSON file that is not a benchreport baseline
+	// (wrong schema tag, or no measurements at all) must fail the gate,
+	// not silently pass it with nothing to compare against.
+	if base.Schema != schemaV1 {
+		fatalf("baseline %s: schema %q, want %q", baselinePath, base.Schema, schemaV1)
+	}
+	if len(base.Benchmarks) == 0 {
+		fatalf("baseline %s: no benchmarks recorded; refresh it with -update-baseline", baselinePath)
 	}
 	baseBench := map[string]BenchResult{}
 	for _, b := range base.Benchmarks {

@@ -1,0 +1,92 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary — Analyzer, Pass, Diagnostic —
+// sized for this repository's own contract checkers (continulint). The
+// build environment bakes in only the Go toolchain, so instead of
+// importing x/tools the framework loads packages through `go list
+// -export` and type-checks them with the standard library alone; the
+// analyzer-facing API mirrors x/tools closely enough that the passes
+// could be ported to the real framework by swapping import paths.
+//
+// The suite's four analyzers (maporder, wallclock, shardcapture,
+// wirebounds) machine-check the determinism and shard-ownership contracts
+// the simulator's bit-identical-rounds guarantee rests on; see the
+// "Determinism contract" section of ROADMAP.md and cmd/continulint.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer is one named contract check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in findings and is the directive key:
+	// a `//continulint:<name> <reason>` comment on (or immediately above)
+	// the flagged line suppresses the finding.
+	Name string
+
+	// Doc is a one-paragraph description of the contract enforced.
+	Doc string
+
+	// Filter, when non-nil, restricts the analyzer to packages whose
+	// import path it accepts; other packages are skipped entirely. Nil
+	// applies the analyzer to every loaded package.
+	Filter func(pkgPath string) bool
+
+	// Run inspects one package and reports findings via pass.Reportf.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	PkgPath   string // import path continulint filters on (xtest files keep the base package's path)
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one raw finding, before directive suppression.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf records a finding at pos. Suppression directives are applied by
+// the runner, not here, so analyzers stay oblivious to the mechanism.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// TypeOf returns the type of e, or nil when the expression was not
+// type-checked (malformed code the loader let through with -e semantics).
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.TypesInfo.TypeOf(e)
+}
+
+// ObjectOf resolves an identifier to its object through either the Defs
+// or the Uses map, whichever recorded it.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	if obj := p.TypesInfo.Defs[id]; obj != nil {
+		return obj
+	}
+	return p.TypesInfo.Uses[id]
+}
+
+// newInfo allocates a types.Info with every map analyzers consume.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}

@@ -1,0 +1,254 @@
+// Package analysistest runs continulint analyzers over fixture packages
+// under an analyzer's testdata/src directory and checks the findings
+// against `// want "regexp"` comments, mirroring the x/tools harness of
+// the same name.
+//
+// Fixture packages are plain directories: testdata/src/a/... loads as
+// import path "a", so a directory named testdata/src/internal/core
+// exercises the package filters exactly as the real module path would
+// (suffix matching — see analysis.PathHasSuffix). Imports inside
+// fixtures resolve first against sibling fixture directories, then
+// against the standard library via `go list -export` (fixtures are never
+// compiled by the go tool itself — testdata is invisible to it — so
+// deliberately-broken contract examples cannot leak into the build).
+package analysistest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"continustreaming/internal/analysis"
+)
+
+// Run loads each fixture package in paths from dir/src, applies the
+// analyzer (package filters included), and asserts that findings and
+// want comments agree line by line.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l := &loader{
+		root:    filepath.Join(dir, "src"),
+		fset:    token.NewFileSet(),
+		loaded:  map[string]*analysis.Package{},
+		exports: map[string]string{},
+	}
+	l.gc = importer.ForCompiler(l.fset, "gc", l.lookup)
+
+	var pkgs []*analysis.Package
+	for _, path := range paths {
+		pkg, err := l.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %q: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+
+	findings, err := analysis.RunAnalyzers(pkgs, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+
+	wants := collectWants(t, l.fset, pkgs)
+	matched := make([]bool, len(findings))
+	for _, w := range wants {
+		found := false
+		for i, f := range findings {
+			if !matched[i] && f.Pos.Filename == w.file && f.Pos.Line == w.line && w.re.MatchString(f.Message) {
+				matched[i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: no finding matching %q", w.file, w.line, w.re)
+		}
+	}
+	for i, f := range findings {
+		if !matched[i] {
+			t.Errorf("%s: unexpected finding: %s", f.Pos, f.Message)
+		}
+	}
+}
+
+// want is one expectation parsed from a fixture comment.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+}
+
+var wantRE = regexp.MustCompile(`^//\s*want\s+(.*)$`)
+
+// collectWants parses `// want "re" "re"...` comments from the loaded
+// fixture files. The expectation anchors to the line the comment starts
+// on, so a trailing comment marks its own line.
+func collectWants(t *testing.T, fset *token.FileSet, pkgs []*analysis.Package) []want {
+	t.Helper()
+	var wants []want
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					rest := strings.TrimSpace(m[1])
+					for rest != "" {
+						q, err := strconv.QuotedPrefix(rest)
+						if err != nil {
+							t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+						}
+						pattern, err := strconv.Unquote(q)
+						if err != nil {
+							t.Fatalf("%s:%d: malformed want pattern %q", pos.Filename, pos.Line, q)
+						}
+						re, err := regexp.Compile(pattern)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp: %v", pos.Filename, pos.Line, err)
+						}
+						wants = append(wants, want{file: pos.Filename, line: pos.Line, re: re})
+						rest = strings.TrimSpace(rest[len(q):])
+					}
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// loader resolves fixture packages from testdata/src and everything else
+// from standard-library export data.
+type loader struct {
+	root    string
+	fset    *token.FileSet
+	loaded  map[string]*analysis.Package
+	exports map[string]string
+	gc      types.Importer
+}
+
+func (l *loader) load(path string) (*analysis.Package, error) {
+	if pkg, ok := l.loaded[path]; ok {
+		if pkg == nil {
+			return nil, fmt.Errorf("import cycle through %q", path)
+		}
+		return pkg, nil
+	}
+	l.loaded[path] = nil // cycle marker
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("fixture %q has no Go files", path)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Instances:  map[*ast.Ident]types.Instance{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: (*fixtureImporter)(l)}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", path, err)
+	}
+	pkg := &analysis.Package{Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.loaded[path] = pkg
+	return pkg, nil
+}
+
+// fixtureImporter routes imports: fixture directories win, the standard
+// library backs everything else.
+type fixtureImporter loader
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	l := (*loader)(fi)
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if st, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path))); err == nil && st.IsDir() {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	if _, ok := l.exports[path]; !ok {
+		if err := l.addExports(path); err != nil {
+			return nil, err
+		}
+	}
+	return l.gc.Import(path)
+}
+
+// addExports runs `go list -export -deps` for a standard-library import
+// and records the export data files for it and its dependency closure.
+func (l *loader) addExports(path string) error {
+	cmd := exec.Command("go", "list", "-export", "-deps", "-json", path)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fmt.Errorf("go list -export %s: %v\n%s", path, err, stderr.String())
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var lp struct {
+			ImportPath string
+			Export     string
+		}
+		if err := dec.Decode(&lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return err
+		}
+		if lp.Export != "" {
+			l.exports[lp.ImportPath] = lp.Export
+		}
+	}
+	return nil
+}
+
+// lookup feeds the gc importer export data recorded by addExports.
+func (l *loader) lookup(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}

@@ -1,0 +1,76 @@
+// Package directive parses continulint suppression directives. A finding
+// is suppressed by a comment of the form
+//
+//	//continulint:<analyzer> <reason>
+//
+// placed either on the flagged line (trailing) or on the line immediately
+// above it. The reason is mandatory: a directive without one does not
+// suppress — it is itself reported, so every exception in the tree
+// carries an explanation a reviewer can audit. The syntax deliberately
+// copies Go's `//go:` directive shape (no space after `//`), which gofmt
+// preserves verbatim.
+package directive
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Prefix introduces every continulint directive comment.
+const Prefix = "//continulint:"
+
+// Directive is one parsed suppression comment.
+type Directive struct {
+	Analyzer string // analyzer name the suppression addresses
+	Reason   string // justification; empty is a reported mistake
+	Pos      token.Pos
+}
+
+// Index locates directives by file and line.
+type Index map[string]map[int]Directive
+
+// Build scans every comment in files and indexes the continulint
+// directives by position. Later directives on the same line win, which
+// cannot happen in gofmt-ed code anyway.
+func Build(fset *token.FileSet, files []*ast.File) Index {
+	ix := Index{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, Prefix)
+				if !ok {
+					continue
+				}
+				name, reason, _ := strings.Cut(text, " ")
+				pos := fset.Position(c.Pos())
+				byLine := ix[pos.Filename]
+				if byLine == nil {
+					byLine = map[int]Directive{}
+					ix[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = Directive{
+					Analyzer: strings.TrimSpace(name),
+					Reason:   strings.TrimSpace(reason),
+					Pos:      c.Pos(),
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// For returns the directive governing a finding by analyzer at pos: one
+// naming that analyzer on the finding's line or the line above.
+func (ix Index) For(analyzer string, pos token.Position) (Directive, bool) {
+	byLine := ix[pos.Filename]
+	if byLine == nil {
+		return Directive{}, false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if d, ok := byLine[line]; ok && d.Analyzer == analyzer {
+			return d, true
+		}
+	}
+	return Directive{}, false
+}

@@ -1,0 +1,63 @@
+package directive
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const src = `package p
+
+func f(m map[int]int) {
+	//continulint:maporder keys commute here
+	for range m {
+	}
+	for range m { //continulint:wallclock trailing form
+	}
+	//continulint:maporder
+	for range m {
+	}
+}
+`
+
+func TestBuildAndFor(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := Build(fset, []*ast.File{f})
+
+	at := func(line int) token.Position {
+		return token.Position{Filename: "p.go", Line: line}
+	}
+
+	// Line-above form, reason captured.
+	d, ok := ix.For("maporder", at(5))
+	if !ok || d.Reason != "keys commute here" {
+		t.Fatalf("line-above directive = %+v, %v", d, ok)
+	}
+	// The directive's own line also resolves (trailing form).
+	if _, ok := ix.For("maporder", at(4)); !ok {
+		t.Fatal("directive line itself did not resolve")
+	}
+	// Trailing form names a different analyzer: wallclock sees it,
+	// maporder does not.
+	if _, ok := ix.For("wallclock", at(7)); !ok {
+		t.Fatal("trailing directive did not resolve")
+	}
+	if _, ok := ix.For("maporder", at(7)); ok {
+		t.Fatal("directive leaked across analyzers")
+	}
+	// Reasonless directive still resolves, with an empty Reason for the
+	// runner to convert into its own finding.
+	d, ok = ix.For("maporder", at(10))
+	if !ok || d.Reason != "" {
+		t.Fatalf("reasonless directive = %+v, %v", d, ok)
+	}
+	// Two lines below the directive is out of range.
+	if _, ok := ix.For("maporder", at(12)); ok {
+		t.Fatal("directive reached two lines down")
+	}
+}

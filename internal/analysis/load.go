@@ -1,0 +1,182 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked unit of analysis. In-package test
+// files are compiled together with the package proper (the augmented
+// package, exactly as `go test` builds it), so contract violations in
+// tests are caught too. An external _test package, when present, loads as
+// its own Package whose Path stays the base import path — analyzer
+// filters treat foo_test.go files in package foo_test as part of foo.
+type Package struct {
+	Path  string // import path used for analyzer filtering
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader reads.
+type listPackage struct {
+	ImportPath   string
+	Name         string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Export       string
+	Standard     bool
+	DepOnly      bool
+	ForTest      string
+	Module       *struct{ Path string }
+	Error        *struct{ Err string }
+}
+
+// Load lists patterns in dir with the go tool, compiles export data for
+// the full dependency closure (tests included), and type-checks every
+// module package from source against that export data. It returns the
+// module's packages in go list order, external test packages appended
+// directly after their base package.
+//
+// Shelling out to `go list -export` is the same strategy
+// golang.org/x/tools/go/packages uses; doing it directly keeps the
+// framework free of dependencies the build image does not carry.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	args := append([]string{"list", "-export", "-deps", "-test", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %v\n%s", strings.Join(args, " "), err, stderr.String())
+	}
+
+	var targets []*listPackage
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		// Test variants ("pkg [pkg.test]") and generated test mains
+		// ("pkg.test") are compilation artifacts, not analysis targets;
+		// the plain entry carries the export data everyone imports.
+		if lp.ForTest != "" || strings.HasSuffix(lp.ImportPath, ".test") {
+			continue
+		}
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+		// Only packages the patterns matched are analyzed. Module packages
+		// pulled in purely as dependencies (DepOnly) supply export data but
+		// must not be type-checked with their test files: their test-only
+		// imports are outside this listing's dependency closure.
+		if lp.Module != nil && !lp.Standard && !lp.DepOnly {
+			targets = append(targets, lp)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := &exportImporter{
+		exports: exports,
+		local:   map[string]*types.Package{},
+	}
+	imp.gc = importer.ForCompiler(fset, "gc", imp.lookup)
+
+	var pkgs []*Package
+	for _, lp := range targets {
+		base, err := typecheck(fset, imp, lp.ImportPath, lp.Dir, append(lp.GoFiles, lp.TestGoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, base)
+		if len(lp.XTestGoFiles) > 0 {
+			// The external test package imports the augmented package we
+			// just compiled (in-package test helpers included), so route
+			// its self-import to that in-memory result instead of the
+			// plain export data.
+			imp.local[lp.ImportPath] = base.Types
+			xt, err := typecheck(fset, imp, lp.ImportPath+"_test", lp.Dir, lp.XTestGoFiles)
+			if err != nil {
+				return nil, err
+			}
+			delete(imp.local, lp.ImportPath)
+			xt.Path = lp.ImportPath // filters see xtest files as the base package
+			pkgs = append(pkgs, xt)
+		}
+	}
+	return pkgs, nil
+}
+
+// typecheck parses files from dir and type-checks them as one package.
+func typecheck(fset *token.FileSet, imp types.Importer, path, dir string, files []string) (*Package, error) {
+	sort.Strings(files)
+	var asts []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		asts = append(asts, f)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, asts, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: fset, Files: asts, Types: tpkg, Info: info}, nil
+}
+
+// exportImporter resolves imports from compiled export data (the build
+// cache files `go list -export` reports), with an override map for
+// packages compiled from source in this process.
+type exportImporter struct {
+	exports map[string]string
+	local   map[string]*types.Package
+	gc      types.Importer
+}
+
+func (e *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := e.local[path]; ok {
+		return p, nil
+	}
+	return e.gc.Import(path)
+}
+
+// lookup feeds the gc importer the export data file for path.
+func (e *exportImporter) lookup(path string) (io.ReadCloser, error) {
+	file, ok := e.exports[path]
+	if !ok {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}

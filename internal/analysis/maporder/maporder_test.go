@@ -1,0 +1,11 @@
+package maporder
+
+import (
+	"testing"
+
+	"continustreaming/internal/analysis/analysistest"
+)
+
+func TestMapOrder(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "internal/protocol", "other")
+}

@@ -1,0 +1,68 @@
+// Package protocol is a determinism-critical fixture for the maporder
+// analyzer: the package filter matches by path suffix, so this directory
+// stands in for continustreaming/internal/protocol.
+package protocol
+
+import "sort"
+
+// Bad leaks iteration order three different ways.
+func Bad(m map[int]float64, sink map[int]int) []int {
+	var keys []int
+	for k := range m { // want `range over map m`
+		keys = append(keys, k) // never sorted afterwards
+	}
+	var sum float64
+	for _, v := range m { // want `range over map m`
+		sum += v // float addition does not commute bitwise
+	}
+	i := 0
+	for k := range m { // want `range over map m`
+		sink[i] = k // keyed by a counter, not the loop key
+		i++
+	}
+	_ = sum
+	return keys
+}
+
+// Good shows the accepted order-insensitive shapes.
+func Good(m map[int]int, other map[int]bool) (int, []int) {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys) // collect-then-sort: the append above is legal
+
+	n := 0
+	best := -1
+	out := make(map[int64]int, len(m))
+	for k, v := range m {
+		n += v            // commutative integer accumulation
+		out[int64(k)] = v // keyed by the loop key (conversion included)
+		if v > best {
+			best = v // running max
+		}
+		delete(other, k) // delete by key commutes
+	}
+	return n + best, keys
+}
+
+// Suppressed carries a reasoned directive, which silences the finding.
+func Suppressed(m map[int]int) int {
+	last := 0
+	//continulint:maporder fixture: reasoned directives suppress the finding
+	for _, v := range m {
+		last = v
+	}
+	return last
+}
+
+// MissingReason carries a directive with no justification, which is
+// itself reported instead of suppressing.
+func MissingReason(m map[int]int) int {
+	last := 0
+	//continulint:maporder
+	for _, v := range m { // want `needs a reason`
+		last = v
+	}
+	return last
+}

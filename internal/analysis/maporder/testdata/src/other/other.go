@@ -1,0 +1,12 @@
+// Package other is not determinism-critical: maporder's package filter
+// skips it, so the same order-sensitive loop draws no finding.
+package other
+
+// OrderLeak would be flagged in a critical package.
+func OrderLeak(m map[int]int) int {
+	last := 0
+	for _, v := range m {
+		last = v
+	}
+	return last
+}

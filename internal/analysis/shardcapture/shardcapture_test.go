@@ -1,0 +1,11 @@
+package shardcapture
+
+import (
+	"testing"
+
+	"continustreaming/internal/analysis/analysistest"
+)
+
+func TestShardCapture(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "shard")
+}

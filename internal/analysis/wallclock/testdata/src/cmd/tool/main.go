@@ -1,0 +1,13 @@
+// Command tool stands in for the cmd/ binaries, which are exempt from
+// the wallclock contract wholesale: they host the wall-clock entry
+// points and never run inside the simulator's deterministic loop.
+package main
+
+import (
+	"fmt"
+	"time"
+)
+
+func main() {
+	fmt.Println(time.Now())
+}

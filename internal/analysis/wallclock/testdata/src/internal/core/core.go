@@ -1,0 +1,41 @@
+// Package core is a simulated-path fixture for the wallclock analyzer:
+// its path suffix matches the real internal/core, so the full contract
+// applies here.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Bad reads the wall clock and the global rand stream.
+func Bad() time.Duration {
+	start := time.Now()          // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond) // want `time.Sleep reads the wall clock`
+	<-time.After(time.Second)    // want `time.After reads the wall clock`
+	n := rand.Intn(10)           // want `global rand.Intn draws from shared process state`
+	_ = n
+	return time.Since(start) // want `time.Since reads the wall clock`
+}
+
+// Good builds a private seeded generator and samples from it: rand.New
+// and rand.NewSource are the sanctioned constructors, and methods on the
+// private *rand.Rand are untouched. time.Duration stays usable as a
+// config type.
+func Good(seed int64, d time.Duration) int {
+	r := rand.New(rand.NewSource(seed))
+	_ = d
+	return r.Intn(10)
+}
+
+// Suppressed documents a legitimate exception with a reason.
+func Suppressed() time.Time {
+	//continulint:wallclock fixture: reasoned directives suppress the finding
+	return time.Now()
+}
+
+// MissingReason fails to justify its exception, which is itself reported.
+func MissingReason() time.Time {
+	//continulint:wallclock
+	return time.Now() // want `needs a reason`
+}

@@ -1,0 +1,16 @@
+// Package livenet is exempt from the wallclock contract: the socket
+// runtime talks to real peers over real time by design. The suite
+// asserts this file produces no findings.
+package livenet
+
+import "time"
+
+// Deadline uses the host clock freely.
+func Deadline() time.Time {
+	return time.Now().Add(200 * time.Millisecond)
+}
+
+// Pace sleeps between retransmissions.
+func Pace() {
+	time.Sleep(5 * time.Millisecond)
+}

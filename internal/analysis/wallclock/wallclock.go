@@ -1,0 +1,81 @@
+// Package wallclock bans wall-clock reads and the global math/rand
+// stream in simulated-path packages. The simulator's reproducibility
+// rests on two injection points: the logical sim.Clock (never the host's
+// clock) and seeded per-shard RNG streams (never the process-global
+// rand source, whose draws depend on everything else that consumed it).
+// The livenet socket runtime, cmd/, and examples/ legitimately live on
+// real time and are exempt per-package (see analysis.SimulatedPath).
+//
+// Constructing private generators stays legal: rand.New, rand.NewSource,
+// and rand.NewZipf are how the seeded streams are built in the first
+// place. Only the package-level sampling and seeding functions — the
+// ones that touch shared, order-dependent state — are flagged, along
+// with the time package's clock and timer constructors.
+package wallclock
+
+import (
+	"go/ast"
+	"go/types"
+
+	"continustreaming/internal/analysis"
+)
+
+// Analyzer is the wallclock pass.
+var Analyzer = &analysis.Analyzer{
+	Name:   "wallclock",
+	Doc:    "bans time.Now/Sleep/timers and global math/rand in simulated-path packages",
+	Filter: analysis.SimulatedPath,
+	Run:    run,
+}
+
+// bannedTime lists the time functions that read or schedule against the
+// host clock. Types (time.Duration for config knobs) stay usable.
+var bannedTime = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true,
+	"Since": true, "Until": true,
+}
+
+// allowedRand lists the math/rand package-level constructors of private
+// generators; everything else at package level samples or seeds the
+// global source.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 source constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if bannedTime[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock in a simulated path; use the injected *sim.Clock",
+						fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Recv() != nil {
+					return true // methods on a private *rand.Rand are the sanctioned path
+				}
+				if !allowedRand[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"global %s.%s draws from shared process state in a simulated path; use a seeded per-shard *rand.Rand / sim.RNG stream",
+						fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

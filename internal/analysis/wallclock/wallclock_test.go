@@ -1,0 +1,14 @@
+package wallclock
+
+import (
+	"testing"
+
+	"continustreaming/internal/analysis/analysistest"
+)
+
+// TestWallClock checks the banned calls in a simulated-path package and
+// proves the livenet and cmd/ exemptions: those fixtures use time.Now
+// freely and must produce zero findings.
+func TestWallClock(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "internal/core", "internal/livenet", "cmd/tool")
+}

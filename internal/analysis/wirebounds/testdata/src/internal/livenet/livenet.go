@@ -1,0 +1,50 @@
+// Package livenet exercises the wire-allocation discipline: every
+// decoded length must pass a bound comparison before it sizes a make.
+package livenet
+
+import "encoding/binary"
+
+const maxEntries = 512
+
+// Bad allocates straight from a decoded count.
+func Bad(buf []byte) []uint16 {
+	n := int(binary.LittleEndian.Uint16(buf))
+	out := make([]uint16, n) // want `make sized by wire-decoded "n" without a bound check`
+	return out
+}
+
+// BadInline feeds the decode into make directly.
+func BadInline(buf []byte) []byte {
+	return make([]byte, binary.LittleEndian.Uint32(buf)) // want `make sized directly by a wire-decoded value`
+}
+
+// BadDerived taints through arithmetic and a conversion.
+func BadDerived(buf []byte) []byte {
+	n, _ := binary.Uvarint(buf)
+	size := int(n) * 8
+	return make([]byte, size) // want `make sized by wire-decoded "size" without a bound check`
+}
+
+// Good bounds the decoded count before allocating.
+func Good(buf []byte) ([]uint16, bool) {
+	n := int(binary.LittleEndian.Uint16(buf))
+	if n > maxEntries {
+		return nil, false
+	}
+	out := make([]uint16, 0, n)
+	return out, true
+}
+
+// Suppressed documents a reviewed exception with a reason.
+func Suppressed(buf []byte) []byte {
+	n := binary.LittleEndian.Uint16(buf)
+	//continulint:wirebounds fixture: uint16 caps the allocation at 64KiB
+	return make([]byte, n)
+}
+
+// MissingReason omits the justification, which is itself reported.
+func MissingReason(buf []byte) []byte {
+	n := binary.LittleEndian.Uint16(buf)
+	//continulint:wirebounds
+	return make([]byte, n) // want `needs a reason`
+}

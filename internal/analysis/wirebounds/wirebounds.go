@@ -1,0 +1,209 @@
+// Package wirebounds locks in the fuzz-hardened allocation discipline of
+// the livenet wire codec: every length or count decoded from a datagram
+// must pass a bound comparison before it sizes an allocation, so a
+// hostile frame cannot make a peer allocate unbounded memory. wire.go
+// established the pattern (decode → compare against a cap → make);
+// this analyzer makes it mandatory for every future message kind.
+//
+// The taint rule is per-function and deliberately simple: a variable
+// assigned from an encoding/binary decode (LittleEndian/BigEndian
+// integer reads, Uvarint/Varint and their Read* forms) — directly or
+// through further arithmetic/conversions — is wire-derived. Using a
+// wire-derived value (or a decode call inline) as a make() size is
+// flagged unless the variable also appears somewhere in the function in
+// a comparison, which is how every legitimate bound check looks. The
+// check is flow-insensitive: a guard after the make would wrongly
+// pacify it, but that shape has no reason to exist and review catches
+// it; the analyzer is here for the honest mistake of forgetting the
+// guard entirely.
+package wirebounds
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"continustreaming/internal/analysis"
+)
+
+// Analyzer is the wirebounds pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirebounds",
+	Doc:  "flags allocations sized by wire-decoded values without a bound check (internal/livenet)",
+	Filter: func(pkgPath string) bool {
+		return analysis.PathHasSuffix(pkgPath, "internal/livenet")
+	},
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd.Body)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, body *ast.BlockStmt) {
+	// Pass 1: taint propagation to a fixpoint over the function's
+	// assignments. Sources are binary decode calls; any assignment whose
+	// right side mentions a tainted variable or a decode call taints its
+	// left side.
+	type assign struct {
+		lhs types.Object
+		rhs ast.Expr
+	}
+	var assigns []assign
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, l := range as.Lhs {
+			id, ok := ast.Unparen(l).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			obj := pass.ObjectOf(id)
+			if obj == nil {
+				continue
+			}
+			var rhs ast.Expr
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			} else if len(as.Rhs) == 1 {
+				rhs = as.Rhs[0] // tuple assignment: taint flows from the call
+			}
+			if rhs != nil {
+				assigns = append(assigns, assign{lhs: obj, rhs: rhs})
+			}
+		}
+		return true
+	})
+	tainted := map[types.Object]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, a := range assigns {
+			if tainted[a.lhs] {
+				continue
+			}
+			if containsDecode(pass, a.rhs) || mentionsTainted(pass, a.rhs, tainted) {
+				tainted[a.lhs] = true
+				changed = true
+			}
+		}
+	}
+	if len(tainted) == 0 {
+		// Still need to catch inline decode-sized makes below, but skip
+		// the bounded-set work.
+		flagMakes(pass, body, tainted, nil)
+		return
+	}
+
+	// Pass 2: a tainted variable that appears in any comparison is
+	// considered bounded — that is what every cap guard looks like.
+	bounded := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		switch be.Op {
+		case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+		default:
+			return true
+		}
+		for obj := range tainted {
+			if mentions(pass, be.X, obj) || mentions(pass, be.Y, obj) {
+				bounded[obj] = true
+			}
+		}
+		return true
+	})
+
+	flagMakes(pass, body, tainted, bounded)
+}
+
+// flagMakes reports make() calls sized by unbounded wire-derived values.
+func flagMakes(pass *analysis.Pass, body *ast.BlockStmt, tainted, bounded map[types.Object]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) < 2 {
+			return true
+		}
+		fn, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || fn.Name != "make" {
+			return true
+		}
+		if _, builtin := pass.ObjectOf(fn).(*types.Builtin); !builtin {
+			return true
+		}
+		for _, size := range call.Args[1:] {
+			if containsDecode(pass, size) {
+				pass.Reportf(size.Pos(),
+					"make sized directly by a wire-decoded value: compare it against a cap before allocating")
+				continue
+			}
+			for obj := range tainted {
+				if !bounded[obj] && mentions(pass, size, obj) {
+					pass.Reportf(size.Pos(),
+						"make sized by wire-decoded %q without a bound check: a hostile frame controls this allocation",
+						obj.Name())
+				}
+			}
+		}
+		return true
+	})
+}
+
+// containsDecode reports whether expr contains a call to an
+// encoding/binary integer decode.
+func containsDecode(pass *analysis.Pass, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "encoding/binary" {
+			return true
+		}
+		switch fn.Name() {
+		case "Uint16", "Uint32", "Uint64", // ByteOrder methods
+			"Uvarint", "Varint", "ReadUvarint", "ReadVarint":
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+func mentionsTainted(pass *analysis.Pass, expr ast.Expr, tainted map[types.Object]bool) bool {
+	for obj := range tainted {
+		if mentions(pass, expr, obj) {
+			return true
+		}
+	}
+	return false
+}
+
+func mentions(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.ObjectOf(id) == obj {
+			found = true
+		}
+		return true
+	})
+	return found
+}

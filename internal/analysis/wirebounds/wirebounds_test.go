@@ -1,0 +1,11 @@
+package wirebounds
+
+import (
+	"testing"
+
+	"continustreaming/internal/analysis/analysistest"
+)
+
+func TestWireBounds(t *testing.T) {
+	analysistest.Run(t, "testdata", Analyzer, "internal/livenet", "other")
+}

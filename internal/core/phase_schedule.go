@@ -104,6 +104,7 @@ func (w *World) schedulePhase(clock *sim.Clock, snaps []buffer.Map, index map[ov
 			n.markGossipPending(r.ID, round, clock.Now()+r.ExpectedAt)
 			perSupplier[r.Supplier]++
 		}
+		//continulint:maporder NoteRequested only adds count to the per-supplier tally keyed by s; distinct keys commute
 		for s, count := range perSupplier {
 			n.Ctrl.NoteRequested(s, count)
 		}

@@ -64,6 +64,7 @@ func TestPolicyKindString(t *testing.T) {
 		PolicyRarityOnly:    "rarity-only",
 		PolicyKind(99):      "policy(99)",
 	}
+	//continulint:maporder each key asserts independently; order only picks which failure reports first
 	for k, want := range names {
 		if k.String() != want {
 			t.Fatalf("%d.String() = %q", int(k), k.String())

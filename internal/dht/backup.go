@@ -92,15 +92,17 @@ func (s *Store) Segments() []segment.ID {
 	return out
 }
 
-// Drain removes and returns every entry, ascending order not guaranteed.
-// Used for graceful-leave handover: "it should first find the node n'
-// which is counter-clockwise closest to n and then hand over the data
-// segments in its VoD Data Backup to n'".
+// Drain removes and returns every entry in ascending order, so a
+// graceful-leave handover replays identically across runs. Used for
+// graceful-leave handover: "it should first find the node n' which is
+// counter-clockwise closest to n and then hand over the data segments
+// in its VoD Data Backup to n'".
 func (s *Store) Drain() []segment.ID {
 	out := make([]segment.ID, 0, len(s.segs))
 	for id := range s.segs {
 		out = append(out, id)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	s.segs = make(map[segment.ID]bool)
 	return out
 }

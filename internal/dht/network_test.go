@@ -66,16 +66,16 @@ func TestOwnerArcSemantics(t *testing.T) {
 	for _, id := range []ID{10, 20, 50} {
 		net.Join(id, rng)
 	}
-	cases := map[ID]ID{
-		10: 10, 15: 10, 19: 10,
-		20: 20, 49: 20,
-		50: 50, 63: 50,
-		0: 50, 9: 50, // wrap: keys before the first node belong to the last
+	cases := []struct{ key, want ID }{
+		{10, 10}, {15, 10}, {19, 10},
+		{20, 20}, {49, 20},
+		{50, 50}, {63, 50},
+		{0, 50}, {9, 50}, // wrap: keys before the first node belong to the last
 	}
-	for key, want := range cases {
-		got, ok := net.Owner(key)
-		if !ok || got != want {
-			t.Fatalf("Owner(%d) = %d,%v want %d", key, got, ok, want)
+	for _, c := range cases {
+		got, ok := net.Owner(c.key)
+		if !ok || got != c.want {
+			t.Fatalf("Owner(%d) = %d,%v want %d", c.key, got, ok, c.want)
 		}
 	}
 }
@@ -87,10 +87,10 @@ func TestTrueSuccessor(t *testing.T) {
 	for _, id := range []ID{10, 20, 50} {
 		net.Join(id, rng)
 	}
-	for from, want := range map[ID]ID{10: 20, 20: 50, 50: 10} {
-		got, ok := net.TrueSuccessor(from)
-		if !ok || got != want {
-			t.Fatalf("TrueSuccessor(%d) = %d,%v", from, got, ok)
+	for _, c := range []struct{ from, want ID }{{10, 20}, {20, 50}, {50, 10}} {
+		got, ok := net.TrueSuccessor(c.from)
+		if !ok || got != c.want {
+			t.Fatalf("TrueSuccessor(%d) = %d,%v", c.from, got, ok)
 		}
 	}
 	solo := NewNetwork(s)

@@ -28,6 +28,7 @@ func TestNewSpaceRejectsNonPowers(t *testing.T) {
 func TestWrap(t *testing.T) {
 	s := NewSpace(16)
 	cases := map[int]ID{0: 0, 15: 15, 16: 0, 17: 1, -1: 15, -16: 0, 33: 1}
+	//continulint:maporder each key asserts independently; order only picks which failure reports first
 	for in, want := range cases {
 		if got := s.Wrap(in); got != want {
 			t.Fatalf("Wrap(%d) = %d, want %d", in, got, want)

@@ -21,10 +21,15 @@ func TestFigureTracksWorkerCountInvariant(t *testing.T) {
 	if wide < 2 {
 		wide = 4
 	}
-	for name, run := range map[string]func(Options) (TrackResult, error){
-		"fig5": RunFigure5,
-		"fig6": RunFigure6,
-	} {
+	figures := []struct {
+		name string
+		run  func(Options) (TrackResult, error)
+	}{
+		{"fig5", RunFigure5},
+		{"fig6", RunFigure6},
+	}
+	for _, fig := range figures {
+		name, run := fig.name, fig.run
 		one, err := run(opts(1))
 		if err != nil {
 			t.Fatalf("%s workers=1: %v", name, err)

@@ -112,6 +112,7 @@ func (e *Engine) DropSupplier(shard int, id overlay.NodeID) {
 // node that asked. Sequential-phase use only.
 func (e *Engine) FilterRequesters(keep func(overlay.NodeID) bool) {
 	for shard, m := range e.queues {
+		//continulint:maporder PutQueue rewrites only the entry keyed by sup; distinct keys commute
 		for sup, q := range m {
 			kept := q[:0]
 			for _, r := range q {

@@ -112,12 +112,8 @@ func (w *parityWorld) simServeInput() ServeInput {
 // liveness view.
 func (w *parityWorld) liveServeInput() ServeInput {
 	nbrMaps := make(map[int]buffer.Map)
-	for id, b := range w.bufs {
-		nbrMaps[int(id)] = b.Snapshot()
-	}
-	links := map[int]bool{}
-	for _, nb := range w.neighbors {
-		links[int(nb)] = true
+	for _, id := range w.order {
+		nbrMaps[int(id)] = w.bufs[id].Snapshot()
 	}
 	return ServeInput{
 		Carried:     w.carried(),
@@ -135,8 +131,8 @@ func (w *parityWorld) liveServeInput() ServeInput {
 		},
 		Rarity: func(seg segment.ID) float64 {
 			var positions []int
-			for nb := range links {
-				if nm, ok := nbrMaps[nb]; ok {
+			for _, nb := range w.neighbors {
+				if nm, ok := nbrMaps[int(nb)]; ok {
 					if pft, ok := nm.PositionFromTail(seg); ok {
 						positions = append(positions, pft)
 					}
@@ -180,8 +176,8 @@ func TestPushParitySimVsLivenet(t *testing.T) {
 	}
 	// Livenet-shaped view: announced map reads.
 	nbrMaps := make(map[int]buffer.Map)
-	for id, b := range w.bufs {
-		nbrMaps[int(id)] = b.Snapshot()
+	for _, id := range w.order {
+		nbrMaps[int(id)] = w.bufs[id].Snapshot()
 	}
 	liveHas := func(to overlay.NodeID, seg segment.ID) bool {
 		nm, ok := nbrMaps[int(to)]
