@@ -1,14 +1,26 @@
 // Command benchreport is the CI bench-regression gate: it measures the
 // engine's steady-state step cost at the paper scale (1k nodes) and the
-// scale-out scale (10k nodes), runs the Table 1 continuity sweep, and
-// emits a machine-readable JSON report. With -baseline it compares ns/op
-// against a committed reference and exits non-zero when any benchmark
-// regresses beyond the tolerance — wall-clock creep in the hot loop fails
-// the build instead of landing silently.
+// scale-out scale (10k nodes), the multi-worker speedup curve at 10k,
+// runs the Table 1 continuity sweep, and emits a machine-readable JSON
+// report. With -baseline it compares ns/op against a committed reference
+// and exits non-zero when any benchmark regresses beyond the tolerance —
+// wall-clock creep in the hot loop fails the build instead of landing
+// silently.
 //
 //	benchreport -out BENCH_PR2.json                      # measure + write
 //	benchreport -out BENCH_PR2.json -baseline BENCH_BASELINE.json
 //	benchreport -update-baseline BENCH_BASELINE.json     # refresh reference
+//	benchreport -curve 1,4,8 -speedup 2.5                # workers curve
+//
+// The workers curve re-measures the 10k-node step at each worker count
+// and stamps every point with a result fingerprint (a hash of the run's
+// full per-round metrics). Fingerprints must agree across the whole
+// curve on every machine — the pipeline's bit-identical-at-any-Workers
+// contract, enforced on real measurements, not just unit tests. The
+// speedup gate (highest worker count must beat workers=1 by -speedup×)
+// engages only when the runner has at least as many CPUs as the widest
+// point; a 1-CPU dev box still measures and checks identity, but cannot
+// fail a parallel-scaling gate it physically cannot exercise.
 //
 // The committed baseline is machine-specific in absolute terms; CI runs it
 // on a single runner class, and the tolerance absorbs same-class noise.
@@ -30,8 +42,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"hash/fnv"
 	"os"
 	"runtime"
+	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -51,8 +66,11 @@ type Report struct {
 	CPUModel  string    `json:"cpu_model,omitempty"`
 	CreatedAt time.Time `json:"created_at"`
 
-	Benchmarks []BenchResult      `json:"benchmarks"`
-	Continuity []ContinuityResult `json:"continuity"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+	// WorkersCurve is the 10k-node step cost at each measured worker
+	// count (schema v2; absent from v1 baselines).
+	WorkersCurve []BenchResult      `json:"workers_curve,omitempty"`
+	Continuity   []ContinuityResult `json:"continuity"`
 }
 
 // BenchResult is one steady-state step measurement.
@@ -62,6 +80,10 @@ type BenchResult struct {
 	Workers     int    `json:"workers"`
 	TimedRounds int    `json:"timed_rounds"`
 	NsPerOp     int64  `json:"ns_per_op"`
+	// ResultFingerprint hashes the run's full per-round metrics; two
+	// measurements of the same configuration and seed must agree on it
+	// regardless of worker count (the bit-identical pipeline contract).
+	ResultFingerprint string `json:"result_fingerprint,omitempty"`
 }
 
 // ContinuityResult is one Table 1 environment row.
@@ -71,7 +93,10 @@ type ContinuityResult struct {
 	PCNew       float64 `json:"pc_new"`
 }
 
-const schemaV1 = "continustreaming-benchreport/v1"
+const (
+	schemaV1 = "continustreaming-benchreport/v1"
+	schemaV2 = "continustreaming-benchreport/v2"
+)
 
 func main() {
 	var (
@@ -81,13 +106,15 @@ func main() {
 		tolerance = flag.Float64("tolerance", 0.20, "allowed fractional ns/op regression before failing")
 		rounds1k  = flag.Int("rounds1k", 5, "timed rounds for the 1k-node step benchmark")
 		rounds10k = flag.Int("rounds10k", 2, "timed rounds for the 10k-node step benchmark (0 skips it)")
+		curve     = flag.String("curve", "1,4,8", "comma-separated worker counts for the 10k-node speedup curve (empty disables)")
+		speedup   = flag.Float64("speedup", 2.5, "required workers=1 / workers=max speedup when the runner has enough CPUs")
 		table1    = flag.Bool("table1", true, "run the Table 1 continuity sweep")
 		seed      = flag.Uint64("seed", 1, "master random seed")
 	)
 	flag.Parse()
 
 	rep := Report{
-		Schema:    schemaV1,
+		Schema:    schemaV2,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -96,12 +123,37 @@ func main() {
 		CreatedAt: time.Now().UTC(),
 	}
 
+	curveWorkers, err := parseCurve(*curve)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
 	rep.Benchmarks = append(rep.Benchmarks, benchStep("Step1k", 1000, 1, *rounds1k, *seed))
 	if *rounds10k > 0 {
 		rep.Benchmarks = append(rep.Benchmarks, benchStep("Step10k", 10000, 1, *rounds10k, *seed))
+		for _, w := range curveWorkers {
+			rep.WorkersCurve = append(rep.WorkersCurve,
+				benchStep(fmt.Sprintf("Step10k/w%d", w), 10000, w, *rounds10k, *seed))
+		}
 	}
-	for _, b := range rep.Benchmarks {
-		fmt.Printf("%-10s nodes=%-6d workers=%d  %d ns/op\n", b.Name, b.Nodes, b.Workers, b.NsPerOp)
+	for _, b := range append(append([]BenchResult{}, rep.Benchmarks...), rep.WorkersCurve...) {
+		fmt.Printf("%-12s nodes=%-6d workers=%d  %d ns/op  fp=%s\n", b.Name, b.Nodes, b.Workers, b.NsPerOp, b.ResultFingerprint)
+	}
+
+	// The curve's own invariants hold with or without a baseline: every
+	// point must reproduce the same simulation bit for bit, and on a
+	// runner wide enough to exercise it, the widest point must actually
+	// be faster. Identity violations are fatal anywhere — a correctness
+	// bug, not a performance one.
+	curveFailures, curveNotes := checkCurve(rep, *speedup)
+	for _, n := range curveNotes {
+		fmt.Println(n)
+	}
+	if len(curveFailures) > 0 {
+		for _, f := range curveFailures {
+			fmt.Fprintln(os.Stderr, "CURVE:", f)
+		}
+		os.Exit(1)
 	}
 
 	if *table1 {
@@ -126,20 +178,19 @@ func main() {
 		writeReport(*out, rep)
 	}
 	if *baseline != "" {
-		res := gate(rep, *baseline, *tolerance)
-		if len(res.regressions) > 0 && !res.fingerprintOK {
+		res := gate(rep, loadBaseline(*baseline), *tolerance)
+		failures, downgraded := verdict(res)
+		if len(downgraded) > 0 {
 			// The baseline was measured on different hardware: its
 			// absolute ns/op values say nothing about this runner, so
 			// the regression gate carries no signal. Warn — loudly
 			// enough to prompt a baseline refresh — but do not fail.
 			warnf("runner fingerprint differs from baseline; ns/op gate downgraded to warnings")
 			warnf("refresh the baseline on this runner class: benchreport -update-baseline %s", *baseline)
-			for _, f := range res.regressions {
+			for _, f := range downgraded {
 				warnf("%s", f)
 			}
-			res.regressions = nil
 		}
-		failures := append(res.regressions, res.missing...)
 		if len(failures) > 0 {
 			for _, f := range failures {
 				fmt.Fprintln(os.Stderr, "REGRESSION:", f)
@@ -148,6 +199,20 @@ func main() {
 		}
 		fmt.Printf("bench gate passed (tolerance %.0f%%)\n", *tolerance*100)
 	}
+}
+
+// verdict splits a gate result into hard failures and regressions
+// downgraded to warnings: ns/op comparisons only bind when the baseline
+// was measured on this runner class, while a missing measurement is a
+// harness bug and fails on any hardware.
+func verdict(res gateResult) (failures, downgraded []string) {
+	if res.fingerprintOK {
+		failures = res.regressions
+	} else {
+		downgraded = res.regressions
+	}
+	failures = append(failures, res.missing...)
+	return failures, downgraded
 }
 
 // cpuModel reads the CPU model string for the runner fingerprint (best
@@ -185,11 +250,85 @@ func sameRunner(rep, base Report) bool {
 		rep.CPUs == base.CPUs && rep.CPUModel == base.CPUModel
 }
 
+// parseCurve reads the -curve worker list: strictly increasing positive
+// counts, so "the widest point" and "the workers=1 anchor" are
+// well-defined downstream. Empty input disables the curve.
+func parseCurve(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var workers []int
+	for _, part := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad -curve entry %q (want a positive worker count)", part)
+		}
+		if len(workers) > 0 && w <= workers[len(workers)-1] {
+			return nil, fmt.Errorf("-curve worker counts must be strictly increasing (%d after %d)", w, workers[len(workers)-1])
+		}
+		workers = append(workers, w)
+	}
+	return workers, nil
+}
+
+// checkCurve validates the measured workers curve: every point must carry
+// the same result fingerprint (bit-identical at any worker count — a
+// violation is a determinism bug and fails on any machine), and when the
+// runner has at least as many CPUs as the widest point, the widest point
+// must beat the workers=1 anchor by minSpeedup. Runners too narrow to
+// exercise the parallel gate report it as a note instead — a 1-CPU box
+// cannot measure a speedup that requires 8.
+func checkCurve(rep Report, minSpeedup float64) (failures, notes []string) {
+	curve := rep.WorkersCurve
+	if len(curve) == 0 {
+		return nil, nil
+	}
+	for _, b := range curve[1:] {
+		if b.ResultFingerprint != curve[0].ResultFingerprint {
+			failures = append(failures, fmt.Sprintf(
+				"%s: result fingerprint %s differs from %s's %s — the pipeline is not bit-identical across worker counts",
+				b.Name, b.ResultFingerprint, curve[0].Name, curve[0].ResultFingerprint))
+		}
+	}
+	var anchor, widest *BenchResult
+	for i := range curve {
+		if curve[i].Workers == 1 {
+			anchor = &curve[i]
+		}
+		if widest == nil || curve[i].Workers > widest.Workers {
+			widest = &curve[i]
+		}
+	}
+	if anchor == nil || widest.Workers <= 1 {
+		notes = append(notes, "speedup gate skipped: curve lacks a workers=1 anchor or a parallel point")
+		return failures, notes
+	}
+	if rep.CPUs < widest.Workers {
+		notes = append(notes, fmt.Sprintf(
+			"speedup gate skipped: runner has %d CPU(s), widest curve point wants %d", rep.CPUs, widest.Workers))
+		return failures, notes
+	}
+	got := float64(anchor.NsPerOp) / float64(widest.NsPerOp)
+	if got < minSpeedup {
+		failures = append(failures, fmt.Sprintf(
+			"workers=%d speedup %.2fx over workers=1 is below the required %.2fx",
+			widest.Workers, got, minSpeedup))
+	} else {
+		notes = append(notes, fmt.Sprintf("speedup gate passed: workers=%d is %.2fx over workers=1 (need %.2fx)",
+			widest.Workers, got, minSpeedup))
+	}
+	return failures, notes
+}
+
 // benchStep measures steady-state World.Step cost: the world warms past
 // the playback delay so every phase (scheduling, transfers, pre-fetch,
 // maintenance, churn, repair) carries its full load, then timedRounds
 // steps are timed. This mirrors core's BenchmarkStep1k/Step10k without
-// the testing harness, so CI can run it as a plain binary.
+// the testing harness, so CI can run it as a plain binary. The returned
+// fingerprint hashes every per-round metrics sample of the run (warm-up
+// and timed), so any two invocations with the same configuration and
+// seed must agree on it no matter how many workers executed the rounds.
 func benchStep(name string, nodes, workers, timedRounds int, seed uint64) BenchResult {
 	cfg := core.DefaultConfig(nodes)
 	cfg.Profile = core.ProfileContinuStreaming()
@@ -205,12 +344,17 @@ func benchStep(name string, nodes, workers, timedRounds int, seed uint64) BenchR
 	start := time.Now()
 	engine.Run(timedRounds)
 	elapsed := time.Since(start)
+	h := fnv.New64a()
+	for _, s := range w.Collector().Samples() {
+		fmt.Fprintf(h, "%+v\n", s)
+	}
 	return BenchResult{
-		Name:        name,
-		Nodes:       nodes,
-		Workers:     workers,
-		TimedRounds: timedRounds,
-		NsPerOp:     elapsed.Nanoseconds() / int64(timedRounds),
+		Name:              name,
+		Nodes:             nodes,
+		Workers:           workers,
+		TimedRounds:       timedRounds,
+		NsPerOp:           elapsed.Nanoseconds() / int64(timedRounds),
+		ResultFingerprint: fmt.Sprintf("%016x", h.Sum64()),
 	}
 }
 
@@ -223,40 +367,51 @@ type gateResult struct {
 	fingerprintOK bool
 }
 
-// gate compares measured ns/op against the baseline report, returning one
-// message per benchmark whose cost grew beyond the tolerance plus whether
-// the runner fingerprints match (mismatches downgrade the ns/op messages
-// to warnings at the caller). Benchmarks missing from either side are
-// reported too: a silently dropped measurement must not pass the gate.
-func gate(rep Report, baselinePath string, tolerance float64) gateResult {
-	raw, err := os.ReadFile(baselinePath)
+// loadBaseline reads and validates a committed baseline report. A
+// structurally-valid JSON file that is not a benchreport baseline (wrong
+// schema tag, or no measurements at all) must fail the gate, not
+// silently pass it with nothing to compare against. v1 baselines (no
+// workers curve) are accepted — their benchmarks still gate, and the
+// curve comparison simply has no reference until the baseline is
+// refreshed.
+func loadBaseline(path string) Report {
+	raw, err := os.ReadFile(path)
 	if err != nil {
 		fatalf("baseline: %v", err)
 	}
 	var base Report
 	if err := json.Unmarshal(raw, &base); err != nil {
-		fatalf("baseline %s: %v", baselinePath, err)
+		fatalf("baseline %s: %v", path, err)
 	}
-	// A structurally-valid JSON file that is not a benchreport baseline
-	// (wrong schema tag, or no measurements at all) must fail the gate,
-	// not silently pass it with nothing to compare against.
-	if base.Schema != schemaV1 {
-		fatalf("baseline %s: schema %q, want %q", baselinePath, base.Schema, schemaV1)
+	if base.Schema != schemaV1 && base.Schema != schemaV2 {
+		fatalf("baseline %s: schema %q, want %q or %q", path, base.Schema, schemaV1, schemaV2)
 	}
 	if len(base.Benchmarks) == 0 {
-		fatalf("baseline %s: no benchmarks recorded; refresh it with -update-baseline", baselinePath)
+		fatalf("baseline %s: no benchmarks recorded; refresh it with -update-baseline", path)
 	}
+	return base
+}
+
+// gate compares measured ns/op — the plain benchmarks and the workers
+// curve alike — against the baseline report, returning one message per
+// measurement whose cost grew beyond the tolerance plus whether the
+// runner fingerprints match (mismatches downgrade the ns/op messages to
+// warnings at the caller). Measurements missing from either side are
+// reported too: a silently dropped measurement must not pass the gate.
+// Curve points absent from the baseline are exempt from the missing
+// check when the baseline predates the curve schema entirely.
+func gate(rep, base Report, tolerance float64) gateResult {
 	baseBench := map[string]BenchResult{}
-	for _, b := range base.Benchmarks {
+	for _, b := range append(append([]BenchResult{}, base.Benchmarks...), base.WorkersCurve...) {
 		baseBench[b.Name] = b
 	}
 	res := gateResult{fingerprintOK: sameRunner(rep, base)}
 	seen := map[string]bool{}
-	for _, b := range rep.Benchmarks {
+	for _, b := range append(append([]BenchResult{}, rep.Benchmarks...), rep.WorkersCurve...) {
 		seen[b.Name] = true
 		ref, ok := baseBench[b.Name]
 		if !ok {
-			continue // new benchmark: nothing to gate against yet
+			continue // new measurement: nothing to gate against yet
 		}
 		limit := float64(ref.NsPerOp) * (1 + tolerance)
 		if float64(b.NsPerOp) > limit {
@@ -270,6 +425,8 @@ func gate(rep Report, baselinePath string, tolerance float64) gateResult {
 			res.missing = append(res.missing, fmt.Sprintf("%s: present in baseline but not measured", name))
 		}
 	}
+	sort.Strings(res.regressions)
+	sort.Strings(res.missing)
 	return res
 }
 

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseCurve(t *testing.T) {
+	for _, c := range []struct {
+		in   string
+		want []int
+	}{
+		{"", nil},
+		{"  ", nil},
+		{"1", []int{1}},
+		{"1,4,8", []int{1, 4, 8}},
+		{" 1 , 4 , 8 ", []int{1, 4, 8}},
+	} {
+		got, err := parseCurve(c.in)
+		if err != nil {
+			t.Fatalf("parseCurve(%q): %v", c.in, err)
+		}
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseCurve(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"0", "-1", "1,,8", "1,x", "8,4,1", "1,4,4"} {
+		if _, err := parseCurve(bad); err == nil {
+			t.Errorf("parseCurve(%q) accepted", bad)
+		}
+	}
+}
+
+// curveReport builds a report with a workers curve from (workers, ns/op,
+// fingerprint) triples.
+func curveReport(cpus int, points ...BenchResult) Report {
+	return Report{Schema: schemaV2, CPUs: cpus, WorkersCurve: points}
+}
+
+func point(workers int, ns int64, fp string) BenchResult {
+	return BenchResult{Name: nameOf(workers), Nodes: 10000, Workers: workers, TimedRounds: 2, NsPerOp: ns, ResultFingerprint: fp}
+}
+
+func nameOf(workers int) string {
+	return "Step10k/w" + string(rune('0'+workers))
+}
+
+func TestCheckCurveSpeedupPasses(t *testing.T) {
+	rep := curveReport(8, point(1, 8000, "aa"), point(4, 3000, "aa"), point(8, 2500, "aa"))
+	failures, notes := checkCurve(rep, 2.5)
+	if len(failures) != 0 {
+		t.Fatalf("unexpected failures: %v", failures)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "passed") {
+		t.Fatalf("notes = %v, want a pass note", notes)
+	}
+}
+
+func TestCheckCurveSpeedupFails(t *testing.T) {
+	rep := curveReport(8, point(1, 8000, "aa"), point(8, 4000, "aa")) // 2.0x < 2.5x
+	failures, _ := checkCurve(rep, 2.5)
+	if len(failures) != 1 || !strings.Contains(failures[0], "below the required") {
+		t.Fatalf("failures = %v, want one speedup failure", failures)
+	}
+}
+
+// TestCheckCurveGateNeedsCPUs pins the dev-box behaviour: a runner
+// narrower than the widest point cannot fail the speedup gate, however
+// bad the measured ratio, but says so in a note.
+func TestCheckCurveGateNeedsCPUs(t *testing.T) {
+	rep := curveReport(1, point(1, 8000, "aa"), point(8, 9000, "aa"))
+	failures, notes := checkCurve(rep, 2.5)
+	if len(failures) != 0 {
+		t.Fatalf("narrow runner failed the speedup gate: %v", failures)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "skipped") {
+		t.Fatalf("notes = %v, want a skip note", notes)
+	}
+}
+
+// TestCheckCurveIdentityFailsAnywhere: a fingerprint mismatch across
+// worker counts is a determinism bug and must fail even on a runner too
+// narrow for the speedup gate.
+func TestCheckCurveIdentityFailsAnywhere(t *testing.T) {
+	rep := curveReport(1, point(1, 8000, "aa"), point(4, 8000, "bb"), point(8, 8000, "aa"))
+	failures, _ := checkCurve(rep, 2.5)
+	if len(failures) != 1 || !strings.Contains(failures[0], "not bit-identical") {
+		t.Fatalf("failures = %v, want one identity failure", failures)
+	}
+}
+
+func TestCheckCurveEmptyAndAnchorless(t *testing.T) {
+	if f, n := checkCurve(Report{CPUs: 8}, 2.5); f != nil || n != nil {
+		t.Fatalf("empty curve produced %v / %v", f, n)
+	}
+	failures, notes := checkCurve(curveReport(8, point(4, 3000, "aa"), point(8, 2000, "aa")), 2.5)
+	if len(failures) != 0 || len(notes) != 1 || !strings.Contains(notes[0], "anchor") {
+		t.Fatalf("anchorless curve: failures=%v notes=%v", failures, notes)
+	}
+}
+
+// runner stamps a report with a runner fingerprint.
+func runner(rep Report, model string) Report {
+	rep.GOOS, rep.GOARCH, rep.CPUModel = "linux", "amd64", model
+	if rep.CPUs == 0 {
+		rep.CPUs = 8
+	}
+	return rep
+}
+
+// TestGateCoversCurvePoints: a curve point regressing beyond tolerance
+// fails the gate exactly like a plain benchmark.
+func TestGateCoversCurvePoints(t *testing.T) {
+	base := runner(Report{
+		Schema:       schemaV2,
+		Benchmarks:   []BenchResult{{Name: "Step10k", NsPerOp: 1000}},
+		WorkersCurve: []BenchResult{point(1, 1000, "aa"), point(8, 300, "aa")},
+	}, "m")
+	rep := runner(Report{
+		Schema:       schemaV2,
+		Benchmarks:   []BenchResult{{Name: "Step10k", NsPerOp: 1000}},
+		WorkersCurve: []BenchResult{point(1, 1000, "aa"), point(8, 500, "aa")},
+	}, "m")
+	res := gate(rep, base, 0.20)
+	if !res.fingerprintOK {
+		t.Fatal("matching runners reported as mismatched")
+	}
+	if len(res.regressions) != 1 || !strings.Contains(res.regressions[0], nameOf(8)) {
+		t.Fatalf("regressions = %v, want one for the w8 curve point", res.regressions)
+	}
+	failures, downgraded := verdict(res)
+	if len(failures) != 1 || len(downgraded) != 0 {
+		t.Fatalf("verdict = (%v, %v), want the regression fatal on matching hardware", failures, downgraded)
+	}
+}
+
+// TestGateDowngradeWithCurves: on mismatched hardware, curve-point ns/op
+// regressions downgrade to warnings just like plain ones, but a missing
+// measurement still fails.
+func TestGateDowngradeWithCurves(t *testing.T) {
+	base := runner(Report{
+		Schema:       schemaV2,
+		Benchmarks:   []BenchResult{{Name: "Step10k", NsPerOp: 1000}},
+		WorkersCurve: []BenchResult{point(1, 1000, "aa"), point(8, 300, "aa")},
+	}, "old-xeon")
+	rep := runner(Report{
+		Schema:       schemaV2,
+		Benchmarks:   []BenchResult{{Name: "Step10k", NsPerOp: 5000}},
+		WorkersCurve: []BenchResult{point(1, 5000, "aa")}, // w8 missing
+	}, "new-xeon")
+	res := gate(rep, base, 0.20)
+	if res.fingerprintOK {
+		t.Fatal("different CPU models reported as matching")
+	}
+	failures, downgraded := verdict(res)
+	if len(downgraded) != 2 {
+		t.Fatalf("downgraded = %v, want both ns/op regressions as warnings", downgraded)
+	}
+	if len(failures) != 1 || !strings.Contains(failures[0], nameOf(8)) {
+		t.Fatalf("failures = %v, want only the missing w8 measurement", failures)
+	}
+}
+
+// TestGateV1BaselineNoCurve: a pre-curve baseline still gates the plain
+// benchmarks and does not demand curve points it never recorded.
+func TestGateV1BaselineNoCurve(t *testing.T) {
+	base := runner(Report{
+		Schema:     schemaV1,
+		Benchmarks: []BenchResult{{Name: "Step1k", NsPerOp: 100}, {Name: "Step10k", NsPerOp: 1000}},
+	}, "m")
+	rep := runner(Report{
+		Schema:       schemaV2,
+		Benchmarks:   []BenchResult{{Name: "Step1k", NsPerOp: 90}, {Name: "Step10k", NsPerOp: 900}},
+		WorkersCurve: []BenchResult{point(1, 900, "aa"), point(8, 300, "aa")},
+	}, "m")
+	res := gate(rep, base, 0.20)
+	failures, downgraded := verdict(res)
+	if len(failures) != 0 || len(downgraded) != 0 {
+		t.Fatalf("v1 baseline gate: failures=%v downgraded=%v, want clean", failures, downgraded)
+	}
+}

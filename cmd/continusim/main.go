@@ -1,20 +1,29 @@
 // Command continusim regenerates the paper's tables and figures from the
 // simulation. Select an experiment with -experiment; "all" runs the whole
-// evaluation section.
+// evaluation section. -scenario instead runs one named public-API
+// scenario (the same constructors library callers use), with an optional
+// population suffix or -nodes override — the path CI's scale smoke and
+// ad-hoc big runs go through.
 //
 // Usage:
 //
 //	continusim -experiment fig5 [-rounds 40] [-seed 1] [-sizes 100,500,1000]
 //	continusim -experiment all -csv
+//	continusim -scenario flashcrowd100k -rounds 12
+//	continusim -scenario hetdynamic -nodes 8000
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
+	"continustreaming"
 	"continustreaming/internal/churn"
 	"continustreaming/internal/experiment"
 	"continustreaming/internal/metrics"
@@ -23,6 +32,8 @@ import (
 func main() {
 	var (
 		which    = flag.String("experiment", "all", "experiment to run: fig3|table1|fig5|fig6|fig7|fig8|fig9|fig10|fig11|flashcrowd10k|all (all = the paper's figures; flashcrowd10k runs only on request)")
+		scenario = flag.String("scenario", "", "named scenario instead of a paper experiment: "+strings.Join(continustreaming.Scenarios(), "|")+", with an optional population suffix (flashcrowd100k, hetdynamic8000)")
+		nodes    = flag.Int("nodes", 0, "population for -scenario (a suffix on the scenario name wins; 0 = scenario default)")
 		rounds   = flag.Int("rounds", 40, "scheduling periods per run")
 		tail     = flag.Int("tail", 10, "rounds in the stable-phase average")
 		seed     = flag.Uint64("seed", 1, "master random seed")
@@ -58,6 +69,20 @@ func main() {
 			}
 			opts.Sizes = append(opts.Sizes, n)
 		}
+	}
+
+	if *scenario != "" {
+		cfg, err := continustreaming.ScenarioByName(*scenario, *nodes)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		cfg.Seed = *seed
+		cfg.Workers = *workers
+		cfg.PushHops = *pushHops
+		cfg.QueueFactor = *queueFac
+		cfg.Churn = opts.ChurnTrace
+		runScenario(*scenario, cfg, *rounds, *tail, *csv)
+		return
 	}
 
 	run := func(name string, fn func() (*metrics.Table, error)) {
@@ -129,6 +154,45 @@ func main() {
 		fatalf("unknown experiment %q (want one of %s, flashcrowd10k, all)", *which, strings.Join(order, ", "))
 	}
 	run(*which, fn)
+}
+
+// runScenario executes one named public-API scenario through
+// RunContext: rows accumulate via the OnRound hook as rounds complete,
+// and an interrupt (^C) stops the run at the next round boundary, still
+// printing the rounds that finished — the cancellation contract the
+// public API promises, exercised end to end.
+func runScenario(name string, cfg continustreaming.Config, rounds, tail int, csv bool) {
+	tbl := metrics.NewTable(
+		fmt.Sprintf("Scenario %s (%s, n=%d)", name, cfg.System, cfg.Nodes),
+		"t(s)", "continuity", "warm", "control", "prefetch")
+	cfg.OnRound = func(round int, s continustreaming.Snapshot) {
+		tbl.AddRow(round, s.Continuity, s.ContinuityWarm, s.ControlOverhead, s.PrefetchOverhead)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	res, err := continustreaming.RunContext(ctx, cfg, rounds)
+	interrupted := errors.Is(err, context.Canceled)
+	if err != nil && !interrupted {
+		fatalf("scenario %s: %v", name, err)
+	}
+	if csv {
+		fmt.Print(tbl.RenderCSV())
+	} else {
+		fmt.Println(tbl.Render())
+	}
+	if done := res.Continuity.Len(); interrupted {
+		fmt.Printf("interrupted after %d/%d rounds\n", done, rounds)
+	}
+	if tail > 0 {
+		if n := res.Continuity.Len(); n > 0 {
+			if tail > n {
+				tail = n
+			}
+			fmt.Printf("stable(last %d): continuity=%.4f warm=%.4f control=%.4f prefetch=%.4f\n",
+				tail, res.Continuity.TailMean(tail), res.ContinuityWarm.TailMean(tail),
+				res.ControlOverhead.TailMean(tail), res.PrefetchOverhead.TailMean(tail))
+		}
+	}
 }
 
 func fatalf(format string, args ...any) {

@@ -10,6 +10,17 @@
 //	res, err := continustreaming.Run(cfg, 40)
 //	fmt.Println(res.StableContinuity())
 //
+// Named scenario constructors (ScenarioHetDynamic, ScenarioFlashcrowd,
+// …) build the configurations the evaluation runs; RunContext adds
+// cooperative cancellation at round boundaries, and Config.OnRound
+// streams per-round metrics while a long run progresses:
+//
+//	cfg := continustreaming.ScenarioFlashcrowd(100_000)
+//	cfg.OnRound = func(round int, s continustreaming.Snapshot) {
+//		log.Printf("round %d continuity %.3f", round, s.Continuity)
+//	}
+//	res, err := continustreaming.RunContext(ctx, cfg, 40)
+//
 // # Dissemination engine
 //
 // ContinuStreaming runs (System == ContinuStreaming or
@@ -172,12 +183,42 @@ type Config struct {
 	// value disables queueing (drop-and-retry). Ignored by the
 	// CoolStreaming baseline.
 	QueueFactor int
+	// Homogeneous gives every node the mean bandwidth instead of drawing
+	// from the paper's heterogeneous range — the arrangement of the §5.1
+	// theory-versus-simulation table.
+	Homogeneous bool
 	// Seed drives all randomness; runs are fully deterministic per seed.
 	Seed uint64
 	// Workers caps the simulation worker pool (0 = GOMAXPROCS). The round
 	// pipeline is sharded deterministically, so results are bit-identical
 	// for a fixed seed at any worker count.
 	Workers int
+	// OnRound, when non-nil, is called after every completed scheduling
+	// period with that round's metrics snapshot — a progress hook for
+	// long runs (progress bars, early convergence detection, streaming
+	// dashboards). It runs synchronously on the simulation goroutine, so
+	// an expensive callback slows the run; it must not retain the
+	// Snapshot's backing run or call back into the run. It does not
+	// affect the simulation: results are bit-identical with or without
+	// it.
+	OnRound func(round int, s Snapshot)
+}
+
+// Snapshot is one round's view of the paper's metrics, delivered to
+// Config.OnRound as a run progresses. Values match the corresponding
+// entry of the final Result series.
+type Snapshot struct {
+	// Round is the just-completed scheduling period, counting from 0.
+	Round int
+	// Nodes is how many nodes had an active playback position this round.
+	Nodes int
+	// Continuity, ContinuityWarm, ControlOverhead and PrefetchOverhead
+	// are the round's values of the §5.3 metrics (warm excludes nodes
+	// still inside post-join catch-up).
+	Continuity       float64
+	ContinuityWarm   float64
+	ControlOverhead  float64
+	PrefetchOverhead float64
 }
 
 // DefaultConfig returns the paper's configuration for n nodes.
@@ -239,8 +280,19 @@ func (r Result) StablePrefetchOverhead() float64 {
 }
 
 // Run executes the configured system for the given number of scheduling
-// periods (the paper's tracks use 30-40) and returns its metrics.
+// periods (the paper's tracks use 30-40) and returns its metrics. It is
+// RunContext with a background context.
 func Run(cfg Config, rounds int) (Result, error) {
+	return RunContext(context.Background(), cfg, rounds)
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// at every round boundary, and when it is cancelled the run stops after
+// the round in flight, returning the metrics of the rounds that did
+// complete alongside the context's error. A run cut short this way is a
+// valid prefix — its per-round series are bit-identical to the first
+// rounds of an uninterrupted run with the same Config.
+func RunContext(ctx context.Context, cfg Config, rounds int) (Result, error) {
 	if rounds <= 0 {
 		return Result{}, fmt.Errorf("continustreaming: non-positive round count %d", rounds)
 	}
@@ -251,6 +303,9 @@ func Run(cfg Config, rounds int) (Result, error) {
 	}
 	core.ApplyKnobOverride(&inner.PushHops, cfg.PushHops)
 	core.ApplyKnobOverride(&inner.QueueFactor, cfg.QueueFactor)
+	if cfg.Homogeneous {
+		inner.Bandwidth.Homogeneous = true
+	}
 	if cfg.Seed != 0 {
 		inner.Seed = cfg.Seed
 	}
@@ -263,14 +318,39 @@ func Run(cfg Config, rounds int) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	sim.NewEngine(world, inner.Tau).Run(rounds)
+	eng := sim.NewEngine(world, inner.Tau)
 	col := world.Collector()
+	if cfg.OnRound != nil {
+		// Observers fire after each round's step with the clock still on
+		// the executed round, and the collector has recorded that round's
+		// sample by then — the last sample is the round just run.
+		eng.Observe(func(clock *sim.Clock) {
+			samples := col.Samples()
+			s := samples[len(samples)-1]
+			cfg.OnRound(clock.Round(), Snapshot{
+				Round:            clock.Round(),
+				Nodes:            s.PlayingNodes,
+				Continuity:       s.Continuity(),
+				ContinuityWarm:   s.ContinuityWarm(),
+				ControlOverhead:  s.ControlOverhead(),
+				PrefetchOverhead: s.PrefetchOverhead(),
+			})
+		})
+	}
+	var runErr error
+	for r := 0; r < rounds; r++ {
+		if err := ctx.Err(); err != nil {
+			runErr = err
+			break
+		}
+		eng.Run(1)
+	}
 	return Result{
 		Continuity:       col.ContinuitySeries(),
 		ControlOverhead:  col.ControlOverheadSeries(),
 		PrefetchOverhead: col.PrefetchOverheadSeries(),
 		ContinuityWarm:   col.ContinuityWarmSeries(),
-	}, nil
+	}, runErr
 }
 
 // LiveConfig parameterises a live (goroutine-per-peer, wall-clock) run of

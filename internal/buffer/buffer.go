@@ -15,17 +15,30 @@ package buffer
 
 import (
 	"fmt"
+	"math/bits"
 
 	"continustreaming/internal/segment"
 )
 
 // Buffer is a sliding-window segment store. The zero value is unusable;
 // construct with New.
+//
+// Availability is held as a bitmap in the same word layout as Map, so
+// snapshotting is a word copy rather than a bool-by-bool repack, and
+// window queries run word-at-a-time.
 type Buffer struct {
 	size int
 	lo   segment.ID // lowest ID currently covered by the window
-	have []bool     // have[i] reports presence of segment lo+i
-	held int        // number of true entries in have
+	bits []uint64   // bit i = presence of segment lo+i; bits at i >= size stay zero
+	held int        // number of set bits
+
+	// version counts observable mutations (stores and window moves). The
+	// cached snapshot below is recopied only when it lags the version, so
+	// snapshotting a buffer that did not change since the last call is
+	// free — the incremental half of the buffer-map exchange.
+	version uint64
+	snap    Map
+	snapVer uint64
 }
 
 // New returns an empty buffer of capacity size whose window starts at lo.
@@ -36,7 +49,7 @@ func New(size int, lo segment.ID) *Buffer {
 	if lo < 0 {
 		lo = 0
 	}
-	return &Buffer{size: size, lo: lo, have: make([]bool, size)}
+	return &Buffer{size: size, lo: lo, bits: make([]uint64, (size+63)/64), version: 1}
 }
 
 // Size returns the buffer capacity B.
@@ -62,7 +75,8 @@ func (b *Buffer) Has(id segment.ID) bool {
 	if id < b.lo || id >= b.Hi() {
 		return false
 	}
-	return b.have[id-b.lo]
+	i := int(id - b.lo)
+	return b.bits[i>>6]&(1<<(uint(i)&63)) != 0
 }
 
 // Insert records segment id as present. It returns false without modifying
@@ -75,12 +89,14 @@ func (b *Buffer) Insert(id segment.ID) bool {
 	if id < b.lo || id >= b.Hi() {
 		return false
 	}
-	i := id - b.lo
-	if b.have[i] {
+	i := int(id - b.lo)
+	w, m := i>>6, uint64(1)<<(uint(i)&63)
+	if b.bits[w]&m != 0 {
 		return false
 	}
-	b.have[i] = true
+	b.bits[w] |= m
 	b.held++
+	b.version++
 	return true
 }
 
@@ -92,28 +108,48 @@ func (b *Buffer) AdvanceTo(lo segment.ID) int {
 		return 0
 	}
 	shift := int(lo - b.lo)
+	b.version++
 	if shift >= b.size {
 		evicted := b.held
-		for i := range b.have {
-			b.have[i] = false
-		}
+		clear(b.bits)
 		b.held = 0
 		b.lo = lo
 		return evicted
 	}
-	evicted := 0
-	for i := 0; i < shift; i++ {
-		if b.have[i] {
-			evicted++
-		}
-	}
-	copy(b.have, b.have[shift:])
-	for i := b.size - shift; i < b.size; i++ {
-		b.have[i] = false
-	}
+	evicted := b.onesBelow(shift)
+	shiftDown(b.bits, shift)
 	b.held -= evicted
 	b.lo = lo
 	return evicted
+}
+
+// onesBelow counts the set bits at indices [0, n).
+func (b *Buffer) onesBelow(n int) int {
+	c := 0
+	for w := 0; w < n>>6; w++ {
+		c += bits.OnesCount64(b.bits[w])
+	}
+	if r := uint(n) & 63; r != 0 {
+		c += bits.OnesCount64(b.bits[n>>6] & (1<<r - 1))
+	}
+	return c
+}
+
+// shiftDown moves every bit of w down by shift positions, zero-filling the
+// top. Bits beyond the logical size stay zero because they were zero.
+func shiftDown(w []uint64, shift int) {
+	words, rem := shift>>6, uint(shift&63)
+	n := len(w)
+	if words > 0 {
+		copy(w, w[words:])
+		clear(w[n-words:])
+	}
+	if rem > 0 {
+		for i := 0; i < n-1; i++ {
+			w[i] = w[i]>>rem | w[i+1]<<(64-rem)
+		}
+		w[n-1] >>= rem
+	}
 }
 
 // PositionFromTail returns pij, the paper's FIFO position of segment id
@@ -134,7 +170,8 @@ func (b *Buffer) MissingIn(w segment.Window) []segment.ID {
 	w = w.Intersect(b.Window())
 	var out []segment.ID
 	for id := w.Lo; id < w.Hi; id++ {
-		if !b.have[id-b.lo] {
+		i := int(id - b.lo)
+		if b.bits[i>>6]&(1<<(uint(i)&63)) == 0 {
 			out = append(out, id)
 		}
 	}
@@ -144,34 +181,54 @@ func (b *Buffer) MissingIn(w segment.Window) []segment.ID {
 // CountIn returns how many segments in w (clipped to the window) are held.
 func (b *Buffer) CountIn(w segment.Window) int {
 	w = w.Intersect(b.Window())
-	n := 0
-	for id := w.Lo; id < w.Hi; id++ {
-		if b.have[id-b.lo] {
-			n++
-		}
+	if w.Lo >= w.Hi {
+		return 0
 	}
-	return n
+	return b.onesBelow(int(w.Hi-b.lo)) - b.onesBelow(int(w.Lo-b.lo))
 }
 
 // HasAll reports whether every ID in w (not clipped) is held: an ID outside
 // the window counts as missing.
 func (b *Buffer) HasAll(w segment.Window) bool {
-	for id := w.Lo; id < w.Hi; id++ {
-		if !b.Has(id) {
-			return false
-		}
+	if w.Lo >= w.Hi {
+		return true
 	}
-	return true
+	if w.Lo < b.lo || w.Hi > b.Hi() {
+		return false
+	}
+	a, c := int(w.Lo-b.lo), int(w.Hi-b.lo)
+	return b.onesBelow(c)-b.onesBelow(a) == c-a
 }
 
+// Words exposes the live availability words (bit i = presence of segment
+// Lo()+i, same layout as Map.Bits). The slice is read-only for callers
+// and its contents change with every mutation; it exists so hot paths can
+// run word-level set operations against advertised maps without copying.
+func (b *Buffer) Words() []uint64 { return b.bits }
+
 // Snapshot returns the buffer's availability as a Map suitable for
-// exchanging with neighbours.
+// exchanging with neighbours. The result is an independent copy.
 func (b *Buffer) Snapshot() Map {
-	m := Map{Lo: b.lo, Bits: make([]uint64, (b.size+63)/64), Size: b.size}
-	for i, ok := range b.have {
-		if ok {
-			m.Bits[i/64] |= 1 << (i % 64)
-		}
-	}
+	m := Map{Lo: b.lo, Bits: make([]uint64, len(b.bits)), Size: b.size}
+	copy(m.Bits, b.bits)
 	return m
+}
+
+// SnapshotShared returns the buffer's availability as a Map whose Bits
+// alias a cache owned by the buffer. The cache is recopied only when the
+// buffer changed since the previous call, so a node whose buffer is
+// untouched between exchanges advertises its map at zero cost. The
+// returned Map must be treated as read-only; it stays valid until the
+// first SnapshotShared call that follows a later mutation. Callers that
+// need an independent copy use Snapshot.
+func (b *Buffer) SnapshotShared() Map {
+	if b.snapVer != b.version {
+		if b.snap.Bits == nil {
+			b.snap = Map{Bits: make([]uint64, len(b.bits)), Size: b.size}
+		}
+		b.snap.Lo = b.lo
+		copy(b.snap.Bits, b.bits)
+		b.snapVer = b.version
+	}
+	return b.snap
 }

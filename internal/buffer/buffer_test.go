@@ -295,3 +295,147 @@ func TestSnapshotRoundTripQuick(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// refBuffer is a trivially correct bool-slice model of the sliding window,
+// used to check the word-level implementation over random op sequences.
+type refBuffer struct {
+	size int
+	lo   segment.ID
+	have []bool
+}
+
+func (r *refBuffer) insert(id segment.ID) bool {
+	if id < r.lo || id >= r.lo+segment.ID(r.size) {
+		return false
+	}
+	if r.have[id-r.lo] {
+		return false
+	}
+	r.have[id-r.lo] = true
+	return true
+}
+
+func (r *refBuffer) advanceTo(lo segment.ID) int {
+	if lo <= r.lo {
+		return 0
+	}
+	shift := int(lo - r.lo)
+	evicted := 0
+	next := make([]bool, r.size)
+	for i, ok := range r.have {
+		if !ok {
+			continue
+		}
+		if i < shift {
+			evicted++
+		} else {
+			next[i-shift] = true
+		}
+	}
+	r.have = next
+	r.lo = lo
+	return evicted
+}
+
+func TestBufferMatchesReferenceModel(t *testing.T) {
+	const size = 130 // spans three words with a ragged top word
+	rng := newTestRand(42)
+	b := New(size, 0)
+	ref := &refBuffer{size: size, have: make([]bool, size)}
+	for step := 0; step < 4000; step++ {
+		switch rng.next() % 4 {
+		case 0, 1, 2:
+			id := ref.lo + segment.ID(rng.next()%uint64(size+20)) - 10
+			got, want := b.Insert(id), ref.insert(id)
+			if got != want {
+				t.Fatalf("step %d: Insert(%d) = %v, want %v", step, id, got, want)
+			}
+		case 3:
+			lo := ref.lo + segment.ID(rng.next()%150) - 5
+			got, want := b.AdvanceTo(lo), ref.advanceTo(lo)
+			if got != want {
+				t.Fatalf("step %d: AdvanceTo(%d) evicted %d, want %d", step, lo, got, want)
+			}
+		}
+		if b.Lo() != ref.lo {
+			t.Fatalf("step %d: lo %d vs ref %d", step, b.Lo(), ref.lo)
+		}
+		held := 0
+		for i, ok := range ref.have {
+			id := ref.lo + segment.ID(i)
+			if ok {
+				held++
+			}
+			if b.Has(id) != ok {
+				t.Fatalf("step %d: Has(%d) = %v, want %v", step, id, b.Has(id), ok)
+			}
+		}
+		if b.Held() != held {
+			t.Fatalf("step %d: Held = %d, want %d", step, b.Held(), held)
+		}
+		w := segment.Window{Lo: ref.lo + 17, Hi: ref.lo + 91}
+		wantCount := 0
+		for id := w.Lo; id < w.Hi; id++ {
+			if ref.have[id-ref.lo] {
+				wantCount++
+			}
+		}
+		if got := b.CountIn(w); got != wantCount {
+			t.Fatalf("step %d: CountIn = %d, want %d", step, got, wantCount)
+		}
+		if got, want := b.HasAll(w), wantCount == int(w.Hi-w.Lo); got != want {
+			t.Fatalf("step %d: HasAll = %v, want %v", step, got, want)
+		}
+	}
+}
+
+// newTestRand is a tiny splitmix64 so the model test does not depend on
+// math/rand ordering across Go versions.
+type testRand struct{ s uint64 }
+
+func newTestRand(seed uint64) *testRand { return &testRand{s: seed} }
+
+func (r *testRand) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func TestSnapshotSharedCachesUntilMutation(t *testing.T) {
+	b := New(600, 0)
+	b.Insert(3)
+	m1 := b.SnapshotShared()
+	m2 := b.SnapshotShared()
+	if &m1.Bits[0] != &m2.Bits[0] {
+		t.Fatal("unchanged buffer recopied its shared snapshot")
+	}
+	if !m1.Has(3) || m1.Has(4) {
+		t.Fatal("shared snapshot content wrong")
+	}
+	// A mutation must not disturb the already-issued snapshot...
+	b.Insert(4)
+	if m1.Has(4) {
+		t.Fatal("mutation leaked into an issued shared snapshot")
+	}
+	// ...but the next call refreshes the cache in place.
+	m3 := b.SnapshotShared()
+	if !m3.Has(4) {
+		t.Fatal("shared snapshot not refreshed after mutation")
+	}
+	b.AdvanceTo(10)
+	m4 := b.SnapshotShared()
+	if m4.Lo != 10 || m4.Has(4) {
+		t.Fatalf("shared snapshot after advance: lo=%d has4=%v", m4.Lo, m4.Has(4))
+	}
+	want := b.Snapshot()
+	if m4.Lo != want.Lo || m4.Size != want.Size {
+		t.Fatal("shared snapshot header differs from Snapshot")
+	}
+	for i := range want.Bits {
+		if m4.Bits[i] != want.Bits[i] {
+			t.Fatalf("shared snapshot word %d differs from Snapshot", i)
+		}
+	}
+}

@@ -49,12 +49,12 @@ func TestDebugProbe(t *testing.T) {
 		fill /= float64(w.Size() - 1)
 		deg := 0
 		for _, id := range w.Nodes() {
-			deg += len(w.edges[id])
+			deg += len(w.neighborsOf(id))
 		}
 		fmt.Printf("r=%2d cont=%.3f req/node=%.1f deliv/node=%.1f dropped=%d started=%d fill=%.3f avgdeg=%.1f srcdeg=%d alive=%d\n",
 			r, s.Continuity(), float64(s.Requests)/float64(w.Size()-1),
 			float64(s.Deliveries)/float64(w.Size()-1), s.Dropped, started, fill,
-			float64(deg)/float64(w.Size()), len(w.edges[w.Source()]), w.Size())
+			float64(deg)/float64(w.Size()), len(w.neighborsOf(w.Source())), w.Size())
 	}
 }
 

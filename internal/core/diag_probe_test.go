@@ -74,7 +74,7 @@ func TestDiagChurnTrack(t *testing.T) {
 		degMin = 1 << 30
 		for _, id := range w.Nodes() {
 			n := w.Node(id)
-			d := len(w.edges[id])
+			d := len(w.neighborsOf(id))
 			degSum += d
 			if d < degMin {
 				degMin = d

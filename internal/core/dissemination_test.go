@@ -13,7 +13,7 @@ import (
 
 // serveFixture builds a world plus the snapshot/index context
 // serveSupplier needs, and picks a non-source supplier.
-func serveFixture(t *testing.T, workers int) (*World, overlay.NodeID, []buffer.Map, map[overlay.NodeID]int) {
+func serveFixture(t *testing.T, workers int) (*World, overlay.NodeID, []buffer.Map, []int32) {
 	t.Helper()
 	cfg := smallConfig(30, ProfileContinuStreaming())
 	cfg.Workers = workers
@@ -32,10 +32,9 @@ func serveFixture(t *testing.T, workers int) (*World, overlay.NodeID, []buffer.M
 		t.Fatal("no usable supplier")
 	}
 	snaps := make([]buffer.Map, len(w.Nodes()))
-	index := make(map[overlay.NodeID]int, len(w.Nodes()))
+	index := w.buildIndex()
 	for i, id := range w.Nodes() {
 		snaps[i] = w.Node(id).Buf.Snapshot()
-		index[id] = i
 	}
 	return w, sup, snaps, index
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"continustreaming/internal/bandwidth"
 	"continustreaming/internal/buffer"
 	"continustreaming/internal/dht"
@@ -61,15 +63,17 @@ type Node struct {
 	// continuity metric.
 	JoinedRound int
 
-	// pendingGossip maps requested-but-not-yet-arrived segment IDs to
-	// their request state (timeout round + expected arrival, used by the
-	// Urgent Line to decide whether a scheduled transfer will make its
-	// deadline).
-	pendingGossip map[segment.ID]pendingRequest
-	// pendingPrefetch maps in-flight pre-fetches to their expiry round.
-	pendingPrefetch map[segment.ID]int
-	// arrivedAt records delivery timestamps for deadline checks.
-	arrivedAt map[segment.ID]sim.Time
+	// nbrs caches the node's connected neighbours, ascending — the same
+	// set as the world's edge map, maintained by addEdge/removeEdge so
+	// hot phases iterate it without rebuilding and sorting per call.
+	nbrs []overlay.NodeID
+
+	// seg tracks the per-segment transient state (pending requests,
+	// in-flight pre-fetches, arrival timestamps) in dense window-aligned
+	// arrays instead of maps: every live entry's ID sits inside the
+	// buffer window, so a circular array indexed by id mod slots holds
+	// them without hashing or per-entry allocation.
+	seg segTrack
 
 	// overdue / repeated accumulate this round's α feedback.
 	overdue  int
@@ -90,21 +94,86 @@ type Node struct {
 	missStreak int
 }
 
-// pendingRequest records one outstanding gossip ask.
-type pendingRequest struct {
-	expiry     int      // round after which the node retries
-	expectedAt sim.Time // absolute expected completion time
-}
-
 // pendingExpiryRounds is how many rounds a request stays pending before the
 // node gives up and becomes willing to re-request the segment.
 const pendingExpiryRounds = 2
 
-// initState allocates the maps shared by all constructors.
-func (n *Node) initState() {
-	n.pendingGossip = make(map[segment.ID]pendingRequest)
-	n.pendingPrefetch = make(map[segment.ID]int)
-	n.arrivedAt = make(map[segment.ID]sim.Time)
+// segTrack holds a node's per-segment transient state in dense circular
+// arrays. Every live entry's ID lies inside the node's buffer window
+// [lo, lo+B): requests and pre-fetches target in-window segments, and
+// arrival times only matter while the segment is buffered. With slots a
+// power of two >= B, id mod slots is collision-free across any window of
+// in-window IDs, and entries for IDs that fell below lo are wiped as the
+// window slides past them — so a slot holds at most one live entry and
+// needs no tag or hash.
+//
+// Expiry is checked lazily at read time (expiry > round), which makes an
+// expired entry indistinguishable from an absent one — the same contract
+// the old map sweep enforced eagerly each round.
+type segTrack struct {
+	lo    segment.ID // slots for ids < lo are clear
+	slots int        // power of two >= buffer size
+	mask  int
+
+	arrived          []sim.Time // first arrival time; -1 = unrecorded
+	gossipExpiry     []int32    // retry round bound; 0 = no pending request
+	gossipExpectedAt []sim.Time // expected arrival; valid while gossipExpiry set
+	prefetchExpiry   []int32    // 0 = no pending pre-fetch
+}
+
+// initState sizes the segment tracker for the configured buffer.
+func (n *Node) initState(bufSize int) {
+	slots := 1
+	for slots < bufSize {
+		slots <<= 1
+	}
+	n.seg = segTrack{
+		slots:            slots,
+		mask:             slots - 1,
+		arrived:          make([]sim.Time, slots),
+		gossipExpiry:     make([]int32, slots),
+		gossipExpectedAt: make([]sim.Time, slots),
+		prefetchExpiry:   make([]int32, slots),
+	}
+	for i := range n.seg.arrived {
+		n.seg.arrived[i] = -1
+	}
+}
+
+// slot maps id to its array index; ok is false outside the tracked range.
+func (t *segTrack) slot(id segment.ID) (int, bool) {
+	if id < t.lo || id >= t.lo+segment.ID(t.slots) {
+		return 0, false
+	}
+	return int(id) & t.mask, true
+}
+
+// mustSlot is slot for writers, whose IDs are in-window by construction.
+func (t *segTrack) mustSlot(id segment.ID) int {
+	s, ok := t.slot(id)
+	if !ok {
+		panic(fmt.Sprintf("core: segment %d outside tracked window [%d,%d)", id, t.lo, t.lo+segment.ID(t.slots)))
+	}
+	return s
+}
+
+// advanceTo slides the tracked window, wiping state for every ID the
+// window passed. Cost is O(min(shift, slots)).
+func (t *segTrack) advanceTo(lo segment.ID) {
+	if lo <= t.lo {
+		return
+	}
+	k := int(lo - t.lo)
+	if k > t.slots {
+		k = t.slots
+	}
+	for i := 0; i < k; i++ {
+		s := int(t.lo+segment.ID(i)) & t.mask
+		t.arrived[s] = -1
+		t.gossipExpiry[s] = 0
+		t.prefetchExpiry[s] = 0
+	}
+	t.lo = lo
 }
 
 // Fresh reports whether the node should consider fetching id: absent from
@@ -113,18 +182,18 @@ func (n *Node) Fresh(id segment.ID, round int) bool {
 	if n.Buf.Has(id) {
 		return false
 	}
-	if p, ok := n.pendingGossip[id]; ok && p.expiry > round {
-		return false
+	s, ok := n.seg.slot(id)
+	if !ok {
+		return true
 	}
-	if exp, ok := n.pendingPrefetch[id]; ok && exp > round {
-		return false
-	}
-	return true
+	return int(n.seg.gossipExpiry[s]) <= round && int(n.seg.prefetchExpiry[s]) <= round
 }
 
 // markGossipPending records a scheduled request with its expected arrival.
 func (n *Node) markGossipPending(id segment.ID, round int, expectedAt sim.Time) {
-	n.pendingGossip[id] = pendingRequest{expiry: round + pendingExpiryRounds, expectedAt: expectedAt}
+	s := n.seg.mustSlot(id)
+	n.seg.gossipExpiry[s] = int32(round + pendingExpiryRounds)
+	n.seg.gossipExpectedAt[s] = expectedAt
 }
 
 // predictExcluded reports whether the Urgent Line should skip id: a
@@ -136,76 +205,63 @@ func (n *Node) markGossipPending(id segment.ID, round int, expectedAt sim.Time) 
 // precisely the segments "likely to be missed by the data scheduling
 // algorithm".
 func (n *Node) predictExcluded(id segment.ID, round int, now, deadline sim.Time) bool {
-	if n.prefetchInFlight(id, round) {
+	s, ok := n.seg.slot(id)
+	if !ok {
+		return false
+	}
+	if int(n.seg.prefetchExpiry[s]) > round {
 		return true
 	}
-	p, ok := n.pendingGossip[id]
-	return ok && p.expiry > round && p.expectedAt >= now && p.expectedAt <= deadline
+	if int(n.seg.gossipExpiry[s]) <= round {
+		return false
+	}
+	at := n.seg.gossipExpectedAt[s]
+	return at >= now && at <= deadline
 }
 
 // markPrefetchPending records an in-flight pre-fetch and tags the segment.
 func (n *Node) markPrefetchPending(id segment.ID, round int) {
-	n.pendingPrefetch[id] = round + pendingExpiryRounds
+	n.seg.prefetchExpiry[n.seg.mustSlot(id)] = int32(round + pendingExpiryRounds)
 	n.Tags.Mark(id)
 }
 
 // prefetchInFlight reports whether id has an unexpired pre-fetch pending.
 func (n *Node) prefetchInFlight(id segment.ID, round int) bool {
-	exp, ok := n.pendingPrefetch[id]
-	return ok && exp > round
+	s, ok := n.seg.slot(id)
+	return ok && int(n.seg.prefetchExpiry[s]) > round
 }
 
 // receive ingests a delivered segment at time at. It returns true when the
 // segment was newly stored (false for duplicates or out-of-window
 // arrivals). The caller handles accounting.
 func (n *Node) receive(id segment.ID, at sim.Time) bool {
-	delete(n.pendingGossip, id)
-	delete(n.pendingPrefetch, id)
+	if s, ok := n.seg.slot(id); ok {
+		n.seg.gossipExpiry[s] = 0
+		n.seg.prefetchExpiry[s] = 0
+	}
 	if !n.Buf.Insert(id) {
 		return false
 	}
-	if _, ok := n.arrivedAt[id]; !ok {
-		n.arrivedAt[id] = at
-	}
+	n.noteArrived(id, at)
 	return true
+}
+
+// noteArrived records id's first arrival time (later arrivals keep the
+// original timestamp).
+func (n *Node) noteArrived(id segment.ID, at sim.Time) {
+	s := n.seg.mustSlot(id)
+	if n.seg.arrived[s] < 0 {
+		n.seg.arrived[s] = at
+	}
 }
 
 // pruneBelow drops all per-segment state older than floor.
 func (n *Node) pruneBelow(floor segment.ID) {
-	for id := range n.arrivedAt {
-		if id < floor {
-			delete(n.arrivedAt, id)
-		}
-	}
-	for id := range n.pendingGossip {
-		if id < floor {
-			delete(n.pendingGossip, id)
-		}
-	}
-	for id := range n.pendingPrefetch {
-		if id < floor {
-			delete(n.pendingPrefetch, id)
-		}
-	}
+	n.seg.advanceTo(floor)
 	if n.Tags != nil {
 		n.Tags.PruneBelow(floor)
 	}
 	n.Backup.PruneBelow(floor)
-}
-
-// expirePending clears request records whose expiry round has passed so
-// the node retries them.
-func (n *Node) expirePending(round int) {
-	for id, p := range n.pendingGossip {
-		if p.expiry <= round {
-			delete(n.pendingGossip, id)
-		}
-	}
-	for id, exp := range n.pendingPrefetch {
-		if exp <= round {
-			delete(n.pendingPrefetch, id)
-		}
-	}
 }
 
 // arrivedInTime reports whether id is buffered and arrived at or before
@@ -214,10 +270,14 @@ func (n *Node) arrivedInTime(id segment.ID, deadline sim.Time) bool {
 	if !n.Buf.Has(id) {
 		return false
 	}
-	at, ok := n.arrivedAt[id]
+	s, ok := n.seg.slot(id)
+	if !ok {
+		return true
+	}
+	at := n.seg.arrived[s]
 	// Segments with no recorded arrival were present before tracking
 	// (source-generated); treat as in time.
-	return !ok || at <= deadline
+	return at < 0 || at <= deadline
 }
 
 // believedSuccessor returns the node's view of its clockwise successor —

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"cmp"
+	"slices"
 	"sort"
 
 	"continustreaming/internal/metrics"
@@ -60,17 +62,17 @@ func (w *World) applyDeliveries(clock *sim.Clock, deliveries []delivery, sample 
 				// Canonical arrival order: the (from, prefetch) tie-breaks
 				// make the outcome independent of how the delivery slice
 				// was assembled upstream.
-				sort.Slice(ds, func(a, b int) bool {
-					if ds[a].at != ds[b].at {
-						return ds[a].at < ds[b].at
+				slices.SortFunc(ds, func(a, b delivery) int {
+					if a.at != b.at {
+						return cmp.Compare(a.at, b.at)
 					}
-					if ds[a].id != ds[b].id {
-						return ds[a].id < ds[b].id
+					if a.id != b.id {
+						return cmp.Compare(a.id, b.id)
 					}
-					if ds[a].from != ds[b].from {
-						return ds[a].from < ds[b].from
+					if a.from != b.from {
+						return cmp.Compare(a.from, b.from)
 					}
-					return !ds[a].prefetch && ds[b].prefetch
+					return btoi(b.prefetch) - btoi(a.prefetch)
 				})
 				w.applyToReceiver(n, ds, pos, p, segBits, now, &local)
 			}
@@ -145,7 +147,7 @@ func (w *World) playbackPhase(clock *sim.Clock, sample *metrics.RoundSample) {
 	results := make([]result, len(w.order))
 	round := w.round
 	w.pool.ForEach(len(w.order), func(i int) {
-		n := w.nodes[w.order[i]]
+		n := w.seq[i]
 		if n.IsSource {
 			return
 		}
@@ -209,4 +211,12 @@ func (w *World) playbackPhase(clock *sim.Clock, sample *metrics.RoundSample) {
 			}
 		}
 	}
+}
+
+// btoi maps a bool onto {0, 1} for comparator arithmetic.
+func btoi(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
 }

@@ -65,13 +65,14 @@ func (w *World) leave(id overlay.NodeID, graceful bool) {
 		}
 		w.rp.ReportFailure(id)
 	}
-	for _, nb := range w.neighborsOf(id) {
+	// Copy the live neighbour cache before tearing the edges down.
+	nbs := append([]overlay.NodeID(nil), w.neighborsOf(id)...)
+	for _, nb := range nbs {
 		w.removeEdge(id, nb)
 	}
 	w.dhtNet.Leave(dht.ID(id))
-	delete(w.nodes, id)
-	delete(w.edges, id)
-	delete(w.outUsed[w.shardOf(id)], id)
+	w.nodes[id] = nil
+	w.outUsed[id] = 0
 	// The carry queue held promises of this node's buffer; a joiner
 	// recycling the slot must not inherit them.
 	w.dissem.DropSupplier(w.shardOf(id), id)
@@ -101,8 +102,10 @@ func (w *World) join() {
 	ping := 10*sim.Millisecond + sim.Time(w.rng.Intn(191))
 	n := w.buildNode(id, ping, false)
 	n.JoinedRound = w.round
-	// The newcomer's buffer opens at the current playback position.
+	// The newcomer's buffer opens at the current playback position, and
+	// its segment tracker follows.
 	n.Buf.AdvanceTo(w.playbackPos(w.round))
+	n.pruneBelow(w.playbackPos(w.round))
 	cands := w.rp.Candidates(id, 6)
 	var donor *Node
 	for _, c := range cands {
@@ -162,7 +165,7 @@ func (w *World) join() {
 		return pool[i].id < pool[j].id
 	})
 	for _, c := range pool {
-		if len(w.edges[id]) >= w.cfg.M {
+		if len(n.nbrs) >= w.cfg.M {
 			break
 		}
 		w.addEdge(id, c.id)

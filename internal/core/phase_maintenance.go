@@ -68,8 +68,8 @@ func (w *World) maintenancePhase() {
 
 	// Stage 2: shard-owned hear delivery, dead-neighbour cleanup, and
 	// intent computation. Every mutation in this stage touches only state
-	// owned by the executing shard (the node's own tables, its own edge
-	// map, its own controller). One sequential pass builds the per-shard
+	// owned by the executing shard (the node's own tables, its own
+	// neighbour cache, its own controller). One sequential pass builds the per-shard
 	// work lists so each shard walks only its own nodes.
 	shardNodes := w.shardWorkLists()
 	intents := make([][]protocol.RewireIntent, phaseShards)
@@ -90,8 +90,8 @@ func (w *World) maintenancePhase() {
 				n := w.nodes[id]
 				for _, nb := range n.Table.NeighborIDs() {
 					if w.nodes[nb] == nil {
-						// The dead side's node and edge map are gone, so
-						// this edge removal mutates only shard-owned state.
+						// The dead side's node is gone, so this edge
+						// removal mutates only shard-owned state.
 						w.removeEdge(id, nb)
 						n.Table.ForgetOverheard(nb)
 					}
@@ -135,12 +135,12 @@ func (w *World) maintenanceView(n *Node, warm bool) protocol.MaintenanceView {
 		Warm:            warm,
 		Round:           w.round,
 		LastReplace:     n.lastReplace,
-		Degree:          len(w.edges[n.ID]),
+		Degree:          len(n.nbrs),
 		DegreeTarget:    w.degreeTarget(n),
 		MissedLastRound: n.missedLastRound,
 		MissStreak:      n.missStreak,
 		Alive:           func(id overlay.NodeID) bool { return w.nodes[id] != nil },
-		Connected:       func(id overlay.NodeID) bool { return w.edges[n.ID][id] },
+		Connected:       func(id overlay.NodeID) bool { return containsSortedID(n.nbrs, id) },
 		Neighbors: func() []protocol.NeighborSupply {
 			nbs := n.Table.Neighbors()
 			out := make([]protocol.NeighborSupply, 0, len(nbs))
@@ -217,14 +217,14 @@ func (w *World) applyRewire(intent protocol.RewireIntent) {
 		for next < len(intent.Adopt) {
 			c := intent.Adopt[next]
 			next++
-			if w.nodes[c] != nil && !w.edges[n.ID][c] && c != n.ID {
+			if w.nodes[c] != nil && !containsSortedID(n.nbrs, c) && c != n.ID {
 				return c, true
 			}
 		}
 		return -1, false
 	}
 	for _, victim := range intent.Drop {
-		if !w.edges[n.ID][victim] {
+		if !containsSortedID(n.nbrs, victim) {
 			continue // already gone (dead, or dropped from the other side)
 		}
 		cand, ok := takeCandidate()
@@ -236,7 +236,7 @@ func (w *World) applyRewire(intent protocol.RewireIntent) {
 		n.Table.TakeOverheard(cand)
 		w.addEdge(n.ID, cand)
 	}
-	for len(w.edges[n.ID]) < w.degreeTarget(n) {
+	for len(n.nbrs) < w.degreeTarget(n) {
 		cand, ok := takeCandidate()
 		if !ok {
 			break

@@ -66,7 +66,7 @@ func (w *World) resolvePrefetch(clock *sim.Clock, plans []prefetch.Decision, sam
 		if !plan.Triggered {
 			continue
 		}
-		n := w.nodes[w.order[i]]
+		n := w.seq[i]
 		results := retr.LocateAll(dht.ID(n.ID), plan.Missed)
 		sample.LookupAttempts += int64(len(results))
 		for _, res := range results {

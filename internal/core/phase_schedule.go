@@ -1,7 +1,8 @@
 package core
 
 import (
-	"sort"
+	mathbits "math/bits"
+	"slices"
 
 	"continustreaming/internal/buffer"
 	"continustreaming/internal/metrics"
@@ -14,18 +15,22 @@ import (
 
 // exchangePhase snapshots every node's buffer map (the per-round "periodic
 // buffer information exchange") and accounts its control cost: each node
-// receives one 620-bit map from every connected neighbour.
+// receives one 620-bit map from every connected neighbour. Snapshots are
+// the buffers' shared cached maps — recopied only for buffers that changed
+// since the previous round — and are read-only for the rest of the round;
+// every later phase that mutates buffers (deliveries, playback, churn)
+// runs after the last snapshot reader.
 func (w *World) exchangePhase(sample *metrics.RoundSample) []buffer.Map {
 	snaps := make([]buffer.Map, len(w.order))
 	w.pool.ForEach(len(w.order), func(i int) {
-		snaps[i] = w.nodes[w.order[i]].Buf.Snapshot()
+		snaps[i] = w.seq[i].Buf.SnapshotShared()
 	})
 	var control int64
 	for _, id := range w.order {
 		if id == w.source {
 			continue
 		}
-		control += int64(len(w.edges[id])) * buffer.WireBits(w.cfg.BufferSegments)
+		control += int64(w.degreeOf(id)) * buffer.WireBits(w.cfg.BufferSegments)
 	}
 	sample.ControlBits = control
 	return snaps
@@ -44,7 +49,7 @@ func (w *World) predictPhase(clock *sim.Clock) []prefetch.Decision {
 	now := clock.Now()
 	round := w.round
 	w.pool.ForEach(len(w.order), func(i int) {
-		n := w.nodes[w.order[i]]
+		n := w.seq[i]
 		if n.IsSource || n.Alpha == nil || !n.Started {
 			// The Urgent Line protects an active playback; a node that
 			// has not started yet has no deadlines to defend.
@@ -63,14 +68,14 @@ func (w *World) predictPhase(clock *sim.Clock) []prefetch.Decision {
 // snapshots. The inbound budget reserves room for this round's pre-fetches
 // ("the on-demand data retrieval algorithm shares the inbound rate with
 // the data scheduling algorithm").
-func (w *World) schedulePhase(clock *sim.Clock, snaps []buffer.Map, index map[overlay.NodeID]int) [][]scheduler.Request {
+func (w *World) schedulePhase(clock *sim.Clock, snaps []buffer.Map, index []int32) [][]scheduler.Request {
 	pos := w.playbackPos(w.round)
 	vpos := w.virtualPos(w.round)
 	fetchWin := segment.Window{Lo: pos, Hi: w.fetchEdge(w.round)}
 	out := make([][]scheduler.Request, len(w.order))
 	round := w.round
 	w.pool.ForEach(len(w.order), func(i int) {
-		n := w.nodes[w.order[i]]
+		n := w.seq[i]
 		if n.IsSource {
 			return
 		}
@@ -116,16 +121,121 @@ func (w *World) schedulePhase(clock *sim.Clock, snaps []buffer.Map, index map[ov
 // candidatesFor enumerates the fresh segments any connected neighbour
 // advertises inside the fetch window, with per-supplier rate estimates and
 // FIFO positions.
-func (w *World) candidatesFor(n *Node, index map[overlay.NodeID]int, snaps []buffer.Map, win segment.Window, round int) []scheduler.Candidate {
+//
+// The hot path works word-at-a-time on aligned availability bitmaps:
+// beginRound advances every buffer to the shared playback position before
+// the exchange, so the neighbours' advertised words, the node's own words
+// and the fetch window share one bit origin. The union of neighbour words
+// minus the node's own words yields available-and-absent segments in a
+// few word operations; the remaining pending-request filter is a dense
+// array read, and per-segment supplier lists fill in ascending neighbour
+// order — bit enumeration ascends, so the output is identical to the
+// per-ID scan's (IDs ascending, suppliers in neighbour order).
+func (w *World) candidatesFor(n *Node, index []int32, snaps []buffer.Map, win segment.Window, round int) []scheduler.Candidate {
+	if len(n.nbrs) == 0 {
+		return nil
+	}
+	own := n.Buf
+	if hi := win.Lo + segment.ID(own.Size()); win.Hi > hi {
+		win.Hi = hi
+	}
+	width := int(win.Hi - win.Lo)
+	if width <= 0 {
+		return nil
+	}
+	if own.Lo() != win.Lo {
+		return w.candidatesForSlow(n, index, snaps, win, round)
+	}
+	type nbSnap struct {
+		id   overlay.NodeID
+		rate float64
+		bits []uint64
+	}
+	nWords := (width + 63) / 64
+	live := make([]nbSnap, 0, len(n.nbrs))
+	union := make([]uint64, nWords)
+	for _, nb := range n.nbrs {
+		j := index[nb]
+		if j < 0 {
+			continue // neighbour died this round; maintenance will repair
+		}
+		snap := snaps[j]
+		if snap.Lo != win.Lo || snap.Size != own.Size() {
+			return w.candidatesForSlow(n, index, snaps, win, round)
+		}
+		for wi := 0; wi < nWords; wi++ {
+			union[wi] |= snap.Bits[wi]
+		}
+		live = append(live, nbSnap{id: nb, rate: n.Ctrl.Rate(int(nb)), bits: snap.Bits})
+	}
+	if len(live) == 0 {
+		return nil
+	}
+	ownBits := own.Words()
+	total := 0
+	for wi := 0; wi < nWords; wi++ {
+		union[wi] &^= ownBits[wi]
+	}
+	if r := uint(width) & 63; r != 0 {
+		union[nWords-1] &= 1<<r - 1
+	}
+	for _, ns := range live {
+		for wi := 0; wi < nWords; wi++ {
+			total += mathbits.OnesCount64(ns.bits[wi] & union[wi])
+		}
+	}
+	if total == 0 {
+		return nil
+	}
+	// One arena for every supplier entry; per-candidate lists are
+	// capacity-capped subslices so later appends never alias them.
+	arena := make([]scheduler.Supplier, 0, total)
+	cands := make([]scheduler.Candidate, 0, min(total, width))
+	size := own.Size()
+	for wi := 0; wi < nWords; wi++ {
+		word := union[wi]
+		for word != 0 {
+			k := wi*64 + mathbits.TrailingZeros64(word)
+			word &= word - 1
+			id := win.Lo + segment.ID(k)
+			// Buffer absence is already encoded in the union; only the
+			// pending-request half of Fresh remains.
+			if s, ok := n.seg.slot(id); ok &&
+				(int(n.seg.gossipExpiry[s]) > round || int(n.seg.prefetchExpiry[s]) > round) {
+				continue
+			}
+			a := len(arena)
+			bit := uint64(1) << (uint(k) & 63)
+			for _, ns := range live {
+				if ns.bits[wi]&bit == 0 {
+					continue
+				}
+				arena = append(arena, scheduler.Supplier{
+					Node:             int(ns.id),
+					Rate:             ns.rate,
+					PositionFromTail: size - k,
+				})
+			}
+			cands = append(cands, scheduler.Candidate{ID: id, Suppliers: arena[a:len(arena):len(arena)]})
+		}
+	}
+	return cands
+}
+
+// candidatesForSlow is the window-agnostic fallback for misaligned
+// snapshots (never hit by the round pipeline, whose windows all open at
+// the playback position; kept so the enumeration is correct for any
+// input).
+func (w *World) candidatesForSlow(n *Node, index []int32, snaps []buffer.Map, win segment.Window, round int) []scheduler.Candidate {
 	type entry struct {
 		suppliers []scheduler.Supplier
 	}
 	found := make(map[segment.ID]*entry)
 	var ids []segment.ID
-	for _, nb := range w.neighborsOf(n.ID) {
-		j, ok := index[nb]
-		if !ok {
-			continue // neighbour died this round; maintenance will repair
+	for _, nb := range n.nbrs {
+		j := index[nb]
+		if j < 0 {
+			continue
 		}
 		snap := snaps[j]
 		wn := win.Intersect(snap.Window())
@@ -147,7 +257,7 @@ func (w *World) candidatesFor(n *Node, index map[overlay.NodeID]int, snaps []buf
 			})
 		}
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	slices.Sort(ids)
 	cands := make([]scheduler.Candidate, 0, len(ids))
 	for _, id := range ids {
 		cands = append(cands, scheduler.Candidate{ID: id, Suppliers: found[id].suppliers})

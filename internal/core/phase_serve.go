@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"continustreaming/internal/bandwidth"
 	"continustreaming/internal/buffer"
@@ -19,6 +19,54 @@ type transferReq struct {
 	requester overlay.NodeID
 	id        segment.ID
 	expected  sim.Time
+}
+
+// rarityCache memoises supplier-side rarity for one serve shard: a dense
+// window-indexed array stamped per supplier, so successive suppliers (and
+// rounds) reuse the same storage with no clearing. Only the owning shard
+// touches its cache, preserving the phase's share-nothing discipline.
+type rarityCache struct {
+	base  segment.ID
+	epoch int32
+	vals  []float64
+	stamp []int32
+}
+
+// begin opens a new supplier's memo window at pos.
+func (c *rarityCache) begin(pos segment.ID) {
+	c.base = pos
+	c.epoch++
+	if c.epoch == 0 { // wrapped; stamps from the old era could alias
+		clear(c.stamp)
+		c.epoch = 1
+	}
+}
+
+func (c *rarityCache) get(id segment.ID) (float64, bool) {
+	i := int(id - c.base)
+	if i < 0 || i >= len(c.vals) || c.stamp[i] != c.epoch {
+		return 0, false
+	}
+	return c.vals[i], true
+}
+
+func (c *rarityCache) put(id segment.ID, r float64) {
+	i := int(id - c.base)
+	if i < 0 || i >= len(c.vals) {
+		return // out-of-window oddball: recomputed on repeat, still correct
+	}
+	c.vals[i] = r
+	c.stamp[i] = c.epoch
+}
+
+// rarityCacheFor returns shard s's cache, sized on first use.
+func (w *World) rarityCacheFor(s int) *rarityCache {
+	c := &w.rarity[s]
+	if c.vals == nil {
+		c.vals = make([]float64, w.cfg.BufferSegments)
+		c.stamp = make([]int32, w.cfg.BufferSegments)
+	}
+	return c
 }
 
 // resolveTransfers enforces supplier outbound budgets with the
@@ -43,7 +91,7 @@ type transferReq struct {
 // push spend, which live in the engine's matching shard — so it runs the
 // service discipline and writes the ledger partition it owns, with
 // deliveries and counters merged in shard order afterwards.
-func (w *World) resolveTransfers(clock *sim.Clock, requests [][]scheduler.Request, snaps []buffer.Map, index map[overlay.NodeID]int, sample *metrics.RoundSample) []delivery {
+func (w *World) resolveTransfers(clock *sim.Clock, requests [][]scheduler.Request, snaps []buffer.Map, index []int32, sample *metrics.RoundSample) []delivery {
 	n := len(requests)
 	scatter := make([][][]transferReq, phaseShards) // [requesterShard][supplierShard]
 	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseScatter),
@@ -103,13 +151,14 @@ func (w *World) resolveTransfers(clock *sim.Clock, requests [][]scheduler.Reques
 			if len(suppliers) == 0 {
 				return shardServe{}
 			}
-			sort.Slice(suppliers, func(i, j int) bool { return suppliers[i] < suppliers[j] })
+			slices.Sort(suppliers)
 			var res shardServe
 			for _, sup := range suppliers {
 				sr := w.serveSupplier(s, sup, bySupplier[sup], snaps, index, start, horizon, pos, p)
-				// The serving shard owns ledger partition s == shardOf(sup),
+				// The serving shard owns ledger slot sup (shardOf(sup) == s),
 				// so this write races with nothing.
-				w.outUsed[s][sup] += len(sr.Granted)
+				//continulint:shardcapture dense ledger indexed by supplier ID; shard s owns exactly the IDs with shardOf(id)==s, so writes are disjoint
+				w.outUsed[sup] += int32(len(sr.Granted))
 				res.queueCarried += int64(len(sr.Queued))
 				res.evicted.Add(sr.Evicted)
 				res.dropped += sr.Evicted.Total()
@@ -159,7 +208,7 @@ func (w *World) resolveTransfers(clock *sim.Clock, requests [][]scheduler.Reques
 // from — then stores the requests carried forward back into the engine.
 // It touches only state owned by shard s, so supplier shards invoke it
 // concurrently.
-func (w *World) serveSupplier(s int, sup overlay.NodeID, fresh []transferReq, snaps []buffer.Map, index map[overlay.NodeID]int, start, horizon sim.Time, pos segment.ID, p int) protocol.ServeResult {
+func (w *World) serveSupplier(s int, sup overlay.NodeID, fresh []transferReq, snaps []buffer.Map, index []int32, start, horizon sim.Time, pos segment.ID, p int) protocol.ServeResult {
 	carried := w.dissem.TakeQueue(s, sup)
 	sn := w.nodes[sup]
 	if sn == nil || sn.Rates.Out <= 0 {
@@ -187,9 +236,14 @@ func (w *World) serveSupplier(s int, sup overlay.NodeID, fresh []transferReq, sn
 		}
 	}
 	// Supplier-side rarity, once per distinct segment: equation (2) over
-	// the advertised buffers of the supplier's own neighbours.
+	// the advertised buffers of the supplier's own neighbours. The memo is
+	// the shard's reusable window-dense cache — every rarity-bearing ID
+	// lies in [pos, pos+B) (carried survivors passed SupplierHas, fresh
+	// asks come from in-window candidates) — stamped per supplier so no
+	// clearing or allocation happens between suppliers or rounds.
 	neighbours := w.neighborsOf(sup)
-	rarity := make(map[segment.ID]float64)
+	cache := w.rarityCacheFor(s)
+	cache.begin(pos)
 	var positions []int
 	res := protocol.PlanServe(protocol.ServeInput{
 		Carried: carried,
@@ -204,17 +258,17 @@ func (w *World) serveSupplier(s int, sup overlay.NodeID, fresh []transferReq, sn
 			return w.nodes[id] != nil
 		},
 		RequesterHas: func(id overlay.NodeID, seg segment.ID) bool {
-			j, ok := index[id]
-			return ok && snaps[j].Has(seg)
+			j := index[id]
+			return j >= 0 && snaps[j].Has(seg)
 		},
 		Rarity: func(id segment.ID) float64 {
-			if r, ok := rarity[id]; ok {
+			if r, ok := cache.get(id); ok {
 				return r
 			}
 			positions = positions[:0]
 			for _, nb := range neighbours {
-				j, ok := index[nb]
-				if !ok {
+				j := index[nb]
+				if j < 0 {
 					continue
 				}
 				if pft, ok := snaps[j].PositionFromTail(id); ok {
@@ -222,7 +276,7 @@ func (w *World) serveSupplier(s int, sup overlay.NodeID, fresh []transferReq, sn
 				}
 			}
 			r := protocol.SupplierRarity(w.cfg.BufferSegments, positions)
-			rarity[id] = r
+			cache.put(id, r)
 			return r
 		},
 	})

@@ -39,7 +39,7 @@ func TestMeshDegreeRecoversAfterMassChurn(t *testing.T) {
 	var degSum, minDeg, atTarget int
 	minDeg = 1 << 30
 	for _, id := range w.Nodes() {
-		d := len(w.edges[id])
+		d := len(w.neighborsOf(id))
 		degSum += d
 		if d < minDeg {
 			minDeg = d

@@ -2,7 +2,6 @@ package core
 
 import (
 	"continustreaming/internal/metrics"
-	"continustreaming/internal/overlay"
 	"continustreaming/internal/segment"
 	"continustreaming/internal/sim"
 )
@@ -55,10 +54,7 @@ func (w *World) Step(clock *sim.Clock) {
 	// instead of one.
 	w.pushPhase(clock, &sample)
 	snaps := w.exchangePhase(&sample)
-	index := make(map[overlay.NodeID]int, len(w.order))
-	for i, id := range w.order {
-		index[id] = i
-	}
+	index := w.buildIndex()
 	// The Urgent Line runs before scheduling: segments it predicts missed
 	// — holes at the deadline edge that no in-flight transfer will cover
 	// (§1's three motivating cases) — go to the DHT retrieval path, and
@@ -94,10 +90,12 @@ func (w *World) beginRound() {
 	w.dissem.BeginRound()
 	src := w.nodes[w.source]
 	w.pool.ForEach(len(w.order), func(i int) {
-		n := w.nodes[w.order[i]]
+		n := w.seq[i]
 		n.Buf.AdvanceTo(pos)
+		// pruneBelow also wipes expired request records as the window
+		// slides; unexpired entries are ignored lazily (expiry > round is
+		// checked at every read), so no eager expiry sweep is needed.
 		n.pruneBelow(pos)
-		n.expirePending(w.round)
 		n.overdue, n.repeated, n.pushReceived = 0, 0, 0
 	})
 	// Source ingestion happens after the window advance so new segments
@@ -108,7 +106,7 @@ func (w *World) beginRound() {
 			continue
 		}
 		if src.Buf.Insert(id) {
-			src.arrivedAt[id] = w.cfg.Stream.GeneratedAt(id)
+			src.noteArrived(id, w.cfg.Stream.GeneratedAt(id))
 			src.maybeBackup(w.space, id, w.cfg.Replicas)
 		}
 	}

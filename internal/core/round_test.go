@@ -105,7 +105,7 @@ func TestChurnMembershipEvolves(t *testing.T) {
 			if w.Node(nb) == nil {
 				t.Fatalf("edge to dead node %d", nb)
 			}
-			if !w.edges[nb][id] {
+			if !containsSortedID(w.neighborsOf(nb), id) {
 				t.Fatalf("asymmetric edge %d-%d after churn", id, nb)
 			}
 		}
@@ -123,7 +123,7 @@ func TestChurnKeepsStreamingAlive(t *testing.T) {
 		t.Fatalf("churned overlay degenerated: continuity %.3f", cont)
 	}
 	// The source must keep a healthy degree under churn (it repairs).
-	if deg := len(w.edges[w.Source()]); deg < 2 {
+	if deg := len(w.neighborsOf(w.Source())); deg < 2 {
 		t.Fatalf("source degree decayed to %d", deg)
 	}
 }

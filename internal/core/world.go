@@ -25,9 +25,15 @@ type World struct {
 	cfg   Config
 	space dht.Space
 
-	nodes  map[overlay.NodeID]*Node
+	// nodes is a dense table indexed by ring ID (nil = no node on that
+	// slot). Ring IDs are bounded by the identifier space, so a slice
+	// replaces the hash map every hot phase would otherwise probe; the
+	// connected-neighbour edge set lives in the nodes' sorted nbrs caches
+	// (symmetric by construction in addEdge/removeEdge).
+	nodes  []*Node
 	order  []overlay.NodeID // alive IDs, ascending (rebuilt on churn)
-	edges  map[overlay.NodeID]map[overlay.NodeID]bool
+	seq    []*Node          // nodes aligned with order, for hot per-index loops
+	index  []int32          // ring ID -> position in order; -1 = dead (rebuilt per round)
 	dhtNet *dht.Network
 	rp     *overlay.Rendezvous
 	source overlay.NodeID
@@ -41,21 +47,25 @@ type World struct {
 	inflight *sim.EventQueue[delivery]
 	// outUsed tracks each node's outbound spend within the current round
 	// (push seeding and gossip serving first, then pre-fetch takes the
-	// leftovers). The ledger is sharded by supplier ID — shard
-	// shardOf(id) owns id's counter — so the parallel transfer-resolution
-	// shards write their own partition without locks.
-	outUsed []map[overlay.NodeID]int
+	// leftovers). The dense ledger is indexed by ring ID and sharded by
+	// ownership rule — only shard shardOf(id) (or sequential phase code)
+	// may touch id's counter — so the parallel transfer-resolution shards
+	// write disjoint entries without locks.
+	outUsed []int32
 	// dissem is the dissemination engine's supplier-side state: per-
 	// supplier carry queues and push spend, sharded by the same supplier
 	// ownership rule as outUsed.
 	dissem *protocol.Engine
+	// rarity holds each serve shard's reusable rarity memo (see
+	// rarityCache); only the owning shard touches its entry.
+	rarity []rarityCache
 
 	// idGen counts how many times each ring ID has been assigned and
-	// vacated. It salts the per-node random streams so a joiner recycling
-	// a dead node's slot draws fresh bandwidth and jitter instead of
-	// replaying its predecessor's; generation 0 (no reuse) leaves every
-	// derivation exactly as before.
-	idGen map[overlay.NodeID]uint64
+	// vacated (indexed by ring ID). It salts the per-node random streams
+	// so a joiner recycling a dead node's slot draws fresh bandwidth and
+	// jitter instead of replaying its predecessor's; generation 0 (no
+	// reuse) leaves every derivation exactly as before.
+	idGen []uint64
 
 	// round mirrors the engine clock for code that needs the index between
 	// phases.
@@ -82,20 +92,18 @@ func NewWorld(cfg Config) (*World, error) {
 	w := &World{
 		cfg:       cfg,
 		space:     space,
-		nodes:     make(map[overlay.NodeID]*Node),
-		edges:     make(map[overlay.NodeID]map[overlay.NodeID]bool),
+		nodes:     make([]*Node, space.N()),
+		index:     make([]int32, space.N()),
 		dhtNet:    dht.NewNetwork(space),
 		rp:        overlay.NewRendezvous(space),
 		pool:      sim.NewPool(cfg.Workers),
 		rng:       sim.DeriveRNG(cfg.Seed, 0x0571d),
 		collector: metrics.NewCollector(),
 		inflight:  sim.NewEventQueue[delivery](),
-		outUsed:   make([]map[overlay.NodeID]int, phaseShards),
+		outUsed:   make([]int32, space.N()),
 		dissem:    protocol.NewEngine(phaseShards),
-		idGen:     make(map[overlay.NodeID]uint64),
-	}
-	for s := range w.outUsed {
-		w.outUsed[s] = make(map[overlay.NodeID]int)
+		rarity:    make([]rarityCache, phaseShards),
+		idGen:     make([]uint64, space.N()),
 	}
 	graph := cfg.Topology
 	if graph == nil {
@@ -170,7 +178,7 @@ func (w *World) buildNode(id overlay.NodeID, ping sim.Time, isSource bool) *Node
 		Backup:      dht.NewStore(),
 		RNG:         nodeRNG,
 	}
-	n.initState()
+	n.initState(cfg.BufferSegments)
 	if cfg.Profile.Prefetch && !isSource {
 		n.Alpha = prefetch.NewAlpha(prefetch.AlphaConfig{
 			PlaybackRate:  cfg.Stream.Rate,
@@ -216,8 +224,15 @@ func (w *World) Source() overlay.NodeID { return w.source }
 // Size returns the number of alive nodes (including the source).
 func (w *World) Size() int { return len(w.order) }
 
-// Node returns the node with the given ID, or nil.
-func (w *World) Node(id overlay.NodeID) *Node { return w.nodes[id] }
+// Node returns the node with the given ID, or nil. Unlike the internal
+// table (whose indices are live ring IDs by construction), it tolerates
+// arbitrary IDs.
+func (w *World) Node(id overlay.NodeID) *Node {
+	if id < 0 || int(id) >= len(w.nodes) {
+		return nil
+	}
+	return w.nodes[id]
+}
 
 // Nodes returns alive node IDs in ascending order; callers must not mutate.
 func (w *World) Nodes() []overlay.NodeID { return w.order }
@@ -239,26 +254,24 @@ func (w *World) shardOf(id overlay.NodeID) int {
 
 // outUsedOf reads a supplier's outbound spend this round.
 func (w *World) outUsedOf(id overlay.NodeID) int {
-	return w.outUsed[w.shardOf(id)][id]
+	return int(w.outUsed[id])
 }
 
 // addOutUsed charges n transmissions to a supplier's outbound ledger. Only
 // the shard that owns the supplier (or sequential phase code) may call it.
 func (w *World) addOutUsed(id overlay.NodeID, n int) {
-	w.outUsed[w.shardOf(id)][id] += n
+	w.outUsed[id] += int32(n)
 }
 
-// clearOutUsed resets every shard's ledger at the start of a round.
+// clearOutUsed resets the ledger at the start of a round.
 func (w *World) clearOutUsed() {
-	for _, m := range w.outUsed {
-		clear(m)
-	}
+	clear(w.outUsed)
 }
 
 // Latency returns the simulated one-way latency between two alive nodes:
 // the trace rule |ping_u − ping_v| with the topology package's floor.
 func (w *World) Latency(u, v overlay.NodeID) sim.Time {
-	nu, nv := w.nodes[u], w.nodes[v]
+	nu, nv := w.Node(u), w.Node(v)
 	if nu == nil || nv == nil {
 		return topology.MinLatency
 	}
@@ -272,65 +285,104 @@ func (w *World) Latency(u, v overlay.NodeID) sim.Time {
 	return d
 }
 
-// addEdge connects two nodes as gossip neighbours (symmetric).
+// addEdge connects two nodes as gossip neighbours (symmetric). The nodes'
+// sorted nbrs caches are the authoritative edge set.
 func (w *World) addEdge(u, v overlay.NodeID) {
 	if u == v {
 		return
 	}
-	if w.edges[u] == nil {
-		w.edges[u] = make(map[overlay.NodeID]bool)
-	}
-	if w.edges[v] == nil {
-		w.edges[v] = make(map[overlay.NodeID]bool)
-	}
-	if w.edges[u][v] {
+	nu, nv := w.nodes[u], w.nodes[v]
+	if containsSortedID(nu.nbrs, v) {
 		return
 	}
-	w.edges[u][v] = true
-	w.edges[v][u] = true
 	lat := w.Latency(u, v)
-	w.nodes[u].Table.AddNeighborLink(overlay.PeerInfo{ID: v, Latency: lat})
-	w.nodes[v].Table.AddNeighborLink(overlay.PeerInfo{ID: u, Latency: lat})
+	nu.Table.AddNeighborLink(overlay.PeerInfo{ID: v, Latency: lat})
+	nv.Table.AddNeighborLink(overlay.PeerInfo{ID: u, Latency: lat})
+	nu.nbrs = insertSortedID(nu.nbrs, v)
+	nv.nbrs = insertSortedID(nv.nbrs, u)
+}
+
+// insertSortedID inserts v into ascending s (callers guarantee v absent).
+func insertSortedID(s []overlay.NodeID, v overlay.NodeID) []overlay.NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+// removeSortedID deletes v from ascending s if present.
+func removeSortedID(s []overlay.NodeID, v overlay.NodeID) []overlay.NodeID {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	if i < len(s) && s[i] == v {
+		return append(s[:i], s[i+1:]...)
+	}
+	return s
+}
+
+// containsSortedID reports whether ascending s contains v.
+func containsSortedID(s []overlay.NodeID, v overlay.NodeID) bool {
+	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
+	return i < len(s) && s[i] == v
 }
 
 // removeEdge disconnects two nodes.
 func (w *World) removeEdge(u, v overlay.NodeID) {
-	if w.edges[u] != nil {
-		delete(w.edges[u], v)
-	}
-	if w.edges[v] != nil {
-		delete(w.edges[v], u)
-	}
 	if n := w.nodes[u]; n != nil {
 		n.Table.RemoveNeighbor(v)
 		n.Ctrl.Forget(int(v))
+		n.nbrs = removeSortedID(n.nbrs, v)
 	}
 	if n := w.nodes[v]; n != nil {
 		n.Table.RemoveNeighbor(u)
 		n.Ctrl.Forget(int(u))
+		n.nbrs = removeSortedID(n.nbrs, u)
 	}
 }
 
-// neighborsOf returns u's connected neighbours, ascending, from the edge
-// set (the authoritative view; peer tables mirror it).
+// neighborsOf returns u's connected neighbours, ascending. The slice is
+// the node's live cache (mirroring the authoritative edge set): callers
+// must treat it as read-only and must not hold it across edge changes —
+// copy first when removing edges while iterating or retaining the list.
 func (w *World) neighborsOf(u overlay.NodeID) []overlay.NodeID {
-	set := w.edges[u]
-	out := make([]overlay.NodeID, 0, len(set))
-	for v := range set {
-		out = append(out, v)
+	if n := w.nodes[u]; n != nil {
+		return n.nbrs
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return nil
+}
+
+// degreeOf returns how many connected neighbours a node has (0 if dead).
+func (w *World) degreeOf(id overlay.NodeID) int {
+	if n := w.nodes[id]; n != nil {
+		return len(n.nbrs)
+	}
+	return 0
 }
 
 // rebuildOrder refreshes the dense iteration order after membership
-// changes.
+// changes. Walking the ID-indexed table yields ascending order directly.
 func (w *World) rebuildOrder() {
 	w.order = w.order[:0]
-	for id := range w.nodes {
-		w.order = append(w.order, id)
+	w.seq = w.seq[:0]
+	for id, n := range w.nodes {
+		if n != nil {
+			w.order = append(w.order, overlay.NodeID(id))
+			w.seq = append(w.seq, n)
+		}
 	}
-	sort.Slice(w.order, func(i, j int) bool { return w.order[i] < w.order[j] })
+}
+
+// buildIndex refreshes and returns the ring-ID -> order-position table for
+// the current round (-1 marks dead slots). The table is only valid until
+// the next churn; Step rebuilds it each round.
+func (w *World) buildIndex() []int32 {
+	for i := range w.index {
+		w.index[i] = -1
+	}
+	for i, id := range w.order {
+		w.index[id] = int32(i)
+	}
+	return w.index
 }
 
 // playbackPos returns the synchronized playback position for round r:

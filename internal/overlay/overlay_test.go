@@ -1,6 +1,7 @@
 package overlay
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 
@@ -252,6 +253,65 @@ func TestRendezvousCandidatesClosest(t *testing.T) {
 	for _, id := range got {
 		if id == 10 {
 			t.Fatal("candidate list includes the joiner")
+		}
+	}
+}
+
+// TestRendezvousCandidatesMatchesReferenceSort pins the two-ended ring
+// walk against the straightforward specification — sort every known node
+// by (min arc distance, ID) and truncate — across random memberships,
+// query points (members and non-members) and list lengths, including
+// max > membership and antipode-heavy rings where the walk's two ends
+// meet mid-list.
+func TestRendezvousCandidatesMatchesReferenceSort(t *testing.T) {
+	rng := sim.NewRNG(42)
+	for trial := 0; trial < 200; trial++ {
+		space := dht.NewSpace(64)
+		rp := NewRendezvous(space)
+		members := rng.Intn(20)
+		for i := 0; i < members; i++ {
+			rp.Register(NodeID(rng.Intn(space.N())))
+		}
+		id := NodeID(rng.Intn(space.N()))
+		max := rng.Intn(25)
+		got := rp.Candidates(id, max)
+
+		type cand struct {
+			id   NodeID
+			dist int
+		}
+		var ref []cand
+		for _, k := range rp.known {
+			if k == id {
+				continue
+			}
+			cw := space.Clockwise(dht.ID(id), dht.ID(k))
+			d := cw
+			if ccw := space.N() - cw; ccw < d {
+				d = ccw
+			}
+			ref = append(ref, cand{id: k, dist: d})
+		}
+		sort.Slice(ref, func(i, j int) bool {
+			if ref[i].dist != ref[j].dist {
+				return ref[i].dist < ref[j].dist
+			}
+			return ref[i].id < ref[j].id
+		})
+		if len(ref) > max {
+			ref = ref[:max]
+		}
+		want := make([]NodeID, len(ref))
+		for i, c := range ref {
+			want[i] = c.id
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d (id=%d max=%d known=%v): got %v, want %v", trial, id, max, rp.known, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d (id=%d max=%d known=%v): got %v, want %v", trial, id, max, rp.known, got, want)
+			}
 		}
 	}
 }

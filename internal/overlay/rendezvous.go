@@ -52,39 +52,63 @@ func (rp *Rendezvous) AssignID(rng *sim.RNG) NodeID {
 // Candidates returns up to max known nodes with IDs closest to id on the
 // ring (by minimum of the two arc distances), closest first — the "short
 // list of several existing nodes which have close IDs".
+//
+// The list is kept sorted by ID, so the closest nodes are found by a
+// binary search followed by a two-ended greedy walk outward from the
+// insertion point: O(log known + max) instead of sorting the whole
+// membership per call, which dominated whole-round profiles at 10k nodes
+// (every join sorts the full list inside the sequential churn phase).
+// The walk reproduces the (distance, ID)-sorted order exactly: viewed
+// clockwise from id the candidates form one sequence whose clockwise
+// distances strictly increase front to back and whose counter-clockwise
+// distances strictly increase back to front, so the globally closest
+// unconsumed node is always at one of the two ends.
 func (rp *Rendezvous) Candidates(id NodeID, max int) []NodeID {
-	if max <= 0 || len(rp.known) == 0 {
+	known := rp.known
+	if max <= 0 || len(known) == 0 {
 		return nil
 	}
-	type cand struct {
-		id   NodeID
-		dist int
+	n := len(known)
+	ringN := rp.space.N()
+	// start is the first index holding an ID >= id; the virtual sequence
+	// seq[t] = known[(start+t) % n] lists every known node in ascending
+	// clockwise distance from id, with id itself (if present) at seq[0].
+	start := sort.Search(n, func(i int) bool { return known[i] >= id })
+	remaining := n
+	if start < n && known[start] == id {
+		start++
+		remaining--
 	}
-	cands := make([]cand, 0, len(rp.known))
-	for _, k := range rp.known {
-		if k == id {
-			continue
-		}
+	if remaining == 0 {
+		return nil
+	}
+	if max > remaining {
+		max = remaining
+	}
+	at := func(t int) NodeID { return known[(start+t)%n] }
+	minDist := func(k NodeID) int {
 		cw := rp.space.Clockwise(dht.ID(id), dht.ID(k))
-		ccw := rp.space.N() - cw
-		d := cw
-		if ccw < d {
-			d = ccw
+		if ccw := ringN - cw; ccw < cw {
+			return ccw
 		}
-		cands = append(cands, cand{id: k, dist: d})
+		return cw
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].dist != cands[j].dist {
-			return cands[i].dist < cands[j].dist
+	out := make([]NodeID, 0, max)
+	f, b := 0, remaining-1
+	for f <= b && len(out) < max {
+		if f == b {
+			out = append(out, at(f))
+			break
 		}
-		return cands[i].id < cands[j].id
-	})
-	if len(cands) > max {
-		cands = cands[:max]
-	}
-	out := make([]NodeID, len(cands))
-	for i, c := range cands {
-		out[i] = c.id
+		ef, eb := at(f), at(b)
+		df, db := minDist(ef), minDist(eb)
+		if df < db || (df == db && ef < eb) {
+			out = append(out, ef)
+			f++
+		} else {
+			out = append(out, eb)
+			b--
+		}
 	}
 	return out
 }

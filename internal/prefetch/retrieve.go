@@ -1,7 +1,7 @@
 package prefetch
 
 import (
-	"sort"
+	"slices"
 
 	"continustreaming/internal/dht"
 	"continustreaming/internal/segment"
@@ -87,7 +87,7 @@ func (r *Retriever) Locate(from dht.ID, id segment.ID) LookupResult {
 			res.LocateHops = route.Hops()
 		}
 	}
-	sort.Slice(res.Owners, func(i, j int) bool { return res.Owners[i] < res.Owners[j] })
+	slices.Sort(res.Owners)
 	if res.Found {
 		// The direct UDP request to the supplier is one more message.
 		res.RoutingMessages++
@@ -99,7 +99,7 @@ func (r *Retriever) Locate(from dht.ID, id segment.ID) LookupResult {
 // (Algorithm 2's input ordering) and returns the per-segment results.
 func (r *Retriever) LocateAll(from dht.ID, missed []segment.ID) []LookupResult {
 	ordered := append([]segment.ID(nil), missed...)
-	sort.Slice(ordered, func(i, j int) bool { return ordered[i] < ordered[j] })
+	slices.Sort(ordered)
 	out := make([]LookupResult, 0, len(ordered))
 	for _, id := range ordered {
 		out = append(out, r.Locate(from, id))

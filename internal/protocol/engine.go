@@ -1,7 +1,7 @@
 package protocol
 
 import (
-	"sort"
+	"slices"
 
 	"continustreaming/internal/overlay"
 )
@@ -86,7 +86,7 @@ func (e *Engine) QueuedSuppliers(shard int) []overlay.NodeID {
 	for id := range m {
 		out = append(out, id)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	slices.Sort(out)
 	return out
 }
 

@@ -1,7 +1,8 @@
 package protocol
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"continustreaming/internal/overlay"
 	"continustreaming/internal/scheduler"
@@ -30,30 +31,41 @@ func PlanPush(seed uint64, from overlay.NodeID, segs []segment.ID, neighbours []
 		to  overlay.NodeID
 		key uint64
 	}
-	targets := make([][]ranked, len(segs))
+	// All per-segment target lists live in one arena, delimited by off:
+	// segment i's candidates occupy arena[off[i]:off[i+1]].
+	arena := make([]ranked, 0, len(segs)*len(neighbours))
+	off := make([]int, len(segs)+1)
 	for i, s := range segs {
 		for _, nb := range neighbours {
 			if has(nb, s) {
 				continue
 			}
-			targets[i] = append(targets[i], ranked{to: nb, key: scheduler.Jitter(seed, uint64(s), uint64(nb))})
+			arena = append(arena, ranked{to: nb, key: scheduler.Jitter(seed, uint64(s), uint64(nb))})
 		}
-		sort.Slice(targets[i], func(a, b int) bool {
-			if targets[i][a].key != targets[i][b].key {
-				return targets[i][a].key < targets[i][b].key
+		off[i+1] = len(arena)
+		slices.SortFunc(arena[off[i]:], func(a, b ranked) int {
+			if a.key != b.key {
+				return cmp.Compare(a.key, b.key)
 			}
-			return targets[i][a].to < targets[i][b].to
+			return cmp.Compare(a.to, b.to)
 		})
 	}
-	var out []Send
+	total := len(arena)
+	if total == 0 {
+		return nil
+	}
+	if total > budget {
+		total = budget
+	}
+	out := make([]Send, 0, total)
 	for depth := 0; budget > 0; depth++ {
 		progressed := false
 		for i, s := range segs {
-			if depth >= len(targets[i]) {
+			if depth >= off[i+1]-off[i] {
 				continue
 			}
 			progressed = true
-			out = append(out, Send{From: from, To: targets[i][depth].to, ID: s})
+			out = append(out, Send{From: from, To: arena[off[i]+depth].to, ID: s})
 			if budget--; budget <= 0 {
 				return out
 			}

@@ -154,7 +154,8 @@ type ServeInput struct {
 // shared protocol; only the input assembly differs.
 func PlanServe(in ServeInput) ServeResult {
 	reqs := make([]Request, 0, len(in.Carried)+len(in.Fresh))
-	queued := make(map[segment.ID][]overlay.NodeID, len(in.Carried))
+	// Lazily built: most suppliers carry nothing, and a nil map reads fine.
+	var queued map[segment.ID][]overlay.NodeID
 	var stale int64
 	for _, c := range in.Carried {
 		// Revalidate: the requester may have died, the segment may have
@@ -172,6 +173,9 @@ func PlanServe(in ServeInput) ServeResult {
 		if in.RequesterHas(c.Requester, c.ID) {
 			stale++
 			continue
+		}
+		if queued == nil {
+			queued = make(map[segment.ID][]overlay.NodeID, len(in.Carried))
 		}
 		queued[c.ID] = append(queued[c.ID], c.Requester)
 		reqs = append(reqs, c)

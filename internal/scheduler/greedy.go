@@ -1,7 +1,8 @@
 package scheduler
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"continustreaming/internal/segment"
 	"continustreaming/internal/sim"
@@ -36,16 +37,16 @@ type scoredCandidate struct {
 // with the node's jitter so neighbouring peers diverge, then by ID for
 // full determinism.
 func sortByPriority(in Input, scored []scoredCandidate) {
-	sort.Slice(scored, func(i, j int) bool {
-		if scored[i].priority != scored[j].priority {
-			return scored[i].priority > scored[j].priority
+	slices.SortFunc(scored, func(a, b scoredCandidate) int {
+		if a.priority != b.priority {
+			return cmp.Compare(b.priority, a.priority)
 		}
-		ji := Jitter(in.JitterSeed, uint64(scored[i].c.ID), 0)
-		jj := Jitter(in.JitterSeed, uint64(scored[j].c.ID), 0)
-		if ji != jj {
-			return ji < jj
+		ja := Jitter(in.JitterSeed, uint64(a.c.ID), 0)
+		jb := Jitter(in.JitterSeed, uint64(b.c.ID), 0)
+		if ja != jb {
+			return cmp.Compare(ja, jb)
 		}
-		return scored[i].c.ID < scored[j].c.ID
+		return cmp.Compare(a.c.ID, b.c.ID)
 	})
 }
 
