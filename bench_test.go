@@ -28,6 +28,7 @@ func benchOptions(seed uint64) experiment.Options {
 // BenchmarkFigure3DHTRouting regenerates Figure 3: average greedy routing
 // hops and query success rate of the loose DHT as n grows inside N = 8192.
 func BenchmarkFigure3DHTRouting(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res := experiment.RunFigure3(experiment.Options{Seed: uint64(i + 1)})
 		last := res.Points[len(res.Points)-1]
@@ -40,6 +41,7 @@ func BenchmarkFigure3DHTRouting(b *testing.B) {
 // theoretical PC_old/PC_new at λ = 15 and 14 plus the four simulated
 // environments.
 func BenchmarkTable1TheoryVsSimulation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		o := benchOptions(uint64(i + 1))
 		res, err := experiment.RunTable1(o)
@@ -58,6 +60,7 @@ func BenchmarkTable1TheoryVsSimulation(b *testing.B) {
 // continuity track of CoolStreaming vs ContinuStreaming in a static
 // 1000-node overlay.
 func BenchmarkFigure5ContinuityStatic(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiment.RunFigure5(benchOptions(uint64(i + 1)))
 		if err != nil {
@@ -71,6 +74,7 @@ func BenchmarkFigure5ContinuityStatic(b *testing.B) {
 // BenchmarkFigure6ContinuityDynamic regenerates Figure 6: the same track
 // under 5% per-round churn.
 func BenchmarkFigure6ContinuityDynamic(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiment.RunFigure6(benchOptions(uint64(i + 1)))
 		if err != nil {
@@ -84,6 +88,7 @@ func BenchmarkFigure6ContinuityDynamic(b *testing.B) {
 // BenchmarkFigure7ContinuityVsSizeStatic regenerates Figure 7: stable
 // continuity across network sizes, static environment.
 func BenchmarkFigure7ContinuityVsSizeStatic(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiment.RunFigure7(benchOptions(uint64(i + 1)))
 		if err != nil {
@@ -99,6 +104,7 @@ func BenchmarkFigure7ContinuityVsSizeStatic(b *testing.B) {
 // BenchmarkFigure8ContinuityVsSizeDynamic regenerates Figure 8: the size
 // sweep under churn.
 func BenchmarkFigure8ContinuityVsSizeDynamic(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiment.RunFigure8(benchOptions(uint64(i + 1)))
 		if err != nil {
@@ -113,6 +119,7 @@ func BenchmarkFigure8ContinuityVsSizeDynamic(b *testing.B) {
 // BenchmarkFigure9ControlOverhead regenerates Figure 9: control overhead
 // for M = 4, 5, 6 across sizes, against the paper's M/495 closed form.
 func BenchmarkFigure9ControlOverhead(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiment.RunFigure9(benchOptions(uint64(i + 1)))
 		if err != nil {
@@ -127,6 +134,7 @@ func BenchmarkFigure9ControlOverhead(b *testing.B) {
 // BenchmarkFigure10PrefetchOverheadTrack regenerates Figure 10: the
 // pre-fetch overhead trace of a 1000-node network, static and dynamic.
 func BenchmarkFigure10PrefetchOverheadTrack(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiment.RunFigure10(benchOptions(uint64(i + 1)))
 		if err != nil {
@@ -140,6 +148,7 @@ func BenchmarkFigure10PrefetchOverheadTrack(b *testing.B) {
 // BenchmarkFigure11PrefetchOverheadVsSize regenerates Figure 11: stable
 // pre-fetch overhead across network sizes in both environments.
 func BenchmarkFigure11PrefetchOverheadVsSize(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := experiment.RunFigure11(benchOptions(uint64(i + 1)))
 		if err != nil {
@@ -155,9 +164,11 @@ func BenchmarkFigure11PrefetchOverheadVsSize(b *testing.B) {
 // DESIGN.md calls out: how each scheduling discipline fares on the same
 // workload (static, 300 nodes).
 func BenchmarkAblationSchedulingPolicies(b *testing.B) {
+	b.ReportAllocs()
 	systems := []System{CoolStreaming, ContinuStreamingNoPrefetch, ContinuStreaming}
 	for _, sys := range systems {
 		b.Run(sys.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				cfg := DefaultConfig(300)
 				cfg.System = sys
@@ -175,6 +186,7 @@ func BenchmarkAblationSchedulingPolicies(b *testing.B) {
 // BenchmarkTheoryClosedForms measures the analytical model evaluation
 // itself (pure math, no simulation).
 func BenchmarkTheoryClosedForms(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		m := theory.ContinuityModel{Lambda: 15, PlaybackRate: 10, TauSeconds: 1, Replicas: 4}
 		b.ReportMetric(m.PCNew(), "pcnew")

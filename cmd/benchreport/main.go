@@ -2,10 +2,10 @@
 // engine's steady-state step cost at the paper scale (1k nodes) and the
 // scale-out scale (10k nodes), the multi-worker speedup curve at 10k,
 // runs the Table 1 continuity sweep, and emits a machine-readable JSON
-// report. With -baseline it compares ns/op against a committed reference
-// and exits non-zero when any benchmark regresses beyond the tolerance —
-// wall-clock creep in the hot loop fails the build instead of landing
-// silently.
+// report. With -baseline it compares ns/op, B/op and allocs/op against a
+// committed reference and exits non-zero when any benchmark regresses
+// beyond the tolerance — wall-clock or allocation creep in the hot loop
+// fails the build instead of landing silently.
 //
 //	benchreport -out BENCH_PR2.json                      # measure + write
 //	benchreport -out BENCH_PR2.json -baseline BENCH_BASELINE.json
@@ -80,6 +80,11 @@ type BenchResult struct {
 	Workers     int    `json:"workers"`
 	TimedRounds int    `json:"timed_rounds"`
 	NsPerOp     int64  `json:"ns_per_op"`
+	// BPerOp and AllocsPerOp are the heap bytes and allocation count per
+	// timed round (schema v3; zero in v1/v2 baselines, where the
+	// allocation gate stays disarmed until the baseline is refreshed).
+	BPerOp      int64 `json:"b_per_op,omitempty"`
+	AllocsPerOp int64 `json:"allocs_per_op,omitempty"`
 	// ResultFingerprint hashes the run's full per-round metrics; two
 	// measurements of the same configuration and seed must agree on it
 	// regardless of worker count (the bit-identical pipeline contract).
@@ -96,6 +101,7 @@ type ContinuityResult struct {
 const (
 	schemaV1 = "continustreaming-benchreport/v1"
 	schemaV2 = "continustreaming-benchreport/v2"
+	schemaV3 = "continustreaming-benchreport/v3"
 )
 
 func main() {
@@ -114,7 +120,7 @@ func main() {
 	flag.Parse()
 
 	rep := Report{
-		Schema:    schemaV2,
+		Schema:    schemaV3,
 		GoVersion: runtime.Version(),
 		GOOS:      runtime.GOOS,
 		GOARCH:    runtime.GOARCH,
@@ -137,7 +143,8 @@ func main() {
 		}
 	}
 	for _, b := range append(append([]BenchResult{}, rep.Benchmarks...), rep.WorkersCurve...) {
-		fmt.Printf("%-12s nodes=%-6d workers=%d  %d ns/op  fp=%s\n", b.Name, b.Nodes, b.Workers, b.NsPerOp, b.ResultFingerprint)
+		fmt.Printf("%-12s nodes=%-6d workers=%d  %d ns/op  %d B/op  %d allocs/op  fp=%s\n",
+			b.Name, b.Nodes, b.Workers, b.NsPerOp, b.BPerOp, b.AllocsPerOp, b.ResultFingerprint)
 	}
 
 	// The curve's own invariants hold with or without a baseline: every
@@ -325,10 +332,13 @@ func checkCurve(rep Report, minSpeedup float64) (failures, notes []string) {
 // the playback delay so every phase (scheduling, transfers, pre-fetch,
 // maintenance, churn, repair) carries its full load, then timedRounds
 // steps are timed. This mirrors core's BenchmarkStep1k/Step10k without
-// the testing harness, so CI can run it as a plain binary. The returned
-// fingerprint hashes every per-round metrics sample of the run (warm-up
-// and timed), so any two invocations with the same configuration and
-// seed must agree on it no matter how many workers executed the rounds.
+// the testing harness, so CI can run it as a plain binary. Allocation
+// cost rides along via runtime.MemStats deltas — Mallocs and TotalAlloc
+// are monotonic, so the numbers are exact regardless of when the GC runs
+// inside the timed window. The returned fingerprint hashes every
+// per-round metrics sample of the run (warm-up and timed), so any two
+// invocations with the same configuration and seed must agree on it no
+// matter how many workers executed the rounds.
 func benchStep(name string, nodes, workers, timedRounds int, seed uint64) BenchResult {
 	cfg := core.DefaultConfig(nodes)
 	cfg.Profile = core.ProfileContinuStreaming()
@@ -341,9 +351,12 @@ func benchStep(name string, nodes, workers, timedRounds int, seed uint64) BenchR
 	}
 	engine := sim.NewEngine(w, cfg.Tau)
 	engine.Run(cfg.PlaybackDelayRounds + 2)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
 	start := time.Now()
 	engine.Run(timedRounds)
 	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
 	h := fnv.New64a()
 	for _, s := range w.Collector().Samples() {
 		fmt.Fprintf(h, "%+v\n", s)
@@ -354,6 +367,8 @@ func benchStep(name string, nodes, workers, timedRounds int, seed uint64) BenchR
 		Workers:           workers,
 		TimedRounds:       timedRounds,
 		NsPerOp:           elapsed.Nanoseconds() / int64(timedRounds),
+		BPerOp:            int64(after.TotalAlloc-before.TotalAlloc) / int64(timedRounds),
+		AllocsPerOp:       int64(after.Mallocs-before.Mallocs) / int64(timedRounds),
 		ResultFingerprint: fmt.Sprintf("%016x", h.Sum64()),
 	}
 }
@@ -370,10 +385,10 @@ type gateResult struct {
 // loadBaseline reads and validates a committed baseline report. A
 // structurally-valid JSON file that is not a benchreport baseline (wrong
 // schema tag, or no measurements at all) must fail the gate, not
-// silently pass it with nothing to compare against. v1 baselines (no
-// workers curve) are accepted — their benchmarks still gate, and the
-// curve comparison simply has no reference until the baseline is
-// refreshed.
+// silently pass it with nothing to compare against. Older schemas are
+// accepted — a v1 baseline (no workers curve) and a v2 baseline (no
+// allocation figures) still gate what they recorded, and the newer
+// comparisons simply have no reference until the baseline is refreshed.
 func loadBaseline(path string) Report {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -383,8 +398,8 @@ func loadBaseline(path string) Report {
 	if err := json.Unmarshal(raw, &base); err != nil {
 		fatalf("baseline %s: %v", path, err)
 	}
-	if base.Schema != schemaV1 && base.Schema != schemaV2 {
-		fatalf("baseline %s: schema %q, want %q or %q", path, base.Schema, schemaV1, schemaV2)
+	if base.Schema != schemaV1 && base.Schema != schemaV2 && base.Schema != schemaV3 {
+		fatalf("baseline %s: schema %q, want %q, %q or %q", path, base.Schema, schemaV1, schemaV2, schemaV3)
 	}
 	if len(base.Benchmarks) == 0 {
 		fatalf("baseline %s: no benchmarks recorded; refresh it with -update-baseline", path)
@@ -392,14 +407,19 @@ func loadBaseline(path string) Report {
 	return base
 }
 
-// gate compares measured ns/op — the plain benchmarks and the workers
-// curve alike — against the baseline report, returning one message per
-// measurement whose cost grew beyond the tolerance plus whether the
-// runner fingerprints match (mismatches downgrade the ns/op messages to
-// warnings at the caller). Measurements missing from either side are
-// reported too: a silently dropped measurement must not pass the gate.
-// Curve points absent from the baseline are exempt from the missing
-// check when the baseline predates the curve schema entirely.
+// gate compares measured ns/op, B/op and allocs/op — the plain
+// benchmarks and the workers curve alike — against the baseline report,
+// returning one message per measurement whose cost grew beyond the
+// tolerance plus whether the runner fingerprints match (mismatches
+// downgrade the cost messages to warnings at the caller; allocation
+// counts are steadier across hardware than wall time, but a different
+// memory allocator or word size can still move them, so they share the
+// downgrade). The allocation checks arm only when the baseline recorded
+// a non-zero figure — v1/v2 baselines carry none. Measurements missing
+// from either side are reported too: a silently dropped measurement must
+// not pass the gate. Curve points absent from the baseline are exempt
+// from the missing check when the baseline predates the curve schema
+// entirely.
 func gate(rep, base Report, tolerance float64) gateResult {
 	baseBench := map[string]BenchResult{}
 	for _, b := range append(append([]BenchResult{}, base.Benchmarks...), base.WorkersCurve...) {
@@ -413,11 +433,24 @@ func gate(rep, base Report, tolerance float64) gateResult {
 		if !ok {
 			continue // new measurement: nothing to gate against yet
 		}
-		limit := float64(ref.NsPerOp) * (1 + tolerance)
-		if float64(b.NsPerOp) > limit {
-			res.regressions = append(res.regressions, fmt.Sprintf(
-				"%s: %d ns/op exceeds baseline %d ns/op by more than %.0f%%",
-				b.Name, b.NsPerOp, ref.NsPerOp, tolerance*100))
+		checks := []struct {
+			unit      string
+			got, want int64
+		}{
+			{"ns/op", b.NsPerOp, ref.NsPerOp},
+			{"B/op", b.BPerOp, ref.BPerOp},
+			{"allocs/op", b.AllocsPerOp, ref.AllocsPerOp},
+		}
+		for _, c := range checks {
+			if c.want <= 0 {
+				continue // pre-v3 baseline (or unmeasured): nothing to gate
+			}
+			limit := float64(c.want) * (1 + tolerance)
+			if float64(c.got) > limit {
+				res.regressions = append(res.regressions, fmt.Sprintf(
+					"%s: %d %s exceeds baseline %d %s by more than %.0f%%",
+					b.Name, c.got, c.unit, c.want, c.unit, tolerance*100))
+			}
 		}
 	}
 	for name := range baseBench {

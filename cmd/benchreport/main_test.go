@@ -162,6 +162,77 @@ func TestGateDowngradeWithCurves(t *testing.T) {
 	}
 }
 
+// alloc builds a plain benchmark measurement with allocation figures.
+func alloc(name string, ns, bytes, allocs int64) BenchResult {
+	return BenchResult{Name: name, Nodes: 10000, Workers: 1, TimedRounds: 2,
+		NsPerOp: ns, BPerOp: bytes, AllocsPerOp: allocs, ResultFingerprint: "aa"}
+}
+
+// TestGateAllocationPasses: allocation figures inside tolerance — even
+// slightly above the baseline — pass the gate.
+func TestGateAllocationPasses(t *testing.T) {
+	base := runner(Report{Schema: schemaV3,
+		Benchmarks: []BenchResult{alloc("Step10k", 1000, 27_000_000, 100_000)}}, "m")
+	rep := runner(Report{Schema: schemaV3,
+		Benchmarks: []BenchResult{alloc("Step10k", 1000, 30_000_000, 110_000)}}, "m")
+	res := gate(rep, base, 0.20)
+	failures, downgraded := verdict(res)
+	if len(failures) != 0 || len(downgraded) != 0 {
+		t.Fatalf("in-tolerance allocations: failures=%v downgraded=%v, want clean", failures, downgraded)
+	}
+}
+
+// TestGateAllocationFails: B/op and allocs/op regressions beyond the
+// tolerance fail on matching hardware, independently of ns/op.
+func TestGateAllocationFails(t *testing.T) {
+	base := runner(Report{Schema: schemaV3,
+		Benchmarks: []BenchResult{alloc("Step10k", 1000, 27_000_000, 100_000)}}, "m")
+	rep := runner(Report{Schema: schemaV3,
+		Benchmarks: []BenchResult{alloc("Step10k", 1000, 40_000_000, 200_000)}}, "m")
+	res := gate(rep, base, 0.20)
+	failures, downgraded := verdict(res)
+	if len(downgraded) != 0 {
+		t.Fatalf("downgraded = %v, want none on matching hardware", downgraded)
+	}
+	joined := strings.Join(failures, "; ")
+	if len(failures) != 2 ||
+		!strings.Contains(joined, "B/op") || !strings.Contains(joined, "allocs/op") {
+		t.Fatalf("failures = %v, want a B/op and an allocs/op regression", failures)
+	}
+}
+
+// TestGateAllocationDowngrades: on mismatched hardware the allocation
+// regressions downgrade to warnings alongside the ns/op ones.
+func TestGateAllocationDowngrades(t *testing.T) {
+	base := runner(Report{Schema: schemaV3,
+		Benchmarks: []BenchResult{alloc("Step10k", 1000, 27_000_000, 100_000)}}, "old-xeon")
+	rep := runner(Report{Schema: schemaV3,
+		Benchmarks: []BenchResult{alloc("Step10k", 5000, 40_000_000, 200_000)}}, "new-xeon")
+	res := gate(rep, base, 0.20)
+	failures, downgraded := verdict(res)
+	if len(failures) != 0 {
+		t.Fatalf("failures = %v, want all regressions downgraded", failures)
+	}
+	if len(downgraded) != 3 {
+		t.Fatalf("downgraded = %v, want ns/op, B/op and allocs/op warnings", downgraded)
+	}
+}
+
+// TestGateV2BaselineNoAllocations: a v2 baseline recorded no allocation
+// figures, so the allocation gate stays disarmed however much the
+// measured run allocates; ns/op still gates.
+func TestGateV2BaselineNoAllocations(t *testing.T) {
+	base := runner(Report{Schema: schemaV2,
+		Benchmarks: []BenchResult{{Name: "Step10k", NsPerOp: 1000}}}, "m")
+	rep := runner(Report{Schema: schemaV3,
+		Benchmarks: []BenchResult{alloc("Step10k", 2000, 40_000_000, 200_000)}}, "m")
+	res := gate(rep, base, 0.20)
+	failures, _ := verdict(res)
+	if len(failures) != 1 || !strings.Contains(failures[0], "ns/op") {
+		t.Fatalf("failures = %v, want only the ns/op regression", failures)
+	}
+}
+
 // TestGateV1BaselineNoCurve: a pre-curve baseline still gates the plain
 // benchmarks and does not demand curve points it never recorded.
 func TestGateV1BaselineNoCurve(t *testing.T) {

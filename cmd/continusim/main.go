@@ -193,6 +193,30 @@ func runScenario(name string, cfg continustreaming.Config, rounds, tail int, csv
 				res.ControlOverhead.TailMean(tail), res.PrefetchOverhead.TailMean(tail))
 		}
 	}
+	if kb := peakRSSKB(); kb > 0 {
+		fmt.Printf("peak_rss_kb=%d\n", kb)
+	}
+}
+
+// peakRSSKB reads the process's resident-set high-water mark from
+// /proc/self/status (Linux only; 0 elsewhere), so the CI scale smoke can
+// gate memory regressions on the scenario run itself instead of wrapping
+// it in an external sampler.
+func peakRSSKB() int64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(line, "VmHWM:"); ok {
+			if f := strings.Fields(rest); len(f) > 0 {
+				if kb, err := strconv.ParseInt(f[0], 10, 64); err == nil {
+					return kb
+				}
+			}
+		}
+	}
+	return 0
 }
 
 func fatalf(format string, args ...any) {

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"continustreaming/internal/buffer"
+	"continustreaming/internal/dht"
+	"continustreaming/internal/overlay"
+	"continustreaming/internal/protocol"
+	"continustreaming/internal/scheduler"
+	"continustreaming/internal/segment"
+)
+
+// roundArena is one ownership shard's reusable round-lived scratch. Every
+// buffer in it is grow-only: phases reset slices to [:0] (or re-point
+// per-bucket heads) instead of reallocating, so after warm-up the round
+// pipeline's recurring transients cost no allocation at all.
+//
+// Ownership follows the shard rule everywhere else in the pipeline: only
+// the shard that owns arena index s (or sequential phase code between
+// parallel sections) may touch w.arenas[s]. Results carved from an arena
+// (rewire intents, serve asks) stay valid until the owning phase runs
+// again in the next round, which is exactly as long as their consumers
+// need them.
+type roundArena struct {
+	// gossip holds the maintenance scatter buckets: gossip[s] collects
+	// the hear events this scatter shard emits toward ownership shard s.
+	// The outer slice is sized to phaseShards once; stage 1 resets each
+	// bucket per round.
+	gossip [][]hearEvent
+
+	// nodes is this shard's work list: the alive IDs it owns, ascending.
+	// Rebuilt sequentially each maintenance round.
+	nodes []overlay.NodeID
+
+	// deadScan snapshots one node's neighbour IDs ahead of dead-edge
+	// removal (removeEdge mutates the live cache mid-iteration).
+	deadScan []overlay.NodeID
+
+	// provider is the shard's reusable maintenance view provider,
+	// re-pointed at each node in turn.
+	provider maintenanceProvider
+
+	// rewire is the PlanRewire scratch: pool buffers plus the intent
+	// arena that backs every planned Drop/Adopt until stage 3 applies
+	// them.
+	rewire protocol.RewireScratch
+
+	// intents collects this shard's planned rewires for the sequential
+	// apply stage.
+	intents []protocol.RewireIntent
+
+	// serveScatter holds the transfer-resolution scatter buckets:
+	// serveScatter[s] collects the asks this requester-range shard emits
+	// toward supplier-ownership shard s. Sized to phaseShards once; the
+	// scatter stage resets each bucket per round.
+	serveScatter [][]transferReq
+
+	// asks is the serve stage's merged fresh-ask list for this supplier
+	// shard, stable-sorted by supplier (arrival order preserved within
+	// each supplier); suppliers the distinct supplier worklist; deliveries
+	// the shard's granted transfers, alive until the round's apply phase.
+	asks       []transferReq
+	suppliers  []overlay.NodeID
+	deliveries []delivery
+
+	// planAsks and rrReqs stage one supplier's fresh asks for PlanServe /
+	// ServeRoundRobin; serve is the PlanServe request scratch; sctx backs
+	// the hoisted ServeInput callbacks (one closure set per shard, fields
+	// re-pointed per supplier).
+	planAsks []protocol.Ask
+	rrReqs   []protocol.Request
+	serve    protocol.ServeScratch
+	sctx     serveCtx
+
+	// applyBucket holds the deliveries addressed to this ownership
+	// shard's receivers, scattered sequentially then sorted and applied
+	// shard-locally.
+	applyBucket []delivery
+
+	// sched is the schedule phase's scratch (this index read as a
+	// contiguous range shard): the policy scratch whose request arena
+	// backs the round's scheduler output, plus the candidate-enumeration
+	// buffers reset per node.
+	sched     scheduler.Scratch
+	candLive  []nbSnap
+	candUnion []uint64
+	candSup   []scheduler.Supplier
+	cands     []scheduler.Candidate
+}
+
+// ensureArenas sizes the per-shard arena table on first use (sequential
+// code only) and wires each shard's provider to the world.
+func (w *World) ensureArenas() {
+	if w.arenas == nil {
+		w.arenas = make([]roundArena, phaseShards)
+		for s := range w.arenas {
+			w.arenas[s].provider.w = w
+		}
+	}
+}
+
+// resetGossip readies the scatter buckets for a new round, keeping every
+// bucket's capacity.
+func (ar *roundArena) resetGossip() {
+	if ar.gossip == nil {
+		ar.gossip = make([][]hearEvent, phaseShards)
+	}
+	for i := range ar.gossip {
+		ar.gossip[i] = ar.gossip[i][:0]
+	}
+}
+
+// resetServeScatter readies the transfer scatter buckets likewise.
+func (ar *roundArena) resetServeScatter() {
+	if ar.serveScatter == nil {
+		ar.serveScatter = make([][]transferReq, phaseShards)
+	}
+	for i := range ar.serveScatter {
+		ar.serveScatter[i] = ar.serveScatter[i][:0]
+	}
+}
+
+// serveCtx carries the per-supplier state the hoisted ServeInput
+// callbacks read. The closures are built once per shard (ensure) and
+// capture only the ctx pointer; serveSupplier re-points the fields for
+// each supplier in turn, so the per-supplier closure allocations the old
+// inline literals paid are gone.
+type serveCtx struct {
+	w          *World
+	snaps      []buffer.Map
+	index      []int32
+	sn         *Node
+	neighbours []overlay.NodeID
+	cache      *rarityCache
+	positions  []int
+	pos        segment.ID
+
+	supplierHas    func(segment.ID) bool
+	requesterAlive func(overlay.NodeID) bool
+	requesterHas   func(overlay.NodeID, segment.ID) bool
+	rarity         func(segment.ID) float64
+}
+
+// ensure builds the callback set on first use.
+func (c *serveCtx) ensure(w *World) {
+	if c.rarity != nil {
+		return
+	}
+	c.w = w
+	c.supplierHas = func(id segment.ID) bool { return c.sn.Buf.Has(id) }
+	c.requesterAlive = func(id overlay.NodeID) bool { return c.w.nodes[id] != nil }
+	c.requesterHas = func(id overlay.NodeID, seg segment.ID) bool {
+		j := c.index[id]
+		return j >= 0 && c.snaps[j].Has(seg)
+	}
+	c.rarity = func(id segment.ID) float64 {
+		if r, ok := c.cache.get(id); ok {
+			return r
+		}
+		c.positions = c.positions[:0]
+		for _, nb := range c.neighbours {
+			j := c.index[nb]
+			if j < 0 {
+				continue
+			}
+			if pft, ok := c.snaps[j].PositionFromTail(id); ok {
+				c.positions = append(c.positions, pft)
+			}
+		}
+		r := protocol.SupplierRarity(c.w.cfg.BufferSegments, c.positions)
+		c.cache.put(id, r)
+		return r
+	}
+}
+
+// maintenanceProvider implements protocol.ViewProvider over shard-owned
+// world state: one long-lived value per shard, re-pointed at each node.
+// The append methods materialise exactly what the retired per-node
+// closures did, minus the per-call slice and closure allocations.
+type maintenanceProvider struct {
+	w *World
+	n *Node
+	// peerBuf is the reusable staging buffer for the two DHT peer tables.
+	peerBuf []dht.ID
+}
+
+func (p *maintenanceProvider) AppendNeighbors(dst []protocol.NeighborSupply) []protocol.NeighborSupply {
+	for _, nb := range p.n.Table.Neighbors() {
+		s := protocol.NeighborSupply{ID: nb.ID, Known: p.n.Ctrl.Known(int(nb.ID))}
+		if s.Known {
+			s.Supply = p.n.Ctrl.Supply(int(nb.ID))
+		}
+		dst = append(dst, s)
+	}
+	return dst
+}
+
+func (p *maintenanceProvider) AppendOverheard(dst []protocol.CandidateSource) []protocol.CandidateSource {
+	for _, o := range p.n.Table.OverheardRaw() {
+		dst = append(dst, protocol.CandidateSource{ID: o.ID, Latency: o.Latency})
+	}
+	return dst
+}
+
+func (p *maintenanceProvider) AppendDHTPeers(dst []protocol.CandidateSource) []protocol.CandidateSource {
+	p.peerBuf = p.peerBuf[:0]
+	if t := p.n.Table.DHT(); t != nil {
+		p.peerBuf = t.AppendPeers(p.peerBuf)
+	}
+	if t := p.w.dhtNet.Table(dht.ID(p.n.ID)); t != nil {
+		p.peerBuf = t.AppendPeers(p.peerBuf)
+	}
+	for _, pr := range p.peerBuf {
+		c := overlay.NodeID(pr)
+		dst = append(dst, protocol.CandidateSource{ID: c, Latency: p.w.Latency(p.n.ID, c)})
+	}
+	return dst
+}
+
+func (p *maintenanceProvider) AppendRPCandidates(dst []overlay.NodeID, max int) []overlay.NodeID {
+	// Only the source consults the RP list — once per round — so the
+	// membership snapshot's allocation is not a steady-state cost.
+	return append(dst, p.w.rp.Candidates(p.n.ID, max)...)
+}
+
+func (p *maintenanceProvider) Alive(id overlay.NodeID) bool { return p.w.nodes[id] != nil }
+
+func (p *maintenanceProvider) Connected(id overlay.NodeID) bool {
+	return containsSortedID(p.n.nbrs, id)
+}

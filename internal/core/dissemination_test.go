@@ -63,7 +63,7 @@ func TestSupplierServesEarliestDeadlineFirst(t *testing.T) {
 				id:        id,
 			})
 		}
-		res := w.serveSupplier(w.shardOf(sup), sup, fresh, snaps, index, 0, sim.Time(w.cfg.Tau), pos, p)
+		res := w.serveSupplier(&roundArena{}, w.shardOf(sup), sup, fresh, snaps, index, 0, sim.Time(w.cfg.Tau), pos, p)
 		if len(res.Granted) != 2 {
 			t.Fatalf("granted %d, want capacity 2", len(res.Granted))
 		}
@@ -115,7 +115,7 @@ func TestSupplierBreaksDeadlineTiesByRarity(t *testing.T) {
 	// Capacity 1: only the spill-adjusted single slot. Force it by
 	// charging one push send against the supplier.
 	w.dissem.ChargePush(w.shardOf(sup), sup, 1)
-	res := w.serveSupplier(w.shardOf(sup), sup, fresh, snaps, index, 0, sim.Time(w.cfg.Tau), pos, p)
+	res := w.serveSupplier(&roundArena{}, w.shardOf(sup), sup, fresh, snaps, index, 0, sim.Time(w.cfg.Tau), pos, p)
 	if len(res.Granted) != 1 || res.Granted[0].ID != rare {
 		t.Fatalf("granted %+v, want the rare segment %d first", res.Granted, rare)
 	}
@@ -139,7 +139,7 @@ func TestQueueCarriesUnservedRequests(t *testing.T) {
 		fresh = append(fresh, transferReq{supplier: sup, requester: w.Nodes()[i], id: id})
 	}
 	shard := w.shardOf(sup)
-	res := w.serveSupplier(shard, sup, fresh, snaps, index, 0, sim.Time(w.cfg.Tau), pos, p)
+	res := w.serveSupplier(&roundArena{}, shard, sup, fresh, snaps, index, 0, sim.Time(w.cfg.Tau), pos, p)
 	if len(res.Granted) != 2 {
 		t.Fatalf("granted %d, want 2", len(res.Granted))
 	}
@@ -150,7 +150,7 @@ func TestQueueCarriesUnservedRequests(t *testing.T) {
 		t.Fatalf("overflow evictions = %d, want 1", res.Evicted.Overflow)
 	}
 	// Next round: no fresh asks; the carried pair is served first.
-	res2 := w.serveSupplier(shard, sup, nil, snaps, index, sim.Time(w.cfg.Tau), 2*sim.Time(w.cfg.Tau), pos, p)
+	res2 := w.serveSupplier(&roundArena{}, shard, sup, nil, snaps, index, sim.Time(w.cfg.Tau), 2*sim.Time(w.cfg.Tau), pos, p)
 	if len(res2.Granted) != 2 || !res2.Granted[0].Carried || !res2.Granted[1].Carried {
 		t.Fatalf("carried requests not served next round: %+v", res2.Granted)
 	}

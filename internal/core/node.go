@@ -101,19 +101,22 @@ const pendingExpiryRounds = 2
 // segTrack holds a node's per-segment transient state in dense circular
 // arrays. Every live entry's ID lies inside the node's buffer window
 // [lo, lo+B): requests and pre-fetches target in-window segments, and
-// arrival times only matter while the segment is buffered. With slots a
-// power of two >= B, id mod slots is collision-free across any window of
-// in-window IDs, and entries for IDs that fell below lo are wiped as the
-// window slides past them — so a slot holds at most one live entry and
+// arrival times only matter while the segment is buffered. The arrays
+// hold exactly B slots — id maps to loSlot plus its offset from lo,
+// wrapping once — so the mapping is collision-free across any window of
+// in-window IDs without rounding B up to a power of two (that rounding
+// was ~40% of every node's footprint, the dominant live-heap term at
+// 100k nodes). Entries for IDs that fell below lo are wiped as the
+// window slides past them, so a slot holds at most one live entry and
 // needs no tag or hash.
 //
 // Expiry is checked lazily at read time (expiry > round), which makes an
 // expired entry indistinguishable from an absent one — the same contract
 // the old map sweep enforced eagerly each round.
 type segTrack struct {
-	lo    segment.ID // slots for ids < lo are clear
-	slots int        // power of two >= buffer size
-	mask  int
+	lo     segment.ID // slots for ids < lo are clear; never decreases, >= 0
+	loSlot int        // index of lo's slot: int(lo) % slots
+	slots  int        // exactly the buffer size
 
 	arrived          []sim.Time // first arrival time; -1 = unrecorded
 	gossipExpiry     []int32    // retry round bound; 0 = no pending request
@@ -123,17 +126,12 @@ type segTrack struct {
 
 // initState sizes the segment tracker for the configured buffer.
 func (n *Node) initState(bufSize int) {
-	slots := 1
-	for slots < bufSize {
-		slots <<= 1
-	}
 	n.seg = segTrack{
-		slots:            slots,
-		mask:             slots - 1,
-		arrived:          make([]sim.Time, slots),
-		gossipExpiry:     make([]int32, slots),
-		gossipExpectedAt: make([]sim.Time, slots),
-		prefetchExpiry:   make([]int32, slots),
+		slots:            bufSize,
+		arrived:          make([]sim.Time, bufSize),
+		gossipExpiry:     make([]int32, bufSize),
+		gossipExpectedAt: make([]sim.Time, bufSize),
+		prefetchExpiry:   make([]int32, bufSize),
 	}
 	for i := range n.seg.arrived {
 		n.seg.arrived[i] = -1
@@ -142,10 +140,15 @@ func (n *Node) initState(bufSize int) {
 
 // slot maps id to its array index; ok is false outside the tracked range.
 func (t *segTrack) slot(id segment.ID) (int, bool) {
-	if id < t.lo || id >= t.lo+segment.ID(t.slots) {
+	off := int(id - t.lo)
+	if off < 0 || off >= t.slots {
 		return 0, false
 	}
-	return int(id) & t.mask, true
+	s := t.loSlot + off
+	if s >= t.slots {
+		s -= t.slots
+	}
+	return s, true
 }
 
 // mustSlot is slot for writers, whose IDs are in-window by construction.
@@ -158,7 +161,9 @@ func (t *segTrack) mustSlot(id segment.ID) int {
 }
 
 // advanceTo slides the tracked window, wiping state for every ID the
-// window passed. Cost is O(min(shift, slots)).
+// window passed. Cost is O(min(shift, slots)). The first advance from a
+// negative or zero position establishes lo >= 0; later calls only grow
+// it, so loSlot stays a plain non-negative remainder.
 func (t *segTrack) advanceTo(lo segment.ID) {
 	if lo <= t.lo {
 		return
@@ -167,13 +172,17 @@ func (t *segTrack) advanceTo(lo segment.ID) {
 	if k > t.slots {
 		k = t.slots
 	}
+	s := t.loSlot
 	for i := 0; i < k; i++ {
-		s := int(t.lo+segment.ID(i)) & t.mask
 		t.arrived[s] = -1
 		t.gossipExpiry[s] = 0
 		t.prefetchExpiry[s] = 0
+		if s++; s == t.slots {
+			s = 0
+		}
 	}
 	t.lo = lo
+	t.loSlot = int(lo) % t.slots
 }
 
 // Fresh reports whether the node should consider fetching id: absent from

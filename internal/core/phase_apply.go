@@ -3,10 +3,8 @@ package core
 import (
 	"cmp"
 	"slices"
-	"sort"
 
 	"continustreaming/internal/metrics"
-	"continustreaming/internal/overlay"
 	"continustreaming/internal/segment"
 	"continustreaming/internal/sim"
 )
@@ -16,23 +14,28 @@ import (
 // backup stores, α feedback and the traffic counters. Deliveries landing
 // after the round boundary go to the in-flight queue instead.
 //
-// Receivers are partitioned into shards by node ID; every shard groups,
-// orders, and applies its own receivers' arrivals while accumulating into
-// a private metric sample, and the per-shard samples are folded in shard
-// order afterwards. A receiver belongs to exactly one shard, so all
-// per-node mutation stays shard-local.
+// Receivers are partitioned into shards by node ID; every shard sorts its
+// own arena bucket by (receiver, timestamp, segment, sender, prefetch) —
+// one sort whose receiver-major runs are exactly the per-receiver
+// canonical orders the old group-then-sort pass produced — and applies
+// each run while accumulating into a private metric sample; the per-shard
+// samples are folded in shard order afterwards. A receiver belongs to
+// exactly one shard, so all per-node mutation stays shard-local.
 func (w *World) applyDeliveries(clock *sim.Clock, deliveries []delivery, sample *metrics.RoundSample) {
 	end := clock.RoundEnd()
+	w.ensureArenas()
 	// The in-flight queue is a shared heap whose tie-break is push order,
 	// so this partition pass stays sequential; it is a single cheap scan.
-	buckets := make([][]delivery, phaseShards)
+	for s := range w.arenas {
+		w.arenas[s].applyBucket = w.arenas[s].applyBucket[:0]
+	}
 	for _, d := range deliveries {
 		if d.at > end {
 			w.inflight.Push(d.at, d)
 			continue
 		}
 		s := w.shardOf(d.to)
-		buckets[s] = append(buckets[s], d)
+		w.arenas[s].applyBucket = append(w.arenas[s].applyBucket, d)
 	}
 	pos := w.playbackPos(w.round)
 	p := w.cfg.Stream.Rate
@@ -41,40 +44,38 @@ func (w *World) applyDeliveries(clock *sim.Clock, deliveries []delivery, sample 
 	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseApply),
 		func(s int, _ *sim.RNG) metrics.RoundSample {
 			var local metrics.RoundSample
-			if len(buckets[s]) == 0 {
+			bucket := w.arenas[s].applyBucket
+			if len(bucket) == 0 {
 				return local
 			}
-			byReceiver := make(map[overlay.NodeID][]delivery)
-			var receivers []overlay.NodeID
-			for _, d := range buckets[s] {
-				if _, ok := byReceiver[d.to]; !ok {
-					receivers = append(receivers, d.to)
+			// Canonical arrival order: the (from, prefetch) tie-breaks
+			// make the outcome independent of how the delivery slice was
+			// assembled upstream. The comparator sorts the shard's bucket
+			// in place — the bucket lives in the shard's own arena.
+			slices.SortFunc(bucket, func(a, b delivery) int {
+				if a.to != b.to {
+					return cmp.Compare(a.to, b.to)
 				}
-				byReceiver[d.to] = append(byReceiver[d.to], d)
-			}
-			sort.Slice(receivers, func(i, j int) bool { return receivers[i] < receivers[j] })
-			for _, id := range receivers {
-				n := w.nodes[id]
-				if n == nil {
-					continue
+				if a.at != b.at {
+					return cmp.Compare(a.at, b.at)
 				}
-				ds := byReceiver[id]
-				// Canonical arrival order: the (from, prefetch) tie-breaks
-				// make the outcome independent of how the delivery slice
-				// was assembled upstream.
-				slices.SortFunc(ds, func(a, b delivery) int {
-					if a.at != b.at {
-						return cmp.Compare(a.at, b.at)
-					}
-					if a.id != b.id {
-						return cmp.Compare(a.id, b.id)
-					}
-					if a.from != b.from {
-						return cmp.Compare(a.from, b.from)
-					}
-					return btoi(b.prefetch) - btoi(a.prefetch)
-				})
-				w.applyToReceiver(n, ds, pos, p, segBits, now, &local)
+				if a.id != b.id {
+					return cmp.Compare(a.id, b.id)
+				}
+				if a.from != b.from {
+					return cmp.Compare(a.from, b.from)
+				}
+				return btoi(b.prefetch) - btoi(a.prefetch)
+			})
+			for lo := 0; lo < len(bucket); {
+				hi := lo
+				for hi < len(bucket) && bucket[hi].to == bucket[lo].to {
+					hi++
+				}
+				if n := w.nodes[bucket[lo].to]; n != nil {
+					w.applyToReceiver(n, bucket[lo:hi], pos, p, segBits, now, &local)
+				}
+				lo = hi
 			}
 			return local
 		},

@@ -23,10 +23,11 @@ func (w *World) dhtRepairPhase() {
 	}
 	pos := w.playbackPos(w.round)
 	edge := w.fetchEdge(w.round)
-	shardNodes := w.shardWorkLists()
+	w.ensureArenas()
+	w.shardWorkLists()
 	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseRepair),
 		func(s int, rng *sim.RNG) struct{} {
-			for _, id := range shardNodes[s] {
+			for _, id := range w.arenas[s].nodes {
 				n := w.nodes[id]
 				if t := w.dhtNet.Table(dht.ID(id)); t != nil {
 					w.dhtNet.RepairTable(t, rng)

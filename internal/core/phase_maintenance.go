@@ -1,7 +1,6 @@
 package core
 
 import (
-	"continustreaming/internal/dht"
 	"continustreaming/internal/overlay"
 	"continustreaming/internal/protocol"
 	"continustreaming/internal/sim"
@@ -36,59 +35,64 @@ type hearEvent struct {
 func (w *World) maintenancePhase() {
 	warm := w.virtualPos(w.round) > 0
 	nOrder := len(w.order)
+	w.ensureArenas()
 
 	// Stage 1: membership-gossip scatter over contiguous index ranges.
 	// Each node's picks consume its own RNG stream, so the draw sequence
 	// is a function of the node alone, never of worker interleaving.
-	scatter := make([][][]hearEvent, phaseShards)
+	// Events land in the scatter shard's arena buckets, bucketed by the
+	// shard that owns the hearing peer; the alive and emit callbacks are
+	// hoisted to one pair per shard instead of one per node.
 	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseGossip),
-		func(r int, _ *sim.RNG) [][]hearEvent {
-			lo, hi := sim.ShardRange(nOrder, phaseShards, r)
-			var buckets [][]hearEvent
-			for i := lo; i < hi; i++ {
-				id := w.order[i]
-				n := w.nodes[id]
-				// Pin the neighbour snapshot once; every later decision in
-				// the pipeline works from per-stage snapshots, never from a
-				// list re-read mid-mutation.
-				nbs := n.Table.NeighborIDs()
-				protocol.GossipPicks(n.RNG, nbs,
-					func(id overlay.NodeID) bool { return w.nodes[id] != nil },
-					func(to, about overlay.NodeID) {
-						if buckets == nil {
-							buckets = make([][]hearEvent, phaseShards)
-						}
-						ss := w.shardOf(to)
-						buckets[ss] = append(buckets[ss], hearEvent{to: to, about: about, lat: w.Latency(to, about)})
-					})
+		func(r int, _ *sim.RNG) struct{} {
+			ar := &w.arenas[r]
+			ar.resetGossip()
+			alive := func(id overlay.NodeID) bool { return w.nodes[id] != nil }
+			emit := func(to, about overlay.NodeID) {
+				ss := w.shardOf(to)
+				//continulint:shardcapture ar aliases w.arenas[r], the map shard's own arena; no other shard touches it
+				ar.gossip[ss] = append(ar.gossip[ss], hearEvent{to: to, about: about, lat: w.Latency(to, about)})
 			}
-			return buckets
+			lo, hi := sim.ShardRange(nOrder, phaseShards, r)
+			for i := lo; i < hi; i++ {
+				n := w.nodes[w.order[i]]
+				// The neighbour snapshot is pinned at phase entry: nothing
+				// mutates edges until stage 2, so the live sorted cache is
+				// the snapshot.
+				protocol.GossipPicks(n.RNG, n.nbrs, alive, emit)
+			}
+			return struct{}{}
 		},
-		func(r int, buckets [][]hearEvent) { scatter[r] = buckets })
+		func(int, struct{}) {})
 
 	// Stage 2: shard-owned hear delivery, dead-neighbour cleanup, and
 	// intent computation. Every mutation in this stage touches only state
 	// owned by the executing shard (the node's own tables, its own
-	// neighbour cache, its own controller). One sequential pass builds the per-shard
-	// work lists so each shard walks only its own nodes.
-	shardNodes := w.shardWorkLists()
-	intents := make([][]protocol.RewireIntent, phaseShards)
+	// neighbour cache, its own controller, its own arena). One sequential
+	// pass builds the per-shard work lists so each shard walks only its
+	// own nodes.
+	w.shardWorkLists()
 	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseRewire),
-		func(s int, _ *sim.RNG) []protocol.RewireIntent {
+		func(s int, _ *sim.RNG) struct{} {
+			ar := &w.arenas[s]
 			for r := 0; r < phaseShards; r++ {
-				if scatter[r] == nil {
-					continue
-				}
-				for _, ev := range scatter[r][s] {
+				// Cross-shard read of stage-1 output, sequenced by the
+				// barrier between the two MapReduce calls.
+				for _, ev := range w.arenas[r].gossip[s] {
 					if n := w.nodes[ev.to]; n != nil {
 						n.Table.Hear(ev.about, ev.lat)
 					}
 				}
 			}
-			var out []protocol.RewireIntent
-			for _, id := range shardNodes[s] {
+			ar.intents = ar.intents[:0]
+			ar.rewire.Reset()
+			tuning := w.maintenanceTuning()
+			for _, id := range ar.nodes {
 				n := w.nodes[id]
-				for _, nb := range n.Table.NeighborIDs() {
+				// Snapshot the neighbour list before the dead scan:
+				// removeEdge rewrites the sorted cache mid-iteration.
+				ar.deadScan = append(ar.deadScan[:0], n.nbrs...)
+				for _, nb := range ar.deadScan {
 					if w.nodes[nb] == nil {
 						// The dead side's node is gone, so this edge
 						// removal mutates only shard-owned state.
@@ -96,20 +100,27 @@ func (w *World) maintenancePhase() {
 						n.Table.ForgetOverheard(nb)
 					}
 				}
-				if intent, ok := protocol.PlanRewire(w.maintenanceView(n, warm), w.maintenanceTuning()); ok {
-					out = append(out, intent)
+				ar.provider.n = n
+				if intent, ok := protocol.PlanRewire(w.maintenanceView(n, warm, &ar.provider), tuning, &ar.rewire); ok {
+					//continulint:shardcapture ar aliases w.arenas[s], the map shard's own arena; no other shard touches it
+					ar.intents = append(ar.intents, intent)
 				}
 			}
-			return out
+			return struct{}{}
 		},
-		func(s int, out []protocol.RewireIntent) { intents[s] = out })
+		func(int, struct{}) {})
 
 	// Stage 3: apply intents sequentially in shard order. Revalidation at
 	// apply time keeps the pass safe against intents interacting (an
 	// earlier adoption may have filled this node's degree or taken the
-	// candidate past its own target).
-	for _, shardIntents := range intents {
-		for _, intent := range shardIntents {
+	// candidate past its own target). The intents' Drop/Adopt slices live
+	// in the shard arenas and stay valid until stage 2 resets them next
+	// round.
+	for s := range w.arenas {
+		for _, intent := range w.arenas[s].intents {
+			if w.testRewireIntentHook != nil {
+				w.testRewireIntentHook(intent)
+			}
 			w.applyRewire(intent)
 		}
 	}
@@ -124,11 +135,12 @@ func (w *World) maintenanceTuning() protocol.MaintenanceTuning {
 	}
 }
 
-// maintenanceView assembles one node's rewire decision inputs from
-// shard-owned world state. The candidate pools are lazy closures — most
-// nodes are at target degree and PlanRewire never materialises them.
-func (w *World) maintenanceView(n *Node, warm bool) protocol.MaintenanceView {
-	v := protocol.MaintenanceView{
+// maintenanceView assembles one node's rewire decision scalars from
+// shard-owned world state. The candidate pools live behind the provider
+// seam — most nodes are at target degree and PlanRewire's fast path
+// never consults it.
+func (w *World) maintenanceView(n *Node, warm bool, prov protocol.ViewProvider) protocol.MaintenanceView {
+	return protocol.MaintenanceView{
 		Node:            n.ID,
 		Source:          w.source,
 		IsSource:        n.IsSource,
@@ -139,57 +151,21 @@ func (w *World) maintenanceView(n *Node, warm bool) protocol.MaintenanceView {
 		DegreeTarget:    w.degreeTarget(n),
 		MissedLastRound: n.missedLastRound,
 		MissStreak:      n.missStreak,
-		Alive:           func(id overlay.NodeID) bool { return w.nodes[id] != nil },
-		Connected:       func(id overlay.NodeID) bool { return containsSortedID(n.nbrs, id) },
-		Neighbors: func() []protocol.NeighborSupply {
-			nbs := n.Table.Neighbors()
-			out := make([]protocol.NeighborSupply, 0, len(nbs))
-			for _, nb := range nbs {
-				s := protocol.NeighborSupply{ID: nb.ID, Known: n.Ctrl.Known(int(nb.ID))}
-				if s.Known {
-					s.Supply = n.Ctrl.Supply(int(nb.ID))
-				}
-				out = append(out, s)
-			}
-			return out
-		},
-		Overheard: func() []protocol.CandidateSource {
-			overheard := n.Table.OverheardNodes()
-			out := make([]protocol.CandidateSource, 0, len(overheard))
-			for _, o := range overheard {
-				out = append(out, protocol.CandidateSource{ID: o.ID, Latency: o.Latency})
-			}
-			return out
-		},
-		DHTPeers: func() []protocol.CandidateSource {
-			var out []protocol.CandidateSource
-			for _, tbl := range []*dht.Table{n.Table.DHT(), w.dhtNet.Table(dht.ID(n.ID))} {
-				if tbl == nil {
-					continue
-				}
-				for _, p := range tbl.Peers() {
-					c := overlay.NodeID(p)
-					out = append(out, protocol.CandidateSource{ID: c, Latency: w.Latency(n.ID, c)})
-				}
-			}
-			return out
-		},
+		Provider:        prov,
 	}
-	if n.IsSource {
-		v.RPCandidates = func(max int) []overlay.NodeID { return w.rp.Candidates(n.ID, max) }
-	}
-	return v
 }
 
-// shardWorkLists partitions the alive order into the ownership shards in
-// one sequential pass; w.order is sorted, so each shard's list ascends.
-func (w *World) shardWorkLists() [][]overlay.NodeID {
-	lists := make([][]overlay.NodeID, phaseShards)
+// shardWorkLists partitions the alive order into the shard arenas' work
+// lists in one sequential pass; w.order is sorted, so each shard's list
+// ascends. Callers run ensureArenas first.
+func (w *World) shardWorkLists() {
+	for s := range w.arenas {
+		w.arenas[s].nodes = w.arenas[s].nodes[:0]
+	}
 	for _, id := range w.order {
 		s := w.shardOf(id)
-		lists[s] = append(lists[s], id)
+		w.arenas[s].nodes = append(w.arenas[s].nodes, id)
 	}
-	return lists
 }
 
 // degreeTarget is the connected-neighbour count maintenance refills the

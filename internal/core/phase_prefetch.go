@@ -54,12 +54,16 @@ func (w *World) resolvePrefetch(clock *sim.Clock, plans []prefetch.Decision, sam
 	if !w.cfg.Profile.Prefetch {
 		return nil
 	}
-	retr := &prefetch.Retriever{
-		Space:    w.space,
-		Replicas: w.cfg.Replicas,
-		Locator:  w.dhtNet,
-		Dir:      worldDirectory{w},
+	if w.retr == nil {
+		w.retr = &prefetch.Retriever{
+			Space:    w.space,
+			Replicas: w.cfg.Replicas,
+			Locator:  w.dhtNet,
+			Dir:      worldDirectory{w},
+			Scratch:  &w.retrScratch,
+		}
 	}
+	retr := w.retr
 	start := clock.Now()
 	var out []delivery
 	for i, plan := range plans {

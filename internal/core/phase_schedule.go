@@ -68,54 +68,96 @@ func (w *World) predictPhase(clock *sim.Clock) []prefetch.Decision {
 // snapshots. The inbound budget reserves room for this round's pre-fetches
 // ("the on-demand data retrieval algorithm shares the inbound rate with
 // the data scheduling algorithm").
+//
+// Nodes fan out over contiguous index ranges so each range shard owns a
+// reusable scratch: the candidate-enumeration buffers reset per node, and
+// the policy scratch whose request arena backs out[i] until the transfer
+// resolution consumes it. Every write still lands in the node's own slot,
+// so the output is identical at any worker count.
 func (w *World) schedulePhase(clock *sim.Clock, snaps []buffer.Map, index []int32) [][]scheduler.Request {
 	pos := w.playbackPos(w.round)
 	vpos := w.virtualPos(w.round)
 	fetchWin := segment.Window{Lo: pos, Hi: w.fetchEdge(w.round)}
 	out := make([][]scheduler.Request, len(w.order))
 	round := w.round
-	w.pool.ForEach(len(w.order), func(i int) {
-		n := w.seq[i]
-		if n.IsSource {
-			return
-		}
-		// Push and pull share the inbound rate: segments the eager push
-		// already landed on this node's link this round come out of the
-		// same I·τ the scheduler may spend.
-		budget := n.Rates.In - n.pushReceived
-		if budget <= 0 {
-			return
-		}
-		cands := w.candidatesFor(n, index, snaps, fetchWin, round)
-		if len(cands) == 0 {
-			return
-		}
-		in := scheduler.Input{
-			PriorityInput: scheduler.PriorityInput{
-				Play:         vpos,
-				PlaybackRate: w.cfg.Stream.Rate,
-				BufferSize:   w.cfg.BufferSegments,
-				NoPlayback:   !n.Started,
-			},
-			Tau:           w.cfg.Tau,
-			InboundBudget: budget,
-			Candidates:    cands,
-			JitterSeed:    w.cfg.Seed ^ uint64(n.ID)*0x9e3779b97f4a7c15 ^ n.Gen*0xd1342543de82ef95,
-			RarityNoise:   w.cfg.RarityNoise,
-		}
-		reqs := n.Policy.Schedule(in)
-		perSupplier := map[int]int{}
-		for _, r := range reqs {
-			n.markGossipPending(r.ID, round, clock.Now()+r.ExpectedAt)
-			perSupplier[r.Supplier]++
-		}
-		//continulint:maporder NoteRequested only adds count to the per-supplier tally keyed by s; distinct keys commute
-		for s, count := range perSupplier {
-			n.Ctrl.NoteRequested(s, count)
-		}
-		out[i] = reqs
-	})
+	now := clock.Now()
+	w.ensureArenas()
+	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseSched),
+		func(r int, _ *sim.RNG) struct{} {
+			ar := &w.arenas[r]
+			ar.sched.Reset()
+			lo, hi := sim.ShardRange(len(w.order), phaseShards, r)
+			for i := lo; i < hi; i++ {
+				n := w.seq[i]
+				if n.IsSource {
+					continue
+				}
+				// Push and pull share the inbound rate: segments the eager
+				// push already landed on this node's link this round come
+				// out of the same I·τ the scheduler may spend.
+				budget := n.Rates.In - n.pushReceived
+				if budget <= 0 {
+					continue
+				}
+				cands := w.candidatesFor(ar, n, index, snaps, fetchWin, round)
+				if len(cands) == 0 {
+					continue
+				}
+				in := scheduler.Input{
+					PriorityInput: scheduler.PriorityInput{
+						Play:         vpos,
+						PlaybackRate: w.cfg.Stream.Rate,
+						BufferSize:   w.cfg.BufferSegments,
+						NoPlayback:   !n.Started,
+					},
+					Tau:           w.cfg.Tau,
+					InboundBudget: budget,
+					Candidates:    cands,
+					Scratch:       &ar.sched,
+					JitterSeed:    w.cfg.Seed ^ uint64(n.ID)*0x9e3779b97f4a7c15 ^ n.Gen*0xd1342543de82ef95,
+					RarityNoise:   w.cfg.RarityNoise,
+				}
+				reqs := n.Policy.Schedule(in)
+				for _, req := range reqs {
+					n.markGossipPending(req.ID, round, now+req.ExpectedAt)
+				}
+				// Per-supplier ask tallies, grouped without a map: a node's
+				// requests name only a handful of suppliers, so the nested
+				// scan stays cheap and the notification order (first
+				// appearance) is deterministic.
+				for j, req := range reqs {
+					count := 0
+					for k := j; k < len(reqs); k++ {
+						if reqs[k].Supplier == req.Supplier {
+							count++
+						}
+					}
+					seen := false
+					for k := 0; k < j; k++ {
+						if reqs[k].Supplier == req.Supplier {
+							seen = true
+							break
+						}
+					}
+					if !seen {
+						n.Ctrl.NoteRequested(req.Supplier, count)
+					}
+				}
+				//continulint:shardcapture each node writes only its own slot i, and shards own disjoint index ranges
+				out[i] = reqs
+			}
+			return struct{}{}
+		},
+		func(int, struct{}) {})
 	return out
+}
+
+// nbSnap is one live neighbour's advertised words during candidate
+// enumeration.
+type nbSnap struct {
+	id   overlay.NodeID
+	rate float64
+	bits []uint64
 }
 
 // candidatesFor enumerates the fresh segments any connected neighbour
@@ -131,7 +173,12 @@ func (w *World) schedulePhase(clock *sim.Clock, snaps []buffer.Map, index []int3
 // array read, and per-segment supplier lists fill in ascending neighbour
 // order — bit enumeration ascends, so the output is identical to the
 // per-ID scan's (IDs ascending, suppliers in neighbour order).
-func (w *World) candidatesFor(n *Node, index []int32, snaps []buffer.Map, win segment.Window, round int) []scheduler.Candidate {
+//
+// ar, when non-nil, supplies the enumeration buffers, reset here per
+// node: the returned candidates (and their supplier subslices) are valid
+// only until the next candidatesFor call on the same arena — exactly the
+// scheduling call that consumes them.
+func (w *World) candidatesFor(ar *roundArena, n *Node, index []int32, snaps []buffer.Map, win segment.Window, round int) []scheduler.Candidate {
 	if len(n.nbrs) == 0 {
 		return nil
 	}
@@ -146,14 +193,20 @@ func (w *World) candidatesFor(n *Node, index []int32, snaps []buffer.Map, win se
 	if own.Lo() != win.Lo {
 		return w.candidatesForSlow(n, index, snaps, win, round)
 	}
-	type nbSnap struct {
-		id   overlay.NodeID
-		rate float64
-		bits []uint64
-	}
 	nWords := (width + 63) / 64
-	live := make([]nbSnap, 0, len(n.nbrs))
-	union := make([]uint64, nWords)
+	var live []nbSnap
+	var union []uint64
+	if ar != nil {
+		live = ar.candLive[:0]
+		if cap(ar.candUnion) < nWords {
+			ar.candUnion = make([]uint64, nWords)
+		}
+		union = ar.candUnion[:nWords]
+		clear(union)
+	} else {
+		live = make([]nbSnap, 0, len(n.nbrs))
+		union = make([]uint64, nWords)
+	}
 	for _, nb := range n.nbrs {
 		j := index[nb]
 		if j < 0 {
@@ -167,6 +220,9 @@ func (w *World) candidatesFor(n *Node, index []int32, snaps []buffer.Map, win se
 			union[wi] |= snap.Bits[wi]
 		}
 		live = append(live, nbSnap{id: nb, rate: n.Ctrl.Rate(int(nb)), bits: snap.Bits})
+	}
+	if ar != nil {
+		ar.candLive = live
 	}
 	if len(live) == 0 {
 		return nil
@@ -189,8 +245,15 @@ func (w *World) candidatesFor(n *Node, index []int32, snaps []buffer.Map, win se
 	}
 	// One arena for every supplier entry; per-candidate lists are
 	// capacity-capped subslices so later appends never alias them.
-	arena := make([]scheduler.Supplier, 0, total)
-	cands := make([]scheduler.Candidate, 0, min(total, width))
+	var arena []scheduler.Supplier
+	var cands []scheduler.Candidate
+	if ar != nil {
+		arena = ar.candSup[:0]
+		cands = ar.cands[:0]
+	} else {
+		arena = make([]scheduler.Supplier, 0, total)
+		cands = make([]scheduler.Candidate, 0, min(total, width))
+	}
 	size := own.Size()
 	for wi := 0; wi < nWords; wi++ {
 		word := union[wi]
@@ -218,6 +281,10 @@ func (w *World) candidatesFor(n *Node, index []int32, snaps []buffer.Map, win se
 			}
 			cands = append(cands, scheduler.Candidate{ID: id, Suppliers: arena[a:len(arena):len(arena)]})
 		}
+	}
+	if ar != nil {
+		ar.candSup = arena
+		ar.cands = cands
 	}
 	return cands
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"cmp"
 	"slices"
 
 	"continustreaming/internal/bandwidth"
@@ -93,33 +94,31 @@ func (w *World) rarityCacheFor(s int) *rarityCache {
 // deliveries and counters merged in shard order afterwards.
 func (w *World) resolveTransfers(clock *sim.Clock, requests [][]scheduler.Request, snaps []buffer.Map, index []int32, sample *metrics.RoundSample) []delivery {
 	n := len(requests)
-	scatter := make([][][]transferReq, phaseShards) // [requesterShard][supplierShard]
+	w.ensureArenas()
 	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseScatter),
-		func(r int, _ *sim.RNG) [][]transferReq {
+		func(r int, _ *sim.RNG) struct{} {
+			ar := &w.arenas[r]
+			ar.resetServeScatter()
 			lo, hi := sim.ShardRange(n, phaseShards, r)
-			var buckets [][]transferReq
 			for i := lo; i < hi; i++ {
 				if len(requests[i]) == 0 {
 					continue
-				}
-				if buckets == nil {
-					buckets = make([][]transferReq, phaseShards)
 				}
 				requester := w.order[i]
 				for _, req := range requests[i] {
 					s := overlay.NodeID(req.Supplier)
 					ss := w.shardOf(s)
-					buckets[ss] = append(buckets[ss], transferReq{
+					//continulint:shardcapture ar aliases w.arenas[r], the map shard's own arena; no other shard touches it
+					ar.serveScatter[ss] = append(ar.serveScatter[ss], transferReq{
 						supplier: s, requester: requester, id: req.ID, expected: req.ExpectedAt,
 					})
 				}
 			}
-			return buckets
+			return struct{}{}
 		},
-		func(r int, buckets [][]transferReq) { scatter[r] = buckets })
+		func(int, struct{}) {})
 
 	type shardServe struct {
-		deliveries   []delivery
 		dropped      int64
 		queueServed  int64
 		queueCarried int64
@@ -129,32 +128,50 @@ func (w *World) resolveTransfers(clock *sim.Clock, requests [][]scheduler.Reques
 	horizon := clock.RoundEnd()
 	pos := w.playbackPos(w.round)
 	p := w.cfg.Stream.Rate
-	merged := make([][]delivery, phaseShards)
 	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phaseServe),
 		func(s int, _ *sim.RNG) shardServe {
-			bySupplier := make(map[overlay.NodeID][]transferReq)
-			suppliers := w.dissem.QueuedSuppliers(s)
-			for _, sup := range suppliers {
-				bySupplier[sup] = nil
-			}
+			ar := &w.arenas[s]
+			// Concatenating the scatter buckets in scatter-shard order
+			// reproduces the requester-ascending arrival order a sequential
+			// scan would produce; the stable sort then groups each
+			// supplier's asks without disturbing that order within a group.
+			ar.asks = ar.asks[:0]
 			for r := 0; r < phaseShards; r++ {
-				if scatter[r] == nil {
-					continue
-				}
-				for _, tr := range scatter[r][s] {
-					if _, ok := bySupplier[tr.supplier]; !ok {
-						suppliers = append(suppliers, tr.supplier)
-					}
-					bySupplier[tr.supplier] = append(bySupplier[tr.supplier], tr)
+				// Cross-shard read of scatter output, sequenced by the
+				// barrier between the two MapReduce calls.
+				ar.asks = append(ar.asks, w.arenas[r].serveScatter[s]...)
+			}
+			slices.SortStableFunc(ar.asks, func(a, b transferReq) int {
+				return cmp.Compare(a.supplier, b.supplier)
+			})
+			// The worklist is the union of carry-queue holders and fresh-ask
+			// targets, ascending and deduplicated — the same set (and order)
+			// the retired per-shard map produced.
+			ar.suppliers = append(ar.suppliers[:0], w.dissem.QueuedSuppliers(s)...)
+			for i, tr := range ar.asks {
+				if i == 0 || tr.supplier != ar.asks[i-1].supplier {
+					ar.suppliers = append(ar.suppliers, tr.supplier)
 				}
 			}
-			if len(suppliers) == 0 {
+			if len(ar.suppliers) == 0 {
 				return shardServe{}
 			}
-			slices.Sort(suppliers)
+			slices.Sort(ar.suppliers)
+			ar.suppliers = slices.Compact(ar.suppliers)
+			ar.deliveries = ar.deliveries[:0]
 			var res shardServe
-			for _, sup := range suppliers {
-				sr := w.serveSupplier(s, sup, bySupplier[sup], snaps, index, start, horizon, pos, p)
+			askLo := 0
+			for _, sup := range ar.suppliers {
+				// Two-pointer walk: suppliers and asks ascend together.
+				for askLo < len(ar.asks) && ar.asks[askLo].supplier < sup {
+					askLo++
+				}
+				askHi := askLo
+				for askHi < len(ar.asks) && ar.asks[askHi].supplier == sup {
+					askHi++
+				}
+				sr := w.serveSupplier(ar, s, sup, ar.asks[askLo:askHi], snaps, index, start, horizon, pos, p)
+				askLo = askHi
 				// The serving shard owns ledger slot sup (shardOf(sup) == s),
 				// so this write races with nothing.
 				//continulint:shardcapture dense ledger indexed by supplier ID; shard s owns exactly the IDs with shardOf(id)==s, so writes are disjoint
@@ -178,13 +195,13 @@ func (w *World) resolveTransfers(clock *sim.Clock, requests [][]scheduler.Reques
 					}
 					done := (backlog + sim.Time(k+1)) * per
 					at := start + done + w.Latency(sup, g.Requester)
-					res.deliveries = append(res.deliveries, delivery{to: g.Requester, from: sup, id: g.ID, at: at})
+					//continulint:shardcapture ar aliases w.arenas[s], the map shard's own arena; no other shard touches it
+					ar.deliveries = append(ar.deliveries, delivery{to: g.Requester, from: sup, id: g.ID, at: at})
 				}
 			}
 			return res
 		},
 		func(s int, res shardServe) {
-			merged[s] = res.deliveries
 			sample.Dropped += res.dropped
 			sample.QueueServed += res.queueServed
 			sample.QueueCarried += res.queueCarried
@@ -193,9 +210,11 @@ func (w *World) resolveTransfers(clock *sim.Clock, requests [][]scheduler.Reques
 			sample.QueueEvictedStale += res.evicted.Stale
 		})
 
-	var all []delivery
-	for _, ds := range merged {
-		all = append(all, ds...)
+	// One reusable round buffer holds the merged deliveries; Step recycles
+	// it after the apply phase consumes every entry.
+	all := w.deliveryBuf[:0]
+	for s := range w.arenas {
+		all = append(all, w.arenas[s].deliveries...)
 	}
 	return all
 }
@@ -208,7 +227,7 @@ func (w *World) resolveTransfers(clock *sim.Clock, requests [][]scheduler.Reques
 // from — then stores the requests carried forward back into the engine.
 // It touches only state owned by shard s, so supplier shards invoke it
 // concurrently.
-func (w *World) serveSupplier(s int, sup overlay.NodeID, fresh []transferReq, snaps []buffer.Map, index []int32, start, horizon sim.Time, pos segment.ID, p int) protocol.ServeResult {
+func (w *World) serveSupplier(ar *roundArena, s int, sup overlay.NodeID, fresh []transferReq, snaps []buffer.Map, index []int32, start, horizon sim.Time, pos segment.ID, p int) protocol.ServeResult {
 	carried := w.dissem.TakeQueue(s, sup)
 	sn := w.nodes[sup]
 	if sn == nil || sn.Rates.Out <= 0 {
@@ -218,68 +237,52 @@ func (w *World) serveSupplier(s int, sup overlay.NodeID, fresh []transferReq, sn
 	if !w.cfg.Profile.Engine {
 		// Baseline profiles keep the published pull-only discipline:
 		// fair-queued round-robin across requesters within the backlog
-		// horizon, drop-and-retry beyond it, no carry queue.
-		reqs := make([]protocol.Request, 0, len(fresh))
+		// horizon, drop-and-retry beyond it, no carry queue. Granted
+		// aliases the staging buffer, consumed before the next supplier.
+		ar.rrReqs = ar.rrReqs[:0]
 		for _, tr := range fresh {
-			reqs = append(reqs, protocol.Request{
+			ar.rrReqs = append(ar.rrReqs, protocol.Request{
 				Requester: tr.requester, ID: tr.id, Expected: tr.expected,
 			})
 		}
-		return protocol.ServeRoundRobin(reqs, 2*sn.Rates.Out)
+		return protocol.ServeRoundRobin(ar.rrReqs, 2*sn.Rates.Out)
 	}
-	asks := make([]protocol.Ask, len(fresh))
-	for i, tr := range fresh {
-		asks[i] = protocol.Ask{
+	ar.planAsks = ar.planAsks[:0]
+	for _, tr := range fresh {
+		ar.planAsks = append(ar.planAsks, protocol.Ask{
 			Requester: tr.requester,
 			ID:        tr.id,
 			Deadline:  w.deadlineOf(tr.id, pos, p, start),
-		}
+		})
 	}
 	// Supplier-side rarity, once per distinct segment: equation (2) over
 	// the advertised buffers of the supplier's own neighbours. The memo is
 	// the shard's reusable window-dense cache — every rarity-bearing ID
 	// lies in [pos, pos+B) (carried survivors passed SupplierHas, fresh
 	// asks come from in-window candidates) — stamped per supplier so no
-	// clearing or allocation happens between suppliers or rounds.
-	neighbours := w.neighborsOf(sup)
-	cache := w.rarityCacheFor(s)
-	cache.begin(pos)
-	var positions []int
+	// clearing or allocation happens between suppliers or rounds. The
+	// input callbacks are the shard's hoisted closure set, re-pointed at
+	// this supplier.
+	ctx := &ar.sctx
+	ctx.ensure(w)
+	ctx.snaps, ctx.index, ctx.pos = snaps, index, pos
+	ctx.sn = sn
+	ctx.neighbours = w.neighborsOf(sup)
+	ctx.cache = w.rarityCacheFor(s)
+	ctx.cache.begin(pos)
 	res := protocol.PlanServe(protocol.ServeInput{
 		Carried: carried,
-		Fresh:   asks,
+		Fresh:   ar.planAsks,
 		// Backlog spill (up to one extra period of queued transmissions)
 		// minus what the push phase already transmitted this round.
-		Capacity:    2*sn.Rates.Out - w.dissem.PushSpent(s, sup),
-		QueueCap:    w.cfg.QueueFactor * sn.Rates.Out,
-		Horizon:     horizon,
-		SupplierHas: sn.Buf.Has,
-		RequesterAlive: func(id overlay.NodeID) bool {
-			return w.nodes[id] != nil
-		},
-		RequesterHas: func(id overlay.NodeID, seg segment.ID) bool {
-			j := index[id]
-			return j >= 0 && snaps[j].Has(seg)
-		},
-		Rarity: func(id segment.ID) float64 {
-			if r, ok := cache.get(id); ok {
-				return r
-			}
-			positions = positions[:0]
-			for _, nb := range neighbours {
-				j := index[nb]
-				if j < 0 {
-					continue
-				}
-				if pft, ok := snaps[j].PositionFromTail(id); ok {
-					positions = append(positions, pft)
-				}
-			}
-			r := protocol.SupplierRarity(w.cfg.BufferSegments, positions)
-			cache.put(id, r)
-			return r
-		},
-	})
+		Capacity:       2*sn.Rates.Out - w.dissem.PushSpent(s, sup),
+		QueueCap:       w.cfg.QueueFactor * sn.Rates.Out,
+		Horizon:        horizon,
+		SupplierHas:    ctx.supplierHas,
+		RequesterAlive: ctx.requesterAlive,
+		RequesterHas:   ctx.requesterHas,
+		Rarity:         ctx.rarity,
+	}, &ar.serve)
 	w.dissem.PutQueue(s, sup, res.Queued)
 	return res
 }

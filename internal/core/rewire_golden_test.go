@@ -1,0 +1,87 @@
+package core
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"continustreaming/internal/churn"
+	"continustreaming/internal/protocol"
+	"continustreaming/internal/sim"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from the current implementation")
+
+// rewireTranscript runs a churny world and returns every maintenance
+// rewire intent in apply order, one formatted line per intent. Churn plus
+// a tight low-supply threshold keeps the maintenance path busy: nodes
+// lose neighbours to deaths, miss playback, and shed low-supply links, so
+// the transcript exercises the dead-scan, the distress fast path, the
+// candidate pools (overheard, DHT, RP) and the apply-order revalidation.
+func rewireTranscript(t *testing.T, workers, nodes, rounds int) string {
+	t.Helper()
+	cfg := smallConfig(nodes, ProfileContinuStreaming())
+	cfg.Churn = churn.DefaultConfig()
+	cfg.Workers = workers
+	w, err := NewWorld(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	w.testRewireIntentHook = func(in protocol.RewireIntent) {
+		fmt.Fprintf(&sb, "r%02d node=%d drop=%v adopt=%v\n", w.round, in.Node, in.Drop, in.Adopt)
+	}
+	sim.NewEngine(w, cfg.Tau).Run(rounds)
+	return sb.String()
+}
+
+// TestPlanRewireGoldenParity pins the maintenance decisions byte for byte:
+// the full intent transcript of a churny run must be identical at
+// Workers=1/4/8 and must match the committed golden. This is the parity
+// contract for the view-provider / arena rework — any change to what
+// PlanRewire decides (not just whether the run stays deterministic)
+// trips this test. Regenerate with `go test -run Golden -update` only
+// when a change intentionally alters maintenance decisions, and say so
+// in the PR.
+func TestPlanRewireGoldenParity(t *testing.T) {
+	const nodes, rounds = 250, 16
+	base := rewireTranscript(t, 1, nodes, rounds)
+	if base == "" {
+		t.Fatal("churny run produced no rewire intents; the golden pins nothing")
+	}
+	for _, workers := range []int{4, 8} {
+		if got := rewireTranscript(t, workers, nodes, rounds); got != base {
+			t.Fatalf("workers=%d intent transcript diverges from single-worker run:\n%s", workers, firstDiff(base, got))
+		}
+	}
+	golden := filepath.Join("testdata", "rewire_golden.txt")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(base), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with -update): %v", err)
+	}
+	if base != string(want) {
+		t.Fatalf("intent transcript differs from committed golden:\n%s", firstDiff(string(want), base))
+	}
+}
+
+// firstDiff renders the first differing line of two transcripts.
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  want %q\n  got  %q", i+1, al[i], bl[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ: %d vs %d lines", len(al), len(bl))
+}

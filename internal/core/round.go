@@ -23,6 +23,7 @@ const (
 	phaseRewire  = 0x2d83
 	phaseRepair  = 0x3b97
 	phasePush    = 0x48c9
+	phaseSched   = 0x19f3
 )
 
 // phaseSeed keys one sharded-phase invocation's RNG streams by (master
@@ -72,6 +73,9 @@ func (w *World) Step(clock *sim.Clock) {
 	deliveries := w.resolveTransfers(clock, requests, snaps, index, &sample)
 	deliveries = append(deliveries, prefetchDeliveries...)
 	deliveries = append(deliveries, w.dueInflight(clock)...)
+	// Recycle the (possibly regrown) backing for next round's transfer
+	// resolution; the apply phase copies every entry out before returning.
+	w.deliveryBuf = deliveries[:0]
 	w.applyDeliveries(clock, deliveries, &sample)
 	w.playbackPhase(clock, &sample)
 	w.maintenancePhase()

@@ -26,6 +26,7 @@ func benchStep(b *testing.B, n, workers int) {
 	}
 	engine := sim.NewEngine(w, cfg.Tau)
 	engine.Run(cfg.PlaybackDelayRounds + 2)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		engine.Run(1)
@@ -61,5 +62,31 @@ func BenchmarkStep1k(b *testing.B) {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			benchStep(b, 1000, workers)
 		})
+	}
+}
+
+// BenchmarkMaintenance10k isolates the neighbour-maintenance phase on a
+// warmed 10,000-node world under churn: membership-gossip scatter, hear
+// delivery and dead-neighbour cleanup, rewire planning through the
+// provider seam, and the sequential intent application. The phase runs
+// entirely out of the round-lived shard arenas, so allocs/op is the
+// headline number — it must stay near zero as the planning fast path and
+// arena reuse carry the steady state.
+func BenchmarkMaintenance10k(b *testing.B) {
+	cfg := DefaultConfig(10000)
+	cfg.Profile = ProfileContinuStreaming()
+	cfg.Churn = churn.DefaultConfig()
+	cfg.Workers = 1
+	cfg.Seed = 1
+	w, err := NewWorld(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := sim.NewEngine(w, cfg.Tau)
+	engine.Run(cfg.PlaybackDelayRounds + 2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.maintenancePhase()
 	}
 }

@@ -67,9 +67,31 @@ type World struct {
 	// reuse) leaves every derivation exactly as before.
 	idGen []uint64
 
+	// retr is the long-lived Algorithm 2 retriever with its reusable
+	// lookup scratch; resolvePrefetch is sequential, so one scratch
+	// serves the whole phase (built lazily on first use).
+	retr        *prefetch.Retriever
+	retrScratch prefetch.Scratch
+
+	// arenas holds each ownership shard's round-lived scratch (see
+	// roundArena); only shard s (or sequential phase code) touches
+	// arenas[s]. Built lazily on first use.
+	arenas []roundArena
+
+	// deliveryBuf is the reusable merged-delivery buffer for one round's
+	// transfer resolution; Step recycles it (possibly regrown by the
+	// prefetch and in-flight appends) once the apply phase has consumed
+	// every entry.
+	deliveryBuf []delivery
+
 	// round mirrors the engine clock for code that needs the index between
 	// phases.
 	round int
+
+	// testRewireIntentHook, when non-nil, observes every maintenance
+	// rewire intent in apply order (a white-box seam for the golden
+	// parity test; never set outside tests).
+	testRewireIntentHook func(protocol.RewireIntent)
 }
 
 // delivery is one segment transfer in flight.

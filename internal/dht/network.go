@@ -169,14 +169,49 @@ type RouteResult struct {
 // Hops returns the number of forwarding steps taken.
 func (r RouteResult) Hops() int { return len(r.Path) - 1 }
 
-// Route performs greedy clockwise routing from the alive node from toward
-// key target, walking real peer tables. A hop to a dead peer evicts the
-// entry from the forwarding table and the walk retries from the same node;
-// if no alive closer peer remains, routing stops there. The walk is bounded
-// by 4·log₂N + 4 hops (comfortably above the appendix bound of 2.41·log₂N)
-// as a defensive guard against table corruption.
-func (n *Network) Route(from, target ID) RouteResult {
-	res := RouteResult{Target: target, Path: []ID{from}}
+// RouteOutcome is the allocation-free routing result: everything a hot
+// caller needs without materialising the walked path.
+type RouteOutcome struct {
+	// Target is the key that was routed toward.
+	Target ID
+	// Final is the node where greedy routing stopped.
+	Final ID
+	// Hops is the number of forwarding steps taken.
+	Hops int
+	// Success reports whether Final is the true owner of Target.
+	Success bool
+}
+
+// RouteScratch is reusable routing state a caller threads through
+// repeated RouteTo calls. Zero value is ready to use. With RecordPath
+// set, each RouteTo resets and refills Path in place, so the recorded
+// path is valid only until the next RouteTo with the same scratch;
+// callers that retain paths must copy them out.
+type RouteScratch struct {
+	// RecordPath enables path recording into Path.
+	RecordPath bool
+	// Path holds the last recorded walk, origin first.
+	Path []ID
+}
+
+// RouteTo performs greedy clockwise routing from the alive node from
+// toward key target, walking real peer tables. A hop to a dead peer
+// evicts the entry from the forwarding table and the walk retries from
+// the same node; if no alive closer peer remains, routing stops there.
+// The walk is bounded by 4·log₂N + 4 hops (comfortably above the
+// appendix bound of 2.41·log₂N) as a defensive guard against table
+// corruption.
+//
+// RouteTo allocates nothing: sc may be nil when the caller does not need
+// the path, and a warm scratch's Path buffer is reused across calls.
+// This is the routing core the round pipeline's pre-fetch and rescue
+// paths run on; Route wraps it for tests and diagnostics.
+func (n *Network) RouteTo(from, target ID, sc *RouteScratch) RouteOutcome {
+	record := sc != nil && sc.RecordPath
+	if record {
+		sc.Path = append(sc.Path[:0], from)
+	}
+	out := RouteOutcome{Target: target}
 	cur := from
 	maxHops := 4*n.space.Levels() + 4
 	for hops := 0; hops < maxHops; hops++ {
@@ -193,14 +228,25 @@ func (n *Network) Route(from, target ID) RouteResult {
 			break
 		}
 		cur = next
-		res.Path = append(res.Path, cur)
+		out.Hops++
+		if record {
+			sc.Path = append(sc.Path, cur)
+		}
 		// Arrived exactly on the target ID: the owner by definition.
 		if cur == target {
 			break
 		}
 	}
-	res.Final = cur
+	out.Final = cur
 	owner, ok := n.Owner(target)
-	res.Success = ok && owner == cur
-	return res
+	out.Success = ok && owner == cur
+	return out
+}
+
+// Route is the path-materialising wrapper around RouteTo: one fresh
+// RouteResult per call, safe to retain.
+func (n *Network) Route(from, target ID) RouteResult {
+	sc := RouteScratch{RecordPath: true}
+	out := n.RouteTo(from, target, &sc)
+	return RouteResult{Path: sc.Path, Target: out.Target, Final: out.Final, Success: out.Success}
 }

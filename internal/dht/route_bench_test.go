@@ -1,0 +1,27 @@
+package dht
+
+import (
+	"testing"
+
+	"continustreaming/internal/sim"
+)
+
+// BenchmarkRoute measures the allocation-free routing core on warm,
+// converged tables at the paper's Figure 3 scale: 4096 alive nodes in an
+// 8192-ID space, greedy walks between uniformly random origin/target
+// pairs. The round pipeline's pre-fetch, rescue and repair paths call
+// RouteTo thousands of times per round, so allocs/op is the headline
+// metric — it must stay at zero.
+func BenchmarkRoute(b *testing.B) {
+	s := NewSpace(8192)
+	net := buildNetwork(b, s, 4096, 1)
+	ids := net.IDs()
+	rng := sim.DeriveRNG(1, 9)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		from := ids[rng.Intn(len(ids))]
+		target := ID(rng.Intn(s.N()))
+		net.RouteTo(from, target, nil)
+	}
+}

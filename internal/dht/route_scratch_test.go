@@ -1,0 +1,117 @@
+package dht
+
+import (
+	"reflect"
+	"testing"
+
+	"continustreaming/internal/sim"
+)
+
+// churnedNetwork builds a converged network and then kills a quarter of
+// it without repair, so routing exercises the dead-next-hop eviction
+// path as well as the clean greedy walk.
+func churnedNetwork(t testing.TB, space Space, n int, seed uint64) *Network {
+	t.Helper()
+	net := buildNetwork(t, space, n, seed)
+	rng := sim.DeriveRNG(seed, 2)
+	for killed := 0; killed < n/4; {
+		id := net.IDs()[rng.Intn(net.Size())]
+		if net.Alive(id) {
+			net.Leave(id)
+			killed++
+		}
+	}
+	return net
+}
+
+// TestRouteToMatchesRoute pins the wrapper contract: RouteTo with a
+// recording scratch reports exactly what Route reports — same final,
+// same success, same hop count, same path — across clean and churned
+// walks. Route runs first, so its table evictions land before the
+// comparison; eviction is idempotent and both paths then walk the same
+// tables.
+func TestRouteToMatchesRoute(t *testing.T) {
+	s := NewSpace(1024)
+	net := churnedNetwork(t, s, 512, 7)
+	rng := sim.DeriveRNG(7, 3)
+	sc := RouteScratch{RecordPath: true}
+	for q := 0; q < 2000; q++ {
+		from := net.IDs()[rng.Intn(net.Size())]
+		target := ID(rng.Intn(s.N()))
+		want := net.Route(from, target)
+		got := net.RouteTo(from, target, &sc)
+		if got.Target != want.Target || got.Final != want.Final || got.Success != want.Success || got.Hops != want.Hops() {
+			t.Fatalf("RouteTo(%d→%d) = %+v, Route = %+v", from, target, got, want)
+		}
+		if !reflect.DeepEqual(sc.Path, want.Path) {
+			t.Fatalf("recorded path %v, Route path %v", sc.Path, want.Path)
+		}
+		bare := net.RouteTo(from, target, nil)
+		if bare != got {
+			t.Fatalf("nil-scratch outcome %+v differs from recording outcome %+v", bare, got)
+		}
+	}
+}
+
+// TestRouteScratchReuseDeterministic pins the reuse contract the round
+// pipeline depends on: the same seed and query sequence produce
+// identical outcomes whether every route gets a fresh scratch or all of
+// them interleave through one warm scratch, on identically built
+// networks.
+func TestRouteScratchReuseDeterministic(t *testing.T) {
+	s := NewSpace(1024)
+	run := func(shared bool) []RouteOutcome {
+		net := churnedNetwork(t, s, 512, 7)
+		rng := sim.DeriveRNG(7, 4)
+		var sc RouteScratch
+		sc.RecordPath = true
+		var out []RouteOutcome
+		for q := 0; q < 1500; q++ {
+			from := net.IDs()[rng.Intn(net.Size())]
+			target := ID(rng.Intn(s.N()))
+			if shared {
+				out = append(out, net.RouteTo(from, target, &sc))
+			} else {
+				fresh := RouteScratch{RecordPath: true}
+				out = append(out, net.RouteTo(from, target, &fresh))
+			}
+		}
+		return out
+	}
+	fresh, warm := run(false), run(true)
+	if !reflect.DeepEqual(fresh, warm) {
+		for i := range fresh {
+			if fresh[i] != warm[i] {
+				t.Fatalf("query %d: fresh scratch %+v, shared scratch %+v", i, fresh[i], warm[i])
+			}
+		}
+	}
+}
+
+// TestRouteToAllocationFree pins the tentpole property: a warm scratch
+// (and the nil-scratch fast path) routes without allocating.
+func TestRouteToAllocationFree(t *testing.T) {
+	s := NewSpace(1024)
+	net := buildNetwork(t, s, 512, 7)
+	rng := sim.DeriveRNG(7, 5)
+	sc := RouteScratch{RecordPath: true}
+	// Warm the path buffer past any realistic walk length.
+	net.RouteTo(net.IDs()[0], ID(s.N()-1), &sc)
+	for _, tc := range []struct {
+		name string
+		f    func()
+	}{
+		{"warm-scratch", func() {
+			from := net.IDs()[rng.Intn(net.Size())]
+			net.RouteTo(from, ID(rng.Intn(s.N())), &sc)
+		}},
+		{"nil-scratch", func() {
+			from := net.IDs()[rng.Intn(net.Size())]
+			net.RouteTo(from, ID(rng.Intn(s.N())), nil)
+		}},
+	} {
+		if avg := testing.AllocsPerRun(200, tc.f); avg != 0 {
+			t.Errorf("%s: %.1f allocs per route, want 0", tc.name, avg)
+		}
+	}
+}

@@ -35,13 +35,19 @@ func (t *Table) Peer(level int) ID {
 // Peers returns all non-vacant peers in level order. The slice is freshly
 // allocated.
 func (t *Table) Peers() []ID {
-	out := make([]ID, 0, len(t.peers))
+	return t.AppendPeers(make([]ID, 0, len(t.peers)))
+}
+
+// AppendPeers appends all non-vacant peers in level order to dst and
+// returns the extended slice — the allocation-free form of Peers for
+// callers that thread a reusable buffer.
+func (t *Table) AppendPeers(dst []ID) []ID {
 	for _, p := range t.peers {
 		if p != Vacant {
-			out = append(out, p)
+			dst = append(dst, p)
 		}
 	}
-	return out
+	return dst
 }
 
 // Filled returns the number of non-vacant levels.

@@ -284,10 +284,10 @@ func RunFigure3(o Options) Figure3Result {
 		for q := 0; q < queries; q++ {
 			from := net.IDs()[rng.Intn(net.Size())]
 			target := dht.ID(rng.Intn(space.N()))
-			r := net.Route(from, target)
+			r := net.RouteTo(from, target, nil)
 			if r.Success {
 				success++
-				totalHops += r.Hops()
+				totalHops += r.Hops
 			}
 		}
 		pt := Figure3Point{

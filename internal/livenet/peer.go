@@ -111,7 +111,91 @@ type peer struct {
 	missedLast   bool
 	missStreak   int
 	lastReplace  int
+
+	// view and rewireScratch are the peer's reusable maintenance seam:
+	// the view provider PlanRewire consults past its fast path, and the
+	// scratch its pools and intents are carved from. Both are touched
+	// only from the peer's own goroutine.
+	view          peerView
+	rewireScratch protocol.RewireScratch
+
+	// serveScratch backs PlanServe's request staging across periods; the
+	// granted slice it aliases is consumed before the next period plans.
+	serveScratch protocol.ServeScratch
 }
+
+// peerView implements protocol.ViewProvider over what this peer learned
+// through its channels: supply estimates from the rate controller, the
+// gossip-fed overheard pool, the ring view's clockwise successors, and —
+// for the source — the RP membership sample. members is set for the
+// duration of one maintainMesh call.
+type peerView struct {
+	p       *peer
+	members map[int]bool
+}
+
+func (v *peerView) AppendNeighbors(dst []protocol.NeighborSupply) []protocol.NeighborSupply {
+	p := v.p
+	for _, nb := range p.neighbourNodeIDs() {
+		s := protocol.NeighborSupply{ID: nb, Known: p.ctrl.Known(int(nb))}
+		if s.Known {
+			s.Supply = p.ctrl.Supply(int(nb))
+		}
+		dst = append(dst, s)
+	}
+	return dst
+}
+
+func (v *peerView) AppendOverheard(dst []protocol.CandidateSource) []protocol.CandidateSource {
+	p := v.p
+	for id := range p.overheard {
+		// Livenet links have no measured latency; a per-pair hash stands
+		// in so different peers prefer different candidates instead of
+		// all adopting the lowest ID. Map order is immaterial: PlanRewire
+		// dedups by ID and ranks by (latency, ID).
+		dst = append(dst, protocol.CandidateSource{
+			ID:      overlay.NodeID(id),
+			Latency: sim.Time(scheduler.Jitter(p.cfg.Seed, uint64(p.id), uint64(id)) % 1000),
+		})
+	}
+	return dst
+}
+
+func (v *peerView) AppendDHTPeers(dst []protocol.CandidateSource) []protocol.CandidateSource {
+	// The ring neighbours clockwise of this peer, wrapping past the top
+	// of the ring like every successor scan: the structured overlay's
+	// membership view of last resort.
+	p := v.p
+	base := len(dst)
+	n := len(p.rv.ids)
+	start := sort.Search(n, func(i int) bool { return p.rv.rings[i] > p.ring })
+	for k := 0; k < n && len(dst)-base < 4; k++ {
+		id := p.rv.ids[(start+k)%n]
+		if id == p.id {
+			continue
+		}
+		dst = append(dst, protocol.CandidateSource{
+			ID:      overlay.NodeID(id),
+			Latency: sim.Time(scheduler.Jitter(p.cfg.Seed, uint64(p.id), uint64(id)) % 1000),
+		})
+	}
+	return dst
+}
+
+func (v *peerView) AppendRPCandidates(dst []overlay.NodeID, max int) []overlay.NodeID {
+	p := v.p
+	if p.sample == nil {
+		return dst
+	}
+	for _, id := range p.sample(max, p.id) {
+		dst = append(dst, overlay.NodeID(id))
+	}
+	return dst
+}
+
+func (v *peerView) Alive(id overlay.NodeID) bool { return v.members[int(id)] }
+
+func (v *peerView) Connected(id overlay.NodeID) bool { return v.p.links[int(id)] }
 
 // newPeer constructs a peer on a transport-provided identity and inbox;
 // joiners open their buffer at the shared playback position instead of
@@ -142,6 +226,7 @@ func newPeer(tr Transport, id int, inbox chan Message, cfg Config, space dht.Spa
 		curPeriod:     joinPeriod,
 		lastReplace:   joinPeriod - 1000, // no artificial cooldown at birth
 	}
+	p.view.p = p
 	if !isSource {
 		p.alpha = prefetch.NewAlpha(prefetch.AlphaConfig{
 			PlaybackRate:  cfg.Rate,
@@ -468,7 +553,7 @@ func (p *peer) servePeriod(now int, members map[int]bool) {
 				}
 				return protocol.SupplierRarity(p.cfg.BufferSegments, positions)
 			},
-		})
+		}, &p.serveScratch)
 		p.carry = res.Queued
 		p.st.queueCarried.Add(int64(len(res.Queued)))
 	} else {
@@ -507,6 +592,7 @@ func (p *peer) maintainMesh(now int, members map[int]bool) {
 			p.st.deadDropped.Add(1)
 		}
 	}
+	p.view.members = members
 	view := protocol.MaintenanceView{
 		Node:            overlay.NodeID(p.id),
 		Source:          0, // the source is always peer 0
@@ -518,62 +604,11 @@ func (p *peer) maintainMesh(now int, members map[int]bool) {
 		DegreeTarget:    p.degreeTarget(),
 		MissedLastRound: p.missedLast,
 		MissStreak:      p.missStreak,
-		Alive:           func(id overlay.NodeID) bool { return members[int(id)] },
-		Connected:       func(id overlay.NodeID) bool { return p.links[int(id)] },
-		Neighbors: func() []protocol.NeighborSupply {
-			out := make([]protocol.NeighborSupply, 0, len(p.links))
-			for _, nb := range p.neighbourNodeIDs() {
-				s := protocol.NeighborSupply{ID: nb, Known: p.ctrl.Known(int(nb))}
-				if s.Known {
-					s.Supply = p.ctrl.Supply(int(nb))
-				}
-				out = append(out, s)
-			}
-			return out
-		},
-		Overheard: func() []protocol.CandidateSource {
-			out := make([]protocol.CandidateSource, 0, len(p.overheard))
-			for id := range p.overheard {
-				// Livenet links have no measured latency; a per-pair hash
-				// stands in so different peers prefer different candidates
-				// instead of all adopting the lowest ID.
-				out = append(out, protocol.CandidateSource{
-					ID:      overlay.NodeID(id),
-					Latency: sim.Time(scheduler.Jitter(p.cfg.Seed, uint64(p.id), uint64(id)) % 1000),
-				})
-			}
-			return out
-		},
-		DHTPeers: func() []protocol.CandidateSource {
-			// The ring neighbours clockwise of this peer, wrapping past
-			// the top of the ring like every successor scan: the
-			// structured overlay's membership view of last resort.
-			var out []protocol.CandidateSource
-			n := len(p.rv.ids)
-			start := sort.Search(n, func(i int) bool { return p.rv.rings[i] > p.ring })
-			for k := 0; k < n && len(out) < 4; k++ {
-				id := p.rv.ids[(start+k)%n]
-				if id == p.id {
-					continue
-				}
-				out = append(out, protocol.CandidateSource{
-					ID:      overlay.NodeID(id),
-					Latency: sim.Time(scheduler.Jitter(p.cfg.Seed, uint64(p.id), uint64(id)) % 1000),
-				})
-			}
-			return out
-		},
+		Provider:        &p.view,
 	}
-	if p.isSource && p.sample != nil {
-		view.RPCandidates = func(max int) []overlay.NodeID {
-			out := make([]overlay.NodeID, 0, max)
-			for _, id := range p.sample(max, p.id) {
-				out = append(out, overlay.NodeID(id))
-			}
-			return out
-		}
-	}
-	intent, ok := protocol.PlanRewire(view, p.cfg.maintenanceTuning())
+	p.rewireScratch.Reset()
+	intent, ok := protocol.PlanRewire(view, p.cfg.maintenanceTuning(), &p.rewireScratch)
+	p.view.members = nil
 	if !ok {
 		return
 	}

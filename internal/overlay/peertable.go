@@ -207,6 +207,14 @@ func (pt *PeerTable) OverheardNodes() []Overheard {
 	return out
 }
 
+// OverheardRaw returns the overheard list in internal storage order —
+// deterministic for a deterministic operation history, but without the
+// newest-first presentation of OverheardNodes. The allocation-free form
+// for consumers that rank candidates themselves (PlanRewire dedups by ID
+// and sorts by latency, so presentation order cannot affect it). Callers
+// must not mutate the returned slice.
+func (pt *PeerTable) OverheardRaw() []Overheard { return pt.overheard }
+
 // ForgetOverheard drops id from the overheard list (e.g. discovered dead).
 func (pt *PeerTable) ForgetOverheard(id NodeID) {
 	for i := range pt.overheard {

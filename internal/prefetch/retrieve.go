@@ -16,6 +16,14 @@ type Locator interface {
 	Route(from, key dht.ID) dht.RouteResult
 }
 
+// ScratchRouter is the optional Locator extension the allocation-free
+// path uses: routing through a reusable scratch, no materialised walk.
+// *dht.Network implements it; Locators that don't are routed through
+// Route as before.
+type ScratchRouter interface {
+	RouteTo(from, key dht.ID, sc *dht.RouteScratch) dht.RouteOutcome
+}
+
 // Directory answers what Algorithm 2's routed messages discover at the arc
 // owner: whether it holds the wanted segment in its VoD backup, and the
 // sending rate it can spare for a direct UDP transfer.
@@ -45,6 +53,20 @@ type LookupResult struct {
 	Owners []dht.ID
 }
 
+// Scratch is reusable per-caller state for a Retriever's lookups: the
+// route scratch, the arena backing every LookupResult.Owners, and the
+// LocateAll work buffers. Zero value is ready to use. The reuse
+// contract: results returned by LocateAll (including their Owners
+// slices) are valid only until the next LocateAll call through the same
+// Scratch — long-lived owners thread one Scratch through a round and
+// consume each node's results before locating for the next.
+type Scratch struct {
+	route   dht.RouteScratch
+	owners  []dht.ID
+	ordered []segment.ID
+	results []LookupResult
+}
+
 // Retriever executes Algorithm 2 against a Locator and Directory.
 type Retriever struct {
 	Space dht.Space
@@ -52,6 +74,24 @@ type Retriever struct {
 	Replicas int
 	Locator  Locator
 	Dir      Directory
+	// Scratch, when non-nil, makes Locate/LocateAll allocation-free in
+	// the steady state (see the Scratch reuse contract). Nil keeps the
+	// allocate-fresh behaviour, which is always safe to retain.
+	Scratch *Scratch
+}
+
+// route dispatches one greedy walk, through the scratch path when both
+// the Locator and the Retriever support it.
+func (r *Retriever) route(from, key dht.ID) dht.RouteOutcome {
+	if sr, ok := r.Locator.(ScratchRouter); ok {
+		var sc *dht.RouteScratch
+		if r.Scratch != nil {
+			sc = &r.Scratch.route
+		}
+		return sr.RouteTo(from, key, sc)
+	}
+	res := r.Locator.Route(from, key)
+	return dht.RouteOutcome{Target: res.Target, Final: res.Final, Hops: res.Hops(), Success: res.Success}
 }
 
 // Locate runs the k parallel lookups for one missed segment from node
@@ -60,17 +100,26 @@ type Retriever struct {
 // index order and ties broken toward the lower node ID.
 func (r *Retriever) Locate(from dht.ID, id segment.ID) LookupResult {
 	res := LookupResult{ID: id, Rate: 0}
-	seen := map[dht.ID]bool{}
+	// Owners doubles as the dedup set (k is small); with a scratch it is
+	// carved from the grow-only arena as a full-capacity subslice, so
+	// later lookups can never append into it.
+	ownerStart := 0
+	if r.Scratch != nil {
+		// Carve with open capacity so appends land in the arena's spare
+		// room; earlier results hold full-capacity subslices ending at
+		// ownerStart, so those bytes are exclusively this lookup's.
+		ownerStart = len(r.Scratch.owners)
+		res.Owners = r.Scratch.owners[ownerStart:ownerStart]
+	}
 	for i := 1; i <= r.Replicas; i++ {
 		key := dht.HashKey(r.Space, id, i)
-		route := r.Locator.Route(from, key)
-		res.RoutingMessages += route.Hops()
+		route := r.route(from, key)
+		res.RoutingMessages += route.Hops
 		if !route.Success {
 			continue
 		}
 		owner := route.Final
-		if !seen[owner] {
-			seen[owner] = true
+		if !slices.Contains(res.Owners, owner) {
 			res.Owners = append(res.Owners, owner)
 		}
 		if !r.Dir.HasBackup(owner, id) {
@@ -84,10 +133,17 @@ func (r *Retriever) Locate(from dht.ID, id segment.ID) LookupResult {
 			res.Found = true
 			res.Supplier = owner
 			res.Rate = rate
-			res.LocateHops = route.Hops()
+			res.LocateHops = route.Hops
 		}
 	}
 	slices.Sort(res.Owners)
+	if r.Scratch != nil && len(res.Owners) > 0 {
+		// The append above may have grown past the arena; fold the final
+		// slice back so the next Locate carves after it. Full-capacity
+		// subslicing keeps earlier results' Owners untouched either way.
+		r.Scratch.owners = append(r.Scratch.owners[:ownerStart], res.Owners...)
+		res.Owners = r.Scratch.owners[ownerStart:len(r.Scratch.owners):len(r.Scratch.owners)]
+	}
 	if res.Found {
 		// The direct UDP request to the supplier is one more message.
 		res.RoutingMessages++
@@ -97,12 +153,26 @@ func (r *Retriever) Locate(from dht.ID, id segment.ID) LookupResult {
 
 // LocateAll runs Locate for every missed segment in ascending ID order
 // (Algorithm 2's input ordering) and returns the per-segment results.
+// With a Scratch the returned slice and its Owners are reused by the
+// next LocateAll call; copy anything that must outlive it.
 func (r *Retriever) LocateAll(from dht.ID, missed []segment.ID) []LookupResult {
-	ordered := append([]segment.ID(nil), missed...)
+	var ordered []segment.ID
+	var out []LookupResult
+	if r.Scratch != nil {
+		ordered = r.Scratch.ordered[:0]
+		out = r.Scratch.results[:0]
+		r.Scratch.owners = r.Scratch.owners[:0]
+	} else {
+		out = make([]LookupResult, 0, len(missed))
+	}
+	ordered = append(ordered, missed...)
 	slices.Sort(ordered)
-	out := make([]LookupResult, 0, len(ordered))
 	for _, id := range ordered {
 		out = append(out, r.Locate(from, id))
+	}
+	if r.Scratch != nil {
+		r.Scratch.ordered = ordered[:0]
+		r.Scratch.results = out[:0]
 	}
 	return out
 }

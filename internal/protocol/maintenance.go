@@ -1,7 +1,8 @@
 package protocol
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"continustreaming/internal/overlay"
 	"continustreaming/internal/sim"
@@ -64,10 +65,45 @@ type CandidateSource struct {
 	Latency sim.Time
 }
 
+// ViewProvider supplies the pool-shaped inputs of one node's rewire
+// decision on demand. It replaces the per-node closures the view used to
+// carry: a runtime implements it once with a reusable (typically
+// per-shard) value, and PlanRewire consults it only past the
+// at-target-degree fast path — the common node at target degree with no
+// playback distress assembles nothing at all.
+//
+// The Append methods append to dst and return the extended slice, so a
+// caller-owned scratch buffer absorbs every pool materialisation.
+// PlanRewire consumes each returned slice before the next Append call;
+// providers may therefore share one internal buffer across methods but
+// must not retain dst.
+type ViewProvider interface {
+	// AppendNeighbors appends the connected neighbours with their supply
+	// estimates, in the node's table order.
+	AppendNeighbors(dst []NeighborSupply) []NeighborSupply
+	// AppendOverheard appends the overheard-node pool (the paper's
+	// replacement source) with learned latencies. Order is irrelevant:
+	// candidates are deduplicated by ID and ranked by (latency, ID).
+	AppendOverheard(dst []CandidateSource) []CandidateSource
+	// AppendDHTPeers appends the node's structured-overlay peer levels
+	// (the membership view churn cannot empty) with measured latencies.
+	AppendDHTPeers(dst []CandidateSource) []CandidateSource
+	// AppendRPCandidates appends up to max rendezvous-point membership
+	// candidates — the source's degree-protection refill of last resort.
+	// Only consulted for the source; other nodes may return dst
+	// unchanged.
+	AppendRPCandidates(dst []overlay.NodeID, max int) []overlay.NodeID
+	// Alive reports whether a candidate is currently a live overlay
+	// member; Connected whether it is already a neighbour.
+	Alive(id overlay.NodeID) bool
+	Connected(id overlay.NodeID) bool
+}
+
 // MaintenanceView is everything one node's rewire decision depends on,
 // assembled by the runtime from its own state: the simulator from
 // shard-owned node state, livenet from what a peer learned over its
-// channels.
+// channels. The scalar fields decide the fast path; Provider supplies
+// the pools only when a decision actually needs them.
 type MaintenanceView struct {
 	// Node is the deciding node; Source the stream source's ID (never a
 	// low-supply victim — it is the root of all data).
@@ -93,27 +129,11 @@ type MaintenanceView struct {
 	// unlocks multi-replacement.
 	MissedLastRound bool
 	MissStreak      int
-	// Neighbors returns the connected neighbours with their supply
-	// estimates, in the node's table order. Lazy for the same reason as
-	// the candidate pools: the supply judgement only runs for nodes in
-	// playback distress past their cooldown.
-	Neighbors func() []NeighborSupply
-	// Overheard returns the overheard-node pool (the paper's replacement
-	// source) with learned latencies; DHTPeers the node's structured-
-	// overlay peer levels (the membership view churn cannot empty), with
-	// measured latencies, in table order. Both are lazy — most nodes are
-	// at target degree with nothing to drop, and the decision returns
-	// before ever assembling a candidate pool.
-	Overheard func() []CandidateSource
-	DHTPeers  func() []CandidateSource
-	// RPCandidates supplies the rendezvous point's membership list (the
-	// source's degree-protection refill of last resort); nil for
-	// ordinary nodes.
-	RPCandidates func(max int) []overlay.NodeID
-	// Alive reports whether a candidate is currently a live overlay
-	// member; Connected whether it is already a neighbour.
-	Alive     func(overlay.NodeID) bool
-	Connected func(overlay.NodeID) bool
+	// Provider supplies the neighbour-supply list and the candidate
+	// pools. It is consulted only past the fast path — most nodes are at
+	// target degree with nothing to drop, and the decision returns
+	// before ever materialising a pool.
+	Provider ViewProvider
 }
 
 // MaintenanceTuning is the paper-calibrated maintenance knobs, shared by
@@ -133,6 +153,34 @@ type MaintenanceTuning struct {
 	MaxDistressReplacements int
 }
 
+// RewireScratch is reusable per-caller state for PlanRewire: the pool
+// buffers and the grow-only arena that backs every returned intent's
+// Drop/Adopt slices. Zero value is ready to use. The reuse contract:
+// intents planned through one scratch stay valid until its next Reset —
+// a runtime plans a batch, applies it, then Resets before the next
+// batch. The pool buffers are recycled every call, which is safe because
+// PlanRewire fully consumes them before returning.
+type RewireScratch struct {
+	neighbours []NeighborSupply
+	victims    []NeighborSupply
+	cands      []CandidateSource
+	rp         []overlay.NodeID
+	seen       []overlay.NodeID
+	// ids is the intent arena; Drop/Adopt are full-capacity subslices of
+	// it, so later plans can never append into an earlier intent.
+	ids []overlay.NodeID
+}
+
+// Reset reclaims the intent arena, invalidating every intent planned
+// through this scratch since the previous Reset.
+func (sc *RewireScratch) Reset() { sc.ids = sc.ids[:0] }
+
+// carve returns ids[start:] as a full-capacity subslice: callers keep a
+// stable window into the arena that later appends can never write into.
+func (sc *RewireScratch) carve(start int) []overlay.NodeID {
+	return sc.ids[start:len(sc.ids):len(sc.ids)]
+}
+
 // PlanRewire computes one node's desired mesh changes from its local
 // view: low-supply victims (multi-replacement under playback distress)
 // and refill/replacement candidates in preference order — overheard nodes
@@ -141,11 +189,31 @@ type MaintenanceTuning struct {
 // RP's membership list (degree protection: the stream's root must never
 // sit under-degreed, since its edges are where fresh segments enter the
 // mesh).
-func PlanRewire(v MaintenanceView, t MaintenanceTuning) (RewireIntent, bool) {
-	intent := RewireIntent{Node: v.Node}
+//
+// The at-target-degree fast path decides the common case — no deficit,
+// no shedding possible — from the view's scalar fields alone, before
+// touching the provider or the scratch. sc may be nil, in which case the
+// returned intent is freshly allocated and safe to retain indefinitely;
+// with a scratch, see the RewireScratch reuse contract.
+func PlanRewire(v MaintenanceView, t MaintenanceTuning, sc *RewireScratch) (RewireIntent, bool) {
 	deficit := v.DegreeTarget - v.Degree
-	if v.Warm && !v.IsSource {
-		intent.Drop = lowSupplyVictims(v, t)
+	// Shedding requires warmth (a supply signal worth acting on),
+	// playback distress, and an expired cooldown. The cooldown holds
+	// even under distress: every swap discards the rate estimates both
+	// sides learned, and a node that rewires every round never learns
+	// who its good suppliers are — that feedback loop, not degree loss,
+	// is what used to collapse churned meshes.
+	mayShed := v.Warm && !v.IsSource && v.MissedLastRound &&
+		v.Round-v.LastReplace >= t.ReplaceCooldownRounds
+	if deficit <= 0 && !mayShed {
+		return RewireIntent{}, false
+	}
+	if sc == nil {
+		sc = &RewireScratch{}
+	}
+	intent := RewireIntent{Node: v.Node}
+	if mayShed {
+		intent.Drop = lowSupplyVictims(&v, t, sc)
 	}
 	if deficit <= 0 && len(intent.Drop) == 0 {
 		return RewireIntent{}, false
@@ -160,7 +228,7 @@ func PlanRewire(v MaintenanceView, t MaintenanceTuning) (RewireIntent, bool) {
 	if deficit > 0 {
 		want += deficit
 	}
-	intent.Adopt = adoptionCandidates(v, want)
+	intent.Adopt = adoptionCandidates(&v, want, sc)
 	if len(intent.Adopt) == 0 && deficit <= 0 {
 		return RewireIntent{}, false
 	}
@@ -173,28 +241,15 @@ func PlanRewire(v MaintenanceView, t MaintenanceTuning) (RewireIntent, bool) {
 // two or more consecutive rounds is bleeding playback and may shed up to
 // MaxDistressReplacements starved links at once — waiting one cooldown
 // window per link is exactly how churned meshes died before this rule.
-func lowSupplyVictims(v MaintenanceView, t MaintenanceTuning) []overlay.NodeID {
-	if !v.MissedLastRound || v.Round-v.LastReplace < t.ReplaceCooldownRounds {
-		// The cooldown holds even under distress: every swap discards the
-		// rate estimates both sides learned, and a node that rewires every
-		// round never learns who its good suppliers are — that feedback
-		// loop, not degree loss, is what used to collapse churned meshes.
-		return nil
-	}
+// The caller has already established distress and cooldown expiry.
+func lowSupplyVictims(v *MaintenanceView, t MaintenanceTuning, sc *RewireScratch) []overlay.NodeID {
 	limit := 1
 	if v.MissStreak >= 2 && t.MaxDistressReplacements > limit {
 		limit = t.MaxDistressReplacements
 	}
-	type victim struct {
-		id   overlay.NodeID
-		rate float64
-	}
-	var victims []victim
-	var neighbours []NeighborSupply
-	if v.Neighbors != nil {
-		neighbours = v.Neighbors()
-	}
-	for _, nb := range neighbours {
+	sc.neighbours = v.Provider.AppendNeighbors(sc.neighbours[:0])
+	victims := sc.victims[:0]
+	for _, nb := range sc.neighbours {
 		if nb.ID == v.Source {
 			continue // the source is the root of all data, never dropped
 		}
@@ -204,100 +259,108 @@ func lowSupplyVictims(v MaintenanceView, t MaintenanceTuning) []overlay.NodeID {
 			continue
 		}
 		if nb.Supply < t.LowSupplyThreshold {
-			victims = append(victims, victim{id: nb.ID, rate: nb.Supply})
+			victims = append(victims, nb)
 		}
 	}
-	sort.Slice(victims, func(i, j int) bool {
-		if victims[i].rate != victims[j].rate {
-			return victims[i].rate < victims[j].rate
+	sc.victims = victims
+	slices.SortFunc(victims, func(a, b NeighborSupply) int {
+		if a.Supply != b.Supply {
+			return cmp.Compare(a.Supply, b.Supply)
 		}
-		return victims[i].id < victims[j].id
+		return cmp.Compare(a.ID, b.ID)
 	})
 	if len(victims) > limit {
 		victims = victims[:limit]
 	}
-	out := make([]overlay.NodeID, len(victims))
-	for i, v := range victims {
-		out[i] = v.id
+	start := len(sc.ids)
+	for _, vi := range victims {
+		sc.ids = append(sc.ids, vi.ID)
 	}
-	return out
+	return sc.carve(start)
+}
+
+// usableCand is the cross-pool candidate filter: not self, not already
+// considered, alive, not connected. Accepted candidates are recorded in
+// the seen set so later pools cannot re-offer them.
+func usableCand(v *MaintenanceView, sc *RewireScratch, c overlay.NodeID) bool {
+	if c < 0 || c == v.Node || slices.Contains(sc.seen, c) || !v.Provider.Alive(c) || v.Provider.Connected(c) {
+		return false
+	}
+	sc.seen = append(sc.seen, c)
+	return true
+}
+
+// rankCandidates orders a pool by (latency, ID) — the paper's
+// lowest-latency replacement rule with a deterministic tie-break.
+func rankCandidates(cands []CandidateSource) {
+	slices.SortFunc(cands, func(a, b CandidateSource) int {
+		if a.Latency != b.Latency {
+			return cmp.Compare(a.Latency, b.Latency)
+		}
+		return cmp.Compare(a.ID, b.ID)
+	})
 }
 
 // adoptionCandidates assembles up to want connection candidates in
-// preference order from the view's pools. Pools are filtered in priority
-// order and deduplicated across pools: an overheard candidate beyond the
-// want cut still shadows its DHT-pool duplicate, exactly as a node
-// consulting its own tables would skip an entry it already considered.
-func adoptionCandidates(v MaintenanceView, want int) []overlay.NodeID {
+// preference order from the provider's pools. Pools are filtered in
+// priority order and deduplicated across pools: an overheard candidate
+// beyond the want cut still shadows its DHT-pool duplicate, exactly as a
+// node consulting its own tables would skip an entry it already
+// considered.
+func adoptionCandidates(v *MaintenanceView, want int, sc *RewireScratch) []overlay.NodeID {
 	if want <= 0 {
 		return nil
 	}
-	seen := map[overlay.NodeID]bool{v.Node: true}
-	usable := func(c overlay.NodeID) bool {
-		if c < 0 || seen[c] || !v.Alive(c) || v.Connected(c) {
-			return false
-		}
-		seen[c] = true
-		return true
-	}
-	var out []overlay.NodeID
-	var overheard []CandidateSource
-	if v.Overheard != nil {
-		overheard = v.Overheard()
-	}
-	cands := make([]CandidateSource, 0, len(overheard))
-	for _, o := range overheard {
-		if usable(o.ID) {
-			cands = append(cands, o)
+	sc.seen = sc.seen[:0]
+	start := len(sc.ids)
+	sc.cands = v.Provider.AppendOverheard(sc.cands[:0])
+	cands := sc.cands
+	n := 0
+	for _, o := range cands {
+		if usableCand(v, sc, o.ID) {
+			cands[n] = o
+			n++
 		}
 	}
-	sort.Slice(cands, func(i, j int) bool {
-		if cands[i].Latency != cands[j].Latency {
-			return cands[i].Latency < cands[j].Latency
-		}
-		return cands[i].ID < cands[j].ID
-	})
+	cands = cands[:n]
+	rankCandidates(cands)
 	for _, c := range cands {
-		if len(out) >= want {
-			return out
+		if len(sc.ids)-start >= want {
+			return sc.carve(start)
 		}
-		out = append(out, c.ID)
+		sc.ids = append(sc.ids, c.ID)
 	}
 	// Eager refill: the structured overlay's peer levels survive churn
 	// (the repair cadence keeps them alive), so they are the membership
 	// view of last resort when gossip has not overheard enough fresh
 	// nodes.
-	var dhtPeers []CandidateSource
-	if v.DHTPeers != nil {
-		dhtPeers = v.DHTPeers()
-	}
-	dhtCands := make([]CandidateSource, 0, len(dhtPeers))
-	for _, p := range dhtPeers {
-		if usable(p.ID) {
-			dhtCands = append(dhtCands, p)
+	sc.cands = v.Provider.AppendDHTPeers(sc.cands[:0])
+	cands = sc.cands
+	n = 0
+	for _, p := range cands {
+		if usableCand(v, sc, p.ID) {
+			cands[n] = p
+			n++
 		}
 	}
-	sort.Slice(dhtCands, func(i, j int) bool {
-		if dhtCands[i].Latency != dhtCands[j].Latency {
-			return dhtCands[i].Latency < dhtCands[j].Latency
+	cands = cands[:n]
+	rankCandidates(cands)
+	for _, c := range cands {
+		if len(sc.ids)-start >= want {
+			return sc.carve(start)
 		}
-		return dhtCands[i].ID < dhtCands[j].ID
-	})
-	for _, c := range dhtCands {
-		if len(out) >= want {
-			return out
-		}
-		out = append(out, c.ID)
+		sc.ids = append(sc.ids, c.ID)
 	}
-	if v.RPCandidates != nil {
-		for _, c := range v.RPCandidates(2 * want) {
-			if len(out) >= want {
+	if v.IsSource {
+		sc.rp = v.Provider.AppendRPCandidates(sc.rp[:0], 2*want)
+		for _, c := range sc.rp {
+			if len(sc.ids)-start >= want {
 				break
 			}
-			if usable(c) {
-				out = append(out, c)
+			if usableCand(v, sc, c) {
+				sc.ids = append(sc.ids, c)
 			}
 		}
 	}
-	return out
+	return sc.carve(start)
 }

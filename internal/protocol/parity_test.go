@@ -147,8 +147,8 @@ func (w *parityWorld) liveServeInput() ServeInput {
 // identical no matter which runtime assembled its inputs.
 func TestServeParitySimVsLivenet(t *testing.T) {
 	w := newParityWorld(t)
-	simRes := PlanServe(w.simServeInput())
-	liveRes := PlanServe(w.liveServeInput())
+	simRes := PlanServe(w.simServeInput(), nil)
+	liveRes := PlanServe(w.liveServeInput(), &ServeScratch{})
 	if !reflect.DeepEqual(simRes, liveRes) {
 		t.Fatalf("serve decisions diverged:\nsim  %+v\nlive %+v", simRes, liveRes)
 	}
@@ -225,10 +225,68 @@ func TestGossipPicksDeterministic(t *testing.T) {
 	}
 }
 
+// staticView is a fixture ViewProvider over literal pools.
+type staticView struct {
+	neighbours []NeighborSupply
+	overheard  []CandidateSource
+	dhtPeers   []CandidateSource
+	rp         []overlay.NodeID
+	dead       overlay.NodeID
+	connected  overlay.NodeID
+	// calls counts pool materialisations, for the fast-path assertions.
+	calls int
+}
+
+func (s *staticView) AppendNeighbors(dst []NeighborSupply) []NeighborSupply {
+	s.calls++
+	return append(dst, s.neighbours...)
+}
+
+func (s *staticView) AppendOverheard(dst []CandidateSource) []CandidateSource {
+	s.calls++
+	return append(dst, s.overheard...)
+}
+
+func (s *staticView) AppendDHTPeers(dst []CandidateSource) []CandidateSource {
+	s.calls++
+	return append(dst, s.dhtPeers...)
+}
+
+func (s *staticView) AppendRPCandidates(dst []overlay.NodeID, max int) []overlay.NodeID {
+	s.calls++
+	if len(s.rp) > max {
+		return append(dst, s.rp[:max]...)
+	}
+	return append(dst, s.rp...)
+}
+
+func (s *staticView) Alive(id overlay.NodeID) bool     { return id != s.dead }
+func (s *staticView) Connected(id overlay.NodeID) bool { return id == s.connected }
+
 // TestPlanRewire covers the extracted maintenance decision: distress
 // unlocks multi-replacement, cooldown suppresses it, pools are consulted
 // in preference order with cross-pool dedupe.
 func TestPlanRewire(t *testing.T) {
+	prov := &staticView{
+		neighbours: []NeighborSupply{
+			{ID: 0, Known: true, Supply: 0},   // the source: never a victim
+			{ID: 7, Known: true, Supply: 0.2}, // starved link
+			{ID: 8, Known: false},             // unobserved: not judged
+			{ID: 12, Known: true, Supply: 5},  // healthy
+		},
+		overheard: []CandidateSource{
+			{ID: 30, Latency: 50},
+			{ID: 99, Latency: 10}, // dead: filtered
+			{ID: 31, Latency: 20},
+			{ID: 7, Latency: 5}, // already connected: filtered
+		},
+		dhtPeers: []CandidateSource{
+			{ID: 31, Latency: 1}, // duplicate of overheard: shadowed
+			{ID: 40, Latency: 9},
+		},
+		dead:      99,
+		connected: 7,
+	}
 	base := MaintenanceView{
 		Node:            1,
 		Source:          0,
@@ -239,34 +297,11 @@ func TestPlanRewire(t *testing.T) {
 		DegreeTarget:    5,
 		MissedLastRound: true,
 		MissStreak:      3,
-		Alive:           func(id overlay.NodeID) bool { return id != 99 },
-		Connected:       func(id overlay.NodeID) bool { return id == 7 },
-		Neighbors: func() []NeighborSupply {
-			return []NeighborSupply{
-				{ID: 0, Known: true, Supply: 0},   // the source: never a victim
-				{ID: 7, Known: true, Supply: 0.2}, // starved link
-				{ID: 8, Known: false},             // unobserved: not judged
-				{ID: 12, Known: true, Supply: 5},  // healthy
-			}
-		},
-		Overheard: func() []CandidateSource {
-			return []CandidateSource{
-				{ID: 30, Latency: 50},
-				{ID: 99, Latency: 10}, // dead: filtered
-				{ID: 31, Latency: 20},
-				{ID: 7, Latency: 5}, // already connected: filtered
-			}
-		},
-		DHTPeers: func() []CandidateSource {
-			return []CandidateSource{
-				{ID: 31, Latency: 1}, // duplicate of overheard: shadowed
-				{ID: 40, Latency: 9},
-			}
-		},
+		Provider:        prov,
 	}
 	tuning := MaintenanceTuning{LowSupplyThreshold: 1, ReplaceCooldownRounds: 8, MaxDistressReplacements: 3}
 
-	intent, ok := PlanRewire(base, tuning)
+	intent, ok := PlanRewire(base, tuning, nil)
 	if !ok {
 		t.Fatal("rewire not planned despite deficit and distress")
 	}
@@ -282,15 +317,105 @@ func TestPlanRewire(t *testing.T) {
 
 	cooled := base
 	cooled.LastReplace = 15 // within the 8-round cooldown
-	intent, _ = PlanRewire(cooled, tuning)
+	intent, _ = PlanRewire(cooled, tuning, nil)
 	if len(intent.Drop) != 0 {
 		t.Fatalf("drop = %v during cooldown, want none", intent.Drop)
 	}
 
+	// The at-target fast path must decide from scalars alone: a healthy
+	// full-degree node's provider is never consulted — pinned by leaving
+	// the provider nil entirely.
 	satisfied := base
 	satisfied.Degree = 5
 	satisfied.MissedLastRound = false
-	if _, ok := PlanRewire(satisfied, tuning); ok {
+	satisfied.Provider = nil
+	if _, ok := PlanRewire(satisfied, tuning, nil); ok {
 		t.Fatal("rewire planned for a healthy full-degree node")
+	}
+}
+
+// TestPlanRewireScratchReuse pins the scratch semantics: planning
+// through a shared scratch yields decisions identical to scratch-free
+// planning, intents from one batch stay intact as later plans are
+// carved from the same arena, and Reset recycles the arena storage.
+func TestPlanRewireScratchReuse(t *testing.T) {
+	tuning := MaintenanceTuning{LowSupplyThreshold: 1, ReplaceCooldownRounds: 8, MaxDistressReplacements: 3}
+	mkView := func(node overlay.NodeID) MaintenanceView {
+		return MaintenanceView{
+			Node:            node,
+			Source:          0,
+			Warm:            true,
+			Round:           20,
+			Degree:          3,
+			DegreeTarget:    5,
+			MissedLastRound: true,
+			MissStreak:      3,
+			Provider: &staticView{
+				neighbours: []NeighborSupply{{ID: node + 100, Known: true, Supply: 0.1}},
+				overheard: []CandidateSource{
+					{ID: node + 10, Latency: 5},
+					{ID: node + 11, Latency: 7},
+					{ID: node + 12, Latency: 9},
+				},
+				dhtPeers: []CandidateSource{{ID: node + 20, Latency: 3}},
+			},
+		}
+	}
+	var sc RewireScratch
+	var batch []RewireIntent
+	var fresh []RewireIntent
+	for node := overlay.NodeID(1); node <= 8; node++ {
+		if in, ok := PlanRewire(mkView(node), tuning, &sc); ok {
+			batch = append(batch, in)
+		}
+		if in, ok := PlanRewire(mkView(node), tuning, nil); ok {
+			fresh = append(fresh, in)
+		}
+	}
+	if !reflect.DeepEqual(batch, fresh) {
+		t.Fatalf("scratch batch %v differs from scratch-free plans %v", batch, fresh)
+	}
+	if len(batch) != 8 {
+		t.Fatalf("planned %d intents, want 8", len(batch))
+	}
+	// A second batch after Reset must reuse the arena, not grow it.
+	arenaCap := cap(sc.ids)
+	sc.Reset()
+	for node := overlay.NodeID(1); node <= 8; node++ {
+		PlanRewire(mkView(node), tuning, &sc)
+	}
+	if cap(sc.ids) != arenaCap {
+		t.Fatalf("arena regrew across Reset: cap %d -> %d", arenaCap, cap(sc.ids))
+	}
+}
+
+// TestPlanRewireFastPathNoProviderCalls pins the tentpole's fast path:
+// nodes at target degree without actionable distress never materialise a
+// pool, whichever scalar keeps them healthy.
+func TestPlanRewireFastPathNoProviderCalls(t *testing.T) {
+	tuning := MaintenanceTuning{LowSupplyThreshold: 1, ReplaceCooldownRounds: 8, MaxDistressReplacements: 3}
+	for _, tc := range []struct {
+		name string
+		mut  func(*MaintenanceView)
+	}{
+		{"no distress", func(v *MaintenanceView) { v.MissedLastRound = false }},
+		{"cooldown", func(v *MaintenanceView) { v.LastReplace = v.Round - 1 }},
+		{"cold", func(v *MaintenanceView) { v.Warm = false }},
+		{"source", func(v *MaintenanceView) { v.IsSource = true }},
+	} {
+		prov := &staticView{}
+		v := MaintenanceView{
+			Node: 1, Warm: true, Round: 20, LastReplace: 0,
+			Degree: 5, DegreeTarget: 5,
+			MissedLastRound: true, MissStreak: 3,
+			Provider: prov,
+		}
+		tc.mut(&v)
+		if _, ok := PlanRewire(v, tuning, nil); ok {
+			t.Fatalf("%s: rewire planned on the fast path", tc.name)
+		}
+		if prov.calls != 0 {
+			t.Fatalf("%s: fast path materialised %d pools, want 0", tc.name, prov.calls)
+		}
 	}
 }

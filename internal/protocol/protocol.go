@@ -37,7 +37,6 @@ package protocol
 
 import (
 	"continustreaming/internal/overlay"
-	"continustreaming/internal/scheduler"
 	"continustreaming/internal/segment"
 	"continustreaming/internal/sim"
 )
@@ -74,18 +73,23 @@ type Send struct {
 // SupplierRarity evaluates the requesting-priority rarity term from the
 // supplier's point of view: positions are the segment's FIFO
 // positions-from-tail in the advertised buffers of the supplier's
-// neighbours that hold it. It reuses the requester-side scheduler.Rarity
-// (equation (2)); a segment none of the supplier's neighbours hold is
-// maximally rare — the supplier may be its sole holder in the
-// neighbourhood, so the empty product is 1, not scheduler.Rarity's
-// no-candidate 0.
+// neighbours that hold it. The product below is the requester-side
+// scheduler.Rarity (equation (2)) computed in place — same clamping,
+// same factor order — without staging the positions through a candidate;
+// a segment none of the supplier's neighbours hold is maximally rare —
+// the supplier may be its sole holder in the neighbourhood, so the empty
+// product is 1, not scheduler.Rarity's no-candidate 0.
 func SupplierRarity(bufferSize int, positions []int) float64 {
-	if len(positions) == 0 {
-		return 1
+	r := 1.0
+	for _, pos := range positions {
+		p := float64(pos) / float64(bufferSize)
+		if p < 0 {
+			p = 0
+		}
+		if p > 1 {
+			p = 1
+		}
+		r *= p
 	}
-	c := scheduler.Candidate{Suppliers: make([]scheduler.Supplier, len(positions))}
-	for i, p := range positions {
-		c.Suppliers[i] = scheduler.Supplier{PositionFromTail: p}
-	}
-	return scheduler.Rarity(scheduler.PriorityInput{BufferSize: bufferSize}, c)
+	return r
 }

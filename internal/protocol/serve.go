@@ -1,8 +1,8 @@
 package protocol
 
 import (
+	"cmp"
 	"slices"
-	"sort"
 
 	"continustreaming/internal/overlay"
 	"continustreaming/internal/segment"
@@ -17,21 +17,23 @@ import (
 // has already waited a round), then (requester, segment) for full
 // determinism.
 func Order(reqs []Request) {
-	sort.SliceStable(reqs, func(i, j int) bool {
-		a, b := reqs[i], reqs[j]
+	slices.SortStableFunc(reqs, func(a, b Request) int {
 		if a.Deadline != b.Deadline {
-			return a.Deadline < b.Deadline
+			return cmp.Compare(a.Deadline, b.Deadline)
 		}
 		if a.Rarity != b.Rarity {
-			return a.Rarity > b.Rarity
+			return cmp.Compare(b.Rarity, a.Rarity)
 		}
 		if a.Carried != b.Carried {
-			return a.Carried
+			if a.Carried {
+				return -1
+			}
+			return 1
 		}
 		if a.Requester != b.Requester {
-			return a.Requester < b.Requester
+			return cmp.Compare(a.Requester, b.Requester)
 		}
-		return a.ID < b.ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 }
 
@@ -144,6 +146,17 @@ type ServeInput struct {
 	Rarity func(segment.ID) float64
 }
 
+// ServeScratch is PlanServe's reusable working storage: one grow-only
+// request buffer a caller serving many suppliers (the simulator's serve
+// shards, a livenet peer across periods) recycles instead of
+// reallocating. A result's Granted slice aliases the scratch, so it is
+// valid only until the next PlanServe call through the same scratch —
+// exactly the consume-immediately lifetime both runtimes have. Queued is
+// never arena-backed: it outlives the call inside carry queues.
+type ServeScratch struct {
+	reqs []Request
+}
+
 // PlanServe runs one supplier's full engine-profile scheduling period as
 // a pure decision: revalidate the carry queue against membership and
 // buffer drift, merge the surviving entries with this round's fresh asks
@@ -151,11 +164,15 @@ type ServeInput struct {
 // supplier-side rarity, and run the earliest-deadline-first service
 // discipline with bounded carry. Both the simulator's serveSupplier
 // driver and the livenet peer serve path call it — the decision is the
-// shared protocol; only the input assembly differs.
-func PlanServe(in ServeInput) ServeResult {
-	reqs := make([]Request, 0, len(in.Carried)+len(in.Fresh))
-	// Lazily built: most suppliers carry nothing, and a nil map reads fine.
-	var queued map[segment.ID][]overlay.NodeID
+// shared protocol; only the input assembly differs. sc may be nil
+// (allocate-fresh); see ServeScratch for the aliasing contract.
+func PlanServe(in ServeInput, sc *ServeScratch) ServeResult {
+	var reqs []Request
+	if sc != nil {
+		reqs = sc.reqs[:0]
+	} else {
+		reqs = make([]Request, 0, len(in.Carried)+len(in.Fresh))
+	}
 	var stale int64
 	for _, c := range in.Carried {
 		// Revalidate: the requester may have died, the segment may have
@@ -164,7 +181,7 @@ func PlanServe(in ServeInput) ServeResult {
 		// (push, prefetch rescue, a retry at another supplier) — its
 		// current buffer-map snapshot says so, and serving it anyway
 		// would burn a grant slot on repeated data. Only survivors join
-		// the dedupe set — a fresh re-ask that matches a stale entry
+		// the dedupe prefix — a fresh re-ask that matches a stale entry
 		// must not be swallowed with it.
 		if !in.RequesterAlive(c.Requester) || !in.SupplierHas(c.ID) {
 			stale++
@@ -174,20 +191,26 @@ func PlanServe(in ServeInput) ServeResult {
 			stale++
 			continue
 		}
-		if queued == nil {
-			queued = make(map[segment.ID][]overlay.NodeID, len(in.Carried))
-		}
-		queued[c.ID] = append(queued[c.ID], c.Requester)
 		reqs = append(reqs, c)
 	}
+	carried := len(reqs)
 	for i := range reqs {
 		reqs[i].Rarity = in.Rarity(reqs[i].ID)
 	}
 	for _, a := range in.Fresh {
-		if slices.Contains(queued[a.ID], a.Requester) {
-			// Already carried: the re-ask merges into its queued twin
-			// and shares its fate (served or evicted), deliberately
-			// counted once in the eviction telemetry.
+		// The surviving carried entries form the dedupe set: a fresh
+		// re-ask matching one merges into its queued twin and shares its
+		// fate (served or evicted), deliberately counted once in the
+		// eviction telemetry. Carry queues are bounded and small, so the
+		// prefix scan beats building a map.
+		dup := false
+		for i := 0; i < carried; i++ {
+			if reqs[i].ID == a.ID && reqs[i].Requester == a.Requester {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
 		reqs = append(reqs, Request{
@@ -196,6 +219,9 @@ func PlanServe(in ServeInput) ServeResult {
 			Deadline:  a.Deadline,
 			Rarity:    in.Rarity(a.ID),
 		})
+	}
+	if sc != nil {
+		sc.reqs = reqs
 	}
 	res := Serve(reqs, in.Capacity, in.QueueCap, in.Horizon)
 	res.Evicted.Stale += stale
@@ -215,15 +241,14 @@ func ServeRoundRobin(reqs []Request, capacity int) ServeResult {
 		res.Evicted.Overflow = int64(len(reqs))
 		return res
 	}
-	sort.SliceStable(reqs, func(i, j int) bool {
-		a, b := reqs[i], reqs[j]
+	slices.SortStableFunc(reqs, func(a, b Request) int {
 		if a.Requester != b.Requester {
-			return a.Requester < b.Requester
+			return cmp.Compare(a.Requester, b.Requester)
 		}
 		if a.Expected != b.Expected {
-			return a.Expected < b.Expected
+			return cmp.Compare(a.Expected, b.Expected)
 		}
-		return a.ID < b.ID
+		return cmp.Compare(a.ID, b.ID)
 	})
 	perRequester := make(map[overlay.NodeID][]Request)
 	var order []overlay.NodeID

@@ -1,7 +1,8 @@
 package scheduler
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"continustreaming/internal/sim"
 )
@@ -20,25 +21,26 @@ func (RarestFirst) Name() string { return "rarest-first" }
 
 // Schedule implements Policy.
 func (RarestFirst) Schedule(in Input) []Request {
-	scored := make([]scoredCandidate, 0, len(in.Candidates))
+	scored := scoredBuf(in)
 	for _, c := range in.Candidates {
 		if len(c.Suppliers) == 0 {
 			continue
 		}
 		scored = append(scored, scoredCandidate{c: c})
 	}
-	sort.Slice(scored, func(i, j int) bool {
-		ni, nj := len(scored[i].c.Suppliers), len(scored[j].c.Suppliers)
-		if ni != nj {
-			return ni < nj // fewer suppliers = rarer = first
+	saveScored(in, scored)
+	slices.SortFunc(scored, func(a, b scoredCandidate) int {
+		na, nb := len(a.c.Suppliers), len(b.c.Suppliers)
+		if na != nb {
+			return cmp.Compare(na, nb) // fewer suppliers = rarer = first
 		}
 		// Equal rarity: jittered order (see Input.JitterSeed), then ID.
-		ji := Jitter(in.JitterSeed, uint64(scored[i].c.ID), 0)
-		jj := Jitter(in.JitterSeed, uint64(scored[j].c.ID), 0)
-		if ji != jj {
-			return ji < jj
+		ja := Jitter(in.JitterSeed, uint64(a.c.ID), 0)
+		jb := Jitter(in.JitterSeed, uint64(b.c.ID), 0)
+		if ja != jb {
+			return cmp.Compare(ja, jb)
 		}
-		return scored[i].c.ID < scored[j].c.ID
+		return cmp.Compare(a.c.ID, b.c.ID)
 	})
 	return assignGreedy(in, scored)
 }
@@ -54,15 +56,16 @@ func (r *Random) Name() string { return "random-order" }
 
 // Schedule implements Policy.
 func (r *Random) Schedule(in Input) []Request {
-	scored := make([]scoredCandidate, 0, len(in.Candidates))
+	scored := scoredBuf(in)
 	for _, c := range in.Candidates {
 		if len(c.Suppliers) == 0 {
 			continue
 		}
 		scored = append(scored, scoredCandidate{c: c})
 	}
+	saveScored(in, scored)
 	// Deterministic order first, then a seeded shuffle.
-	sort.Slice(scored, func(i, j int) bool { return scored[i].c.ID < scored[j].c.ID })
+	slices.SortFunc(scored, func(a, b scoredCandidate) int { return cmp.Compare(a.c.ID, b.c.ID) })
 	r.RNG.Shuffle(len(scored), func(i, j int) { scored[i], scored[j] = scored[j], scored[i] })
 	return assignGreedy(in, scored)
 }
@@ -76,13 +79,14 @@ func (UrgencyOnly) Name() string { return "urgency-only" }
 
 // Schedule implements Policy.
 func (UrgencyOnly) Schedule(in Input) []Request {
-	scored := make([]scoredCandidate, 0, len(in.Candidates))
+	scored := scoredBuf(in)
 	for _, c := range in.Candidates {
 		if len(c.Suppliers) == 0 {
 			continue
 		}
 		scored = append(scored, scoredCandidate{c: c, priority: noisyUrgency(in, c)})
 	}
+	saveScored(in, scored)
 	sortByPriority(in, scored)
 	return assignGreedy(in, scored)
 }
@@ -95,13 +99,14 @@ func (RarityOnly) Name() string { return "rarity-only" }
 
 // Schedule implements Policy.
 func (RarityOnly) Schedule(in Input) []Request {
-	scored := make([]scoredCandidate, 0, len(in.Candidates))
+	scored := scoredBuf(in)
 	for _, c := range in.Candidates {
 		if len(c.Suppliers) == 0 {
 			continue
 		}
 		scored = append(scored, scoredCandidate{c: c, priority: noisyRarity(in, c)})
 	}
+	saveScored(in, scored)
 	sortByPriority(in, scored)
 	return assignGreedy(in, scored)
 }

@@ -4,7 +4,6 @@ import (
 	"cmp"
 	"slices"
 
-	"continustreaming/internal/segment"
 	"continustreaming/internal/sim"
 )
 
@@ -33,6 +32,46 @@ type scoredCandidate struct {
 	priority float64
 }
 
+// supplierLoad is one supplier's accumulated queueing time during a
+// single greedy assignment. Candidate supplier lists are a node's few
+// neighbours, so a linear scan over this dense list replaces the old
+// map without changing any lookup result (absent = 0, like a map read).
+type supplierLoad struct {
+	node int
+	at   float64
+}
+
+// Scratch is a scheduling policy's reusable working storage: the scored
+// slice and supplier-load list reset per Schedule call, and a grow-only
+// request arena that successive calls carve their results from. Requests
+// returned through the same Scratch stay valid until Reset — callers
+// batching many nodes (the simulator's schedule shards) reset once per
+// round after the requests are consumed.
+type Scratch struct {
+	scored []scoredCandidate
+	queue  []supplierLoad
+	reqs   []Request
+}
+
+// Reset reclaims the request arena; results carved before the call are
+// invalidated.
+func (sc *Scratch) Reset() { sc.reqs = sc.reqs[:0] }
+
+// scoredBuf returns the scratch's scored buffer (or a fresh one),
+// emptied; saveScored stores regrowth back so capacity survives reuse.
+func scoredBuf(in Input) []scoredCandidate {
+	if in.Scratch != nil {
+		return in.Scratch.scored[:0]
+	}
+	return make([]scoredCandidate, 0, len(in.Candidates))
+}
+
+func saveScored(in Input, s []scoredCandidate) {
+	if in.Scratch != nil {
+		in.Scratch.scored = s
+	}
+}
+
 // sortByPriority orders candidates by descending priority, breaking ties
 // with the node's jitter so neighbouring peers diverge, then by ID for
 // full determinism.
@@ -51,7 +90,7 @@ func sortByPriority(in Input, scored []scoredCandidate) {
 }
 
 func scoreCandidates(in Input) []scoredCandidate {
-	out := make([]scoredCandidate, 0, len(in.Candidates))
+	out := scoredBuf(in)
 	for _, c := range in.Candidates {
 		if len(c.Suppliers) == 0 {
 			continue
@@ -64,6 +103,7 @@ func scoreCandidates(in Input) []scoredCandidate {
 		}
 		out = append(out, scoredCandidate{c: c, priority: p})
 	}
+	saveScored(in, out)
 	return out
 }
 
@@ -80,14 +120,28 @@ func assignGreedy(in Input, ordered []scoredCandidate) []Request {
 		return nil
 	}
 	tauMS := float64(in.Tau)
-	queue := map[int]float64{}        // supplier -> queueing time τ(j) in ms
-	assigned := map[segment.ID]bool{} // guards against duplicate candidates
+	// queue tracks supplier -> queueing time τ(j) in ms; reqs doubles as
+	// the duplicate-candidate guard (an ID appears in it iff assigned).
+	var queue []supplierLoad
 	var reqs []Request
+	start := 0
+	if in.Scratch != nil {
+		queue = in.Scratch.queue[:0]
+		reqs = in.Scratch.reqs
+		start = len(reqs)
+	}
 	for _, sc := range ordered {
-		if len(reqs) >= limit {
+		if len(reqs)-start >= limit {
 			break
 		}
-		if assigned[sc.c.ID] {
+		dup := false
+		for _, r := range reqs[start:] {
+			if r.ID == sc.c.ID {
+				dup = true
+				break
+			}
+		}
+		if dup {
 			continue
 		}
 		bestAt := math_inf
@@ -97,8 +151,15 @@ func assignGreedy(in Input, ordered []scoredCandidate) []Request {
 			if s.Rate <= 0 {
 				continue
 			}
+			queued := 0.0
+			for _, q := range queue {
+				if q.node == s.Node {
+					queued = q.at
+					break
+				}
+			}
 			trans := 1000.0 / s.Rate // ms per segment
-			at := queue[s.Node] + trans
+			at := queued + trans
 			// Algorithm 1 line 7: the transfer must beat both the current
 			// best and the period boundary. Exact ties on expected time
 			// (common when rate estimates match) break via node jitter so
@@ -117,13 +178,30 @@ func assignGreedy(in Input, ordered []scoredCandidate) []Request {
 		if bestSupplier < 0 {
 			continue // supplier_i = null: nobody can deliver in time
 		}
-		assigned[sc.c.ID] = true
-		queue[bestSupplier] = bestAt
+		found := false
+		for i := range queue {
+			if queue[i].node == bestSupplier {
+				queue[i].at = bestAt
+				found = true
+				break
+			}
+		}
+		if !found {
+			queue = append(queue, supplierLoad{node: bestSupplier, at: bestAt})
+		}
 		reqs = append(reqs, Request{
 			ID:         sc.c.ID,
 			Supplier:   bestSupplier,
 			ExpectedAt: sim.Time(bestAt),
 		})
+	}
+	if in.Scratch != nil {
+		in.Scratch.queue = queue
+		in.Scratch.reqs = reqs
+		if len(reqs) == start {
+			return nil
+		}
+		return reqs[start:len(reqs):len(reqs)]
 	}
 	return reqs
 }

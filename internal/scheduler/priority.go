@@ -150,6 +150,10 @@ type Input struct {
 	InboundBudget int
 	// Candidates are the fresh segments; order need not be significant.
 	Candidates []Candidate
+	// Scratch, when non-nil, supplies the policy's reusable working
+	// storage; see Scratch for the lifetime contract of the returned
+	// requests. Nil keeps the allocate-fresh behaviour.
+	Scratch *Scratch
 	// JitterSeed decorrelates equal-priority decisions across nodes. With
 	// synchronized buffer windows many segments tie exactly on priority
 	// (and suppliers tie on expected completion time); breaking those ties
