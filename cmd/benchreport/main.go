@@ -52,6 +52,7 @@ import (
 
 	"continustreaming/internal/churn"
 	"continustreaming/internal/core"
+	"continustreaming/internal/dht"
 	"continustreaming/internal/experiment"
 	"continustreaming/internal/sim"
 )
@@ -135,8 +136,12 @@ func main() {
 	}
 
 	rep.Benchmarks = append(rep.Benchmarks, benchStep("Step1k", 1000, 1, *rounds1k, *seed))
+	rep.Benchmarks = append(rep.Benchmarks, benchRoute(*seed))
 	if *rounds10k > 0 {
 		rep.Benchmarks = append(rep.Benchmarks, benchStep("Step10k", 10000, 1, *rounds10k, *seed))
+		rep.Benchmarks = append(rep.Benchmarks,
+			benchMaintenance("Maintenance10k", 10000, *rounds10k, *seed),
+			benchSchedule("Schedule10k", 10000, *rounds10k, *seed))
 		for _, w := range curveWorkers {
 			rep.WorkersCurve = append(rep.WorkersCurve,
 				benchStep(fmt.Sprintf("Step10k/w%d", w), 10000, w, *rounds10k, *seed))
@@ -340,17 +345,7 @@ func checkCurve(rep Report, minSpeedup float64) (failures, notes []string) {
 // invocations with the same configuration and seed must agree on it no
 // matter how many workers executed the rounds.
 func benchStep(name string, nodes, workers, timedRounds int, seed uint64) BenchResult {
-	cfg := core.DefaultConfig(nodes)
-	cfg.Profile = core.ProfileContinuStreaming()
-	cfg.Churn = churn.DefaultConfig()
-	cfg.Workers = workers
-	cfg.Seed = seed
-	w, err := core.NewWorld(cfg)
-	if err != nil {
-		fatalf("%s: %v", name, err)
-	}
-	engine := sim.NewEngine(w, cfg.Tau)
-	engine.Run(cfg.PlaybackDelayRounds + 2)
+	w, engine := warmWorld(name, nodes, workers, seed)
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
@@ -369,6 +364,135 @@ func benchStep(name string, nodes, workers, timedRounds int, seed uint64) BenchR
 		NsPerOp:           elapsed.Nanoseconds() / int64(timedRounds),
 		BPerOp:            int64(after.TotalAlloc-before.TotalAlloc) / int64(timedRounds),
 		AllocsPerOp:       int64(after.Mallocs-before.Mallocs) / int64(timedRounds),
+		ResultFingerprint: fmt.Sprintf("%016x", h.Sum64()),
+	}
+}
+
+// warmWorld builds the standard churn-enabled benchmark world and runs it
+// past the playback delay, so every subsequent phase carries its full
+// steady-state load.
+func warmWorld(name string, nodes, workers int, seed uint64) (*core.World, *sim.Engine) {
+	cfg := core.DefaultConfig(nodes)
+	cfg.Profile = core.ProfileContinuStreaming()
+	cfg.Churn = churn.DefaultConfig()
+	cfg.Workers = workers
+	cfg.Seed = seed
+	w, err := core.NewWorld(cfg)
+	if err != nil {
+		fatalf("%s: %v", name, err)
+	}
+	engine := sim.NewEngine(w, cfg.Tau)
+	engine.Run(cfg.PlaybackDelayRounds + 2)
+	return w, engine
+}
+
+// benchMaintenance isolates the neighbour-maintenance phase on a warmed
+// world — the core.BenchmarkMaintenance10k measurement as a gateable CI
+// number. No fingerprint: the phase's output is mesh mutation, which the
+// whole-step fingerprints already cover.
+func benchMaintenance(name string, nodes, iters int, seed uint64) BenchResult {
+	w, _ := warmWorld(name, nodes, 1, seed)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		w.BenchMaintenanceRound()
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return BenchResult{
+		Name:        name,
+		Nodes:       nodes,
+		Workers:     1,
+		TimedRounds: iters,
+		NsPerOp:     elapsed.Nanoseconds() / int64(iters),
+		BPerOp:      int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / int64(iters),
+	}
+}
+
+// benchSchedule isolates the scheduling slice of a round (exchange +
+// word-parallel candidate enumeration + Algorithm 1 selection) through the
+// exported seam, which unwinds its own pending-request marks so every
+// iteration schedules identical work. The fingerprint hashes each
+// iteration's scheduled-request count — constant across iterations and
+// across machines for a fixed seed.
+func benchSchedule(name string, nodes, iters int, seed uint64) BenchResult {
+	w, engine := warmWorld(name, nodes, 1, seed)
+	h := fnv.New64a()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		fmt.Fprintf(h, "%d\n", w.BenchSchedulePhase(engine.Clock()))
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return BenchResult{
+		Name:              name,
+		Nodes:             nodes,
+		Workers:           1,
+		TimedRounds:       iters,
+		NsPerOp:           elapsed.Nanoseconds() / int64(iters),
+		BPerOp:            int64(after.TotalAlloc-before.TotalAlloc) / int64(iters),
+		AllocsPerOp:       int64(after.Mallocs-before.Mallocs) / int64(iters),
+		ResultFingerprint: fmt.Sprintf("%016x", h.Sum64()),
+	}
+}
+
+// benchRoute prices the allocation-free DHT routing core on warm converged
+// tables at the Figure 3 scale (4096 alive nodes in an 8192-ID space):
+// greedy walks between uniformly random origin/target pairs, the call the
+// round pipeline's pre-fetch, rescue and repair paths issue thousands of
+// times per round. The fingerprint folds every walk's hop count and
+// outcome, so a routing-behaviour change cannot pass as a perf win.
+func benchRoute(seed uint64) BenchResult {
+	const (
+		spaceN = 8192
+		nodes  = 4096
+		routes = 200000
+	)
+	space := dht.NewSpace(spaceN)
+	net := dht.NewNetwork(space)
+	rng := sim.DeriveRNG(seed, 0xb0d7e)
+	joined := 0
+	for joined < nodes {
+		if net.Join(dht.ID(rng.Intn(space.N())), rng) != nil {
+			joined++
+		}
+	}
+	for _, id := range net.IDs() {
+		net.FillTable(net.Table(id), rng)
+	}
+	ids := net.IDs()
+	// The walk outcomes fold into plain integers inside the timed loop —
+	// hashing per route would bill its allocations to the allocation-free
+	// routing core — and hash afterwards.
+	var totalHops, succeeded uint64
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < routes; i++ {
+		from := ids[rng.Intn(len(ids))]
+		target := dht.ID(rng.Intn(space.N()))
+		r := net.RouteTo(from, target, nil)
+		totalHops += uint64(r.Hops)
+		if r.Success {
+			succeeded++
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d %d %d\n", routes, totalHops, succeeded)
+	return BenchResult{
+		Name:              "Route",
+		Nodes:             nodes,
+		Workers:           1,
+		TimedRounds:       routes,
+		NsPerOp:           elapsed.Nanoseconds() / int64(routes),
+		BPerOp:            int64(after.TotalAlloc-before.TotalAlloc) / int64(routes),
+		AllocsPerOp:       int64(after.Mallocs-before.Mallocs) / int64(routes),
 		ResultFingerprint: fmt.Sprintf("%016x", h.Sum64()),
 	}
 }

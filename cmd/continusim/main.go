@@ -22,6 +22,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"time"
 
 	"continustreaming"
 	"continustreaming/internal/churn"
@@ -41,6 +42,8 @@ func main() {
 		delay    = flag.Int("delay", 0, "playback delay D in rounds (0 = default)")
 		delaySeg = flag.Int("delayseg", 0, "playback delay in segments (overrides -delay)")
 		workers  = flag.Int("workers", 0, "simulation worker pool width (0 = GOMAXPROCS; results are identical at any setting)")
+		par      = flag.Int("par", 1, "concurrent sweep points per experiment (0 = GOMAXPROCS, 1 = sequential; tables are byte-identical at any setting)")
+		phasepro = flag.Bool("phaseprof", false, "print a per-phase wall-clock profile after a -scenario run")
 		pushHops = flag.Int("pushhops", 0, "dissemination-engine push depth H (0 = default 2, negative disables the push phase)")
 		queueFac = flag.Int("queuefactor", 0, "supplier carry-queue bound as a multiple of outbound rate (0 = default 2, negative disables queueing)")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
@@ -48,7 +51,7 @@ func main() {
 	)
 	flag.Parse()
 
-	opts := experiment.Options{Rounds: *rounds, StableTail: *tail, Seed: *seed, Delay: *delay, DelaySegments: *delaySeg, Workers: *workers, PushHops: *pushHops, QueueFactor: *queueFac}
+	opts := experiment.Options{Rounds: *rounds, StableTail: *tail, Seed: *seed, Delay: *delay, DelaySegments: *delaySeg, Workers: *workers, Par: *par, PushHops: *pushHops, QueueFactor: *queueFac}
 	if *churnTr != "" {
 		f, err := os.Open(*churnTr)
 		if err != nil {
@@ -81,8 +84,11 @@ func main() {
 		cfg.PushHops = *pushHops
 		cfg.QueueFactor = *queueFac
 		cfg.Churn = opts.ChurnTrace
-		runScenario(*scenario, cfg, *rounds, *tail, *csv)
+		runScenario(*scenario, cfg, *rounds, *tail, *csv, *phasepro)
 		return
+	}
+	if *phasepro {
+		fatalf("-phaseprof profiles a single simulation; use it with -scenario")
 	}
 
 	run := func(name string, fn func() (*metrics.Table, error)) {
@@ -161,12 +167,17 @@ func main() {
 // and an interrupt (^C) stops the run at the next round boundary, still
 // printing the rounds that finished — the cancellation contract the
 // public API promises, exercised end to end.
-func runScenario(name string, cfg continustreaming.Config, rounds, tail int, csv bool) {
+func runScenario(name string, cfg continustreaming.Config, rounds, tail int, csv, phaseprof bool) {
 	tbl := metrics.NewTable(
 		fmt.Sprintf("Scenario %s (%s, n=%d)", name, cfg.System, cfg.Nodes),
 		"t(s)", "continuity", "warm", "control", "prefetch")
 	cfg.OnRound = func(round int, s continustreaming.Snapshot) {
 		tbl.AddRow(round, s.Continuity, s.ContinuityWarm, s.ControlOverhead, s.PrefetchOverhead)
+	}
+	var prof *phaseProfiler
+	if phaseprof {
+		prof = newPhaseProfiler()
+		cfg.PhaseProbe = prof.probe
 	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -196,6 +207,72 @@ func runScenario(name string, cfg continustreaming.Config, rounds, tail int, csv
 	if kb := peakRSSKB(); kb > 0 {
 		fmt.Printf("peak_rss_kb=%d\n", kb)
 	}
+	if prof != nil {
+		ptbl := prof.table()
+		if csv {
+			fmt.Print(ptbl.RenderCSV())
+		} else {
+			fmt.Println(ptbl.Render())
+		}
+	}
+}
+
+// phaseProfiler turns the simulation's PhaseProbe boundary calls into a
+// per-phase wall-clock breakdown. The core never reads host time (the
+// determinism contract bans it under internal/), so the timestamps live
+// here: each probe call charges the time since the previous call to the
+// phase that was running, and the "" end-of-round marker closes the
+// round's last phase.
+type phaseProfiler struct {
+	last   time.Time
+	cur    string
+	order  []string // phases in first-seen order
+	total  map[string]time.Duration
+	rounds int
+}
+
+func newPhaseProfiler() *phaseProfiler {
+	return &phaseProfiler{total: make(map[string]time.Duration)}
+}
+
+func (p *phaseProfiler) probe(phase string) {
+	now := time.Now()
+	if p.cur != "" {
+		if _, seen := p.total[p.cur]; !seen {
+			p.order = append(p.order, p.cur)
+		}
+		p.total[p.cur] += now.Sub(p.last)
+	}
+	if phase == "" {
+		p.rounds++
+	}
+	p.cur, p.last = phase, now
+}
+
+func (p *phaseProfiler) table() *metrics.Table {
+	tbl := metrics.NewTable(
+		fmt.Sprintf("Phase wall-clock profile (%d rounds)", p.rounds),
+		"phase", "total(ms)", "ns/round", "share(%)")
+	var sum time.Duration
+	for _, d := range p.total {
+		sum += d
+	}
+	if sum <= 0 {
+		sum = 1
+	}
+	rounds := p.rounds
+	if rounds < 1 {
+		rounds = 1
+	}
+	for _, name := range p.order {
+		d := p.total[name]
+		tbl.AddRow(name, float64(d.Nanoseconds())/1e6,
+			d.Nanoseconds()/int64(rounds),
+			100*float64(d)/float64(sum))
+	}
+	tbl.AddRow("total", float64(sum.Nanoseconds())/1e6,
+		sum.Nanoseconds()/int64(rounds), 100.0)
+	return tbl
 }
 
 // peakRSSKB reads the process's resident-set high-water mark from

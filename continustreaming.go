@@ -202,6 +202,17 @@ type Config struct {
 	// affect the simulation: results are bit-identical with or without
 	// it.
 	OnRound func(round int, s Snapshot)
+	// PhaseProbe, when non-nil, is called at every phase boundary of every
+	// scheduling period: once with each phase's name ("begin", "push",
+	// "exchange", "predict", "prefetch", "schedule", "serve", "apply",
+	// "playback", "maintenance", "churn", "dhtrepair") as the phase starts,
+	// and once with "" when the round ends. The simulation core never reads
+	// host time, so wall-clock phase profiling belongs to the caller: probe
+	// implementations typically timestamp each call and charge the elapsed
+	// delta to the previous phase (see continusim -phaseprof). Called
+	// synchronously from the simulation's sequential spine; it does not
+	// affect results.
+	PhaseProbe func(phase string)
 }
 
 // Snapshot is one round's view of the paper's metrics, delivered to
@@ -310,6 +321,7 @@ func RunContext(ctx context.Context, cfg Config, rounds int) (Result, error) {
 		inner.Seed = cfg.Seed
 	}
 	inner.Workers = cfg.Workers
+	inner.PhaseProbe = cfg.PhaseProbe
 	if cfg.Dynamic || cfg.Churn != nil {
 		inner.Churn = churn.DefaultConfig()
 		inner.Churn.Trace = cfg.Churn

@@ -19,17 +19,34 @@ package bandwidth
 // estimate drifting gently back toward the optimistic prior, so a
 // temporarily overloaded supplier is retried rather than written off
 // forever.
+//
+// State lives in one id-sorted slice — a node tracks a handful of
+// neighbours, so the binary-searched lookups that the hot scheduling path
+// issues per neighbour cost a few compares instead of a map hash, and Tick
+// is one linear pass with no per-key map traffic. Every per-neighbour
+// update is independent of the others, so folding the retired per-map
+// loops into that single pass leaves each estimate's float operation
+// sequence — and therefore every result — bit-identical.
 type Controller struct {
 	alpha float64 // EWMA weight on the newest observation
 	prior float64 // service-rate prior for unknown neighbours (segments/s)
 
-	service map[int]float64
-	supply  map[int]float64
+	stats []neighbourStats // sorted by id
+}
 
-	// Per-period scratch, folded in by Tick.
-	requested map[int]int
-	delivered map[int]int
-	lastAt    map[int]float64 // latest arrival offset in seconds
+// neighbourStats folds one neighbour's running estimates and per-period
+// scratch. hasService/hasSupply mirror the retired maps' key presence:
+// service is meaningful (and the neighbour "known") only after a period
+// that requested from it, supply only after a delivery credited it.
+type neighbourStats struct {
+	id         int
+	service    float64
+	supply     float64
+	lastAt     float64 // latest arrival offset in seconds, this period
+	requested  int32
+	delivered  int32
+	hasService bool
+	hasSupply  bool
 }
 
 // minObservationWindow guards the service-rate division: arrivals inside
@@ -49,102 +66,129 @@ func NewController(alpha, prior float64) *Controller {
 	if prior <= 0 {
 		prior = 1
 	}
-	return &Controller{
-		alpha:     alpha,
-		prior:     prior,
-		service:   make(map[int]float64),
-		supply:    make(map[int]float64),
-		requested: make(map[int]int),
-		delivered: make(map[int]int),
-		lastAt:    make(map[int]float64),
+	return &Controller{alpha: alpha, prior: prior}
+}
+
+// find returns the index of id in stats, or the insertion point if absent.
+func (c *Controller) find(id int) int {
+	lo, hi := 0, len(c.stats)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if c.stats[mid].id < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
+	return lo
+}
+
+// entry returns the stats for id, inserting a zero entry if absent. The
+// pointer is valid until the next insertion or removal.
+func (c *Controller) entry(id int) *neighbourStats {
+	i := c.find(id)
+	if i < len(c.stats) && c.stats[i].id == id {
+		return &c.stats[i]
+	}
+	c.stats = append(c.stats, neighbourStats{})
+	copy(c.stats[i+1:], c.stats[i:])
+	c.stats[i] = neighbourStats{id: id}
+	return &c.stats[i]
 }
 
 // NoteRequested records that `count` segments were requested from
 // neighbour id this period.
 func (c *Controller) NoteRequested(id, count int) {
 	if count > 0 {
-		c.requested[id] += count
+		c.entry(id).requested += int32(count)
 	}
 }
 
 // ObserveDelivery records one segment arriving from neighbour id at offset
 // seconds into the period.
 func (c *Controller) ObserveDelivery(id int, offsetSeconds float64) {
-	c.delivered[id]++
-	if offsetSeconds > c.lastAt[id] {
-		c.lastAt[id] = offsetSeconds
+	e := c.entry(id)
+	e.delivered++
+	if offsetSeconds > e.lastAt {
+		e.lastAt = offsetSeconds
 	}
 }
 
 // Tick folds the period's observations into the running estimates.
 func (c *Controller) Tick() {
-	// Service rate: only neighbours we exercised this period carry signal.
-	for id := range c.requested {
-		got := c.delivered[id]
-		cur, known := c.service[id]
-		if !known {
-			cur = c.prior
-		}
-		var obs float64
-		if got > 0 {
-			window := c.lastAt[id]
-			if window < minObservationWindow {
-				window = minObservationWindow
+	for i := range c.stats {
+		e := &c.stats[i]
+		if e.requested > 0 {
+			// Service rate: only neighbours we exercised this period carry
+			// signal. Requested but nothing came: the supplier failed us.
+			cur := e.service
+			if !e.hasService {
+				cur = c.prior
 			}
-			obs = float64(got) / window
-		} else {
-			// Requested but nothing came: the supplier failed us.
-			obs = 0
+			var obs float64
+			if e.delivered > 0 {
+				window := e.lastAt
+				if window < minObservationWindow {
+					window = minObservationWindow
+				}
+				obs = float64(e.delivered) / window
+			}
+			next := (1-c.alpha)*cur + c.alpha*obs
+			if next < serviceFloor {
+				next = serviceFloor
+			}
+			e.service = next
+			e.hasService = true
+		} else if e.hasService && e.delivered == 0 {
+			// Idle neighbours drift back toward the prior so they get
+			// retried.
+			e.service += 0.1 * (c.prior - e.service)
 		}
-		next := (1-c.alpha)*cur + c.alpha*obs
-		if next < serviceFloor {
-			next = serviceFloor
+		// Long-run supply decays for everyone and credits actual
+		// deliveries (a supply estimate born this period starts at the
+		// credit, undecayed, exactly as the retired map's two loops left
+		// it).
+		if e.hasSupply {
+			e.supply = (1 - c.alpha) * e.supply
 		}
-		c.service[id] = next
-	}
-	// Idle neighbours drift back toward the prior so they get retried.
-	for id, cur := range c.service {
-		if c.requested[id] == 0 && c.delivered[id] == 0 {
-			c.service[id] = cur + 0.1*(c.prior-cur)
+		if e.delivered > 0 {
+			e.supply += c.alpha * float64(e.delivered)
+			e.hasSupply = true
 		}
+		e.requested, e.delivered, e.lastAt = 0, 0, 0
 	}
-	// Long-run supply decays for everyone and credits actual deliveries.
-	for id := range c.supply {
-		c.supply[id] = (1 - c.alpha) * c.supply[id]
-	}
-	for id, got := range c.delivered {
-		c.supply[id] += c.alpha * float64(got)
-	}
-	clear(c.requested)
-	clear(c.delivered)
-	clear(c.lastAt)
 }
 
 // Rate returns the estimated service rate from neighbour id in segments
 // per second; unknown neighbours get the optimistic prior.
 func (c *Controller) Rate(id int) float64 {
-	if r, ok := c.service[id]; ok {
-		return r
+	i := c.find(id)
+	if i < len(c.stats) && c.stats[i].id == id && c.stats[i].hasService {
+		return c.stats[i].service
 	}
 	return c.prior
 }
 
 // Supply returns the long-run per-period supply estimate for id (0 for
 // unknown neighbours).
-func (c *Controller) Supply(id int) float64 { return c.supply[id] }
+func (c *Controller) Supply(id int) float64 {
+	i := c.find(id)
+	if i < len(c.stats) && c.stats[i].id == id {
+		return c.stats[i].supply
+	}
+	return 0
+}
 
 // Known reports whether the controller has ever exercised neighbour id.
 func (c *Controller) Known(id int) bool {
-	_, ok := c.service[id]
-	return ok
+	i := c.find(id)
+	return i < len(c.stats) && c.stats[i].id == id && c.stats[i].hasService
 }
 
 // Forget removes all state about a departed neighbour.
 func (c *Controller) Forget(id int) {
-	delete(c.service, id)
-	delete(c.supply, id)
-	delete(c.requested, id)
-	delete(c.delivered, id)
-	delete(c.lastAt, id)
+	i := c.find(id)
+	if i < len(c.stats) && c.stats[i].id == id {
+		c.stats = append(c.stats[:i], c.stats[i+1:]...)
+	}
 }

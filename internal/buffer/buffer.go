@@ -165,17 +165,76 @@ func (b *Buffer) PositionFromTail(id segment.ID) (int, bool) {
 }
 
 // MissingIn returns the IDs in w (clipped to the buffer window) that are
-// absent, in ascending order. The result is freshly allocated.
+// absent, in ascending order. The result is freshly allocated; hot paths
+// use AppendMissingIn with reused scratch instead.
 func (b *Buffer) MissingIn(w segment.Window) []segment.ID {
+	return b.AppendMissingIn(nil, w)
+}
+
+// AppendMissingIn appends the IDs in w (clipped to the buffer window) that
+// are absent to dst, in ascending order, and returns the extended slice.
+// The scan runs word-at-a-time over the complemented availability bits, so
+// a mostly-full window costs a handful of word operations instead of one
+// bit probe per ID.
+func (b *Buffer) AppendMissingIn(dst []segment.ID, w segment.Window) []segment.ID {
 	w = w.Intersect(b.Window())
-	var out []segment.ID
-	for id := w.Lo; id < w.Hi; id++ {
-		i := int(id - b.lo)
-		if b.bits[i>>6]&(1<<(uint(i)&63)) == 0 {
-			out = append(out, id)
+	if w.Lo >= w.Hi {
+		return dst
+	}
+	lo, hi := int(w.Lo-b.lo), int(w.Hi-b.lo)
+	first, last := lo>>6, (hi-1)>>6
+	for wi := first; wi <= last; wi++ {
+		word := ^b.bits[wi]
+		if wi == first {
+			word &= ^uint64(0) << (uint(lo) & 63)
+		}
+		if wi == last {
+			if r := uint(hi) & 63; r != 0 {
+				word &= 1<<r - 1
+			}
+		}
+		for word != 0 {
+			k := bits.TrailingZeros64(word)
+			word &= word - 1
+			dst = append(dst, b.lo+segment.ID(wi<<6|k))
 		}
 	}
-	return out
+	return dst
+}
+
+// MissingMask returns a bitmask over w — bit i set when segment w.Lo+i is
+// absent — for windows at most 64 IDs wide (wider windows are truncated to
+// the first 64). IDs outside the buffer window count as absent, matching
+// Has. Push planning uses it to collapse per-(segment, neighbour)
+// availability probes into one word per neighbour.
+func (b *Buffer) MissingMask(w segment.Window) uint64 {
+	width := int(w.Hi - w.Lo)
+	if width <= 0 {
+		return 0
+	}
+	mask := ^uint64(0)
+	if width < 64 {
+		mask = 1<<uint(width) - 1
+	}
+	var present uint64
+	iv := w.Intersect(b.Window())
+	if iv.Lo < iv.Hi {
+		off := int(iv.Lo - b.lo)
+		n := int(iv.Hi - iv.Lo)
+		if n > 64 {
+			n = 64
+		}
+		wi, sh := off>>6, uint(off)&63
+		got := b.bits[wi] >> sh
+		if sh != 0 && wi+1 < len(b.bits) {
+			got |= b.bits[wi+1] << (64 - sh)
+		}
+		if n < 64 {
+			got &= 1<<uint(n) - 1
+		}
+		present = got << uint(iv.Lo-w.Lo)
+	}
+	return mask &^ present
 }
 
 // CountIn returns how many segments in w (clipped to the window) are held.

@@ -7,6 +7,7 @@ import (
 	"continustreaming/internal/protocol"
 	"continustreaming/internal/scheduler"
 	"continustreaming/internal/segment"
+	"continustreaming/internal/sim"
 )
 
 // roundArena is one ownership shard's reusable round-lived scratch. Every
@@ -85,6 +86,40 @@ type roundArena struct {
 	candUnion []uint64
 	candSup   []scheduler.Supplier
 	cands     []scheduler.Candidate
+
+	// predictIDs is the predict phase's missed-ID arena (per-node lists are
+	// capacity-capped carvings, alive until resolvePrefetch consumes them);
+	// predict backs its hoisted exclusion callback.
+	predictIDs []segment.ID
+	predict    predictCtx
+}
+
+// predictCtx carries the per-node state the hoisted Urgent Line exclusion
+// callback reads. The closure is built once per shard (ensure) and
+// captures only the ctx pointer; predictPhase re-points the fields for
+// each node in turn, so the per-node closure allocation of the retired
+// sequential loop is gone.
+type predictCtx struct {
+	w     *World
+	n     *Node
+	pos   segment.ID
+	p     int
+	now   sim.Time
+	round int
+
+	exclude func(segment.ID) bool
+}
+
+// ensure builds the callback on first use.
+func (c *predictCtx) ensure(w *World) {
+	if c.exclude != nil {
+		return
+	}
+	c.w = w
+	c.exclude = func(id segment.ID) bool {
+		deadline := c.w.deadlineOf(id, c.pos, c.p, c.now)
+		return c.n.predictExcluded(id, c.round, c.now, deadline)
+	}
 }
 
 // ensureArenas sizes the per-shard arena table on first use (sequential
@@ -134,10 +169,43 @@ type serveCtx struct {
 	positions  []int
 	pos        segment.ID
 
+	// nbWords holds the live neighbours' advertised availability words when
+	// every snapshot aligns with the playback window (aligned); the rarity
+	// closure then counts holders with one bit probe per neighbour word and
+	// collapses the product to a repeated factor.
+	nbWords [][]uint64
+	aligned bool
+
 	supplierHas    func(segment.ID) bool
 	requesterAlive func(overlay.NodeID) bool
 	requesterHas   func(overlay.NodeID, segment.ID) bool
 	rarity         func(segment.ID) float64
+}
+
+// prepRarity readies the rarity fast path for the current supplier: with
+// every live neighbour's map opening at the shared playback position at
+// full window size, a segment's position-from-tail is identical in each
+// holder, so rarity needs only a holder count. Any misaligned snapshot
+// (never produced by the round pipeline, whose buffers all advance to the
+// playback position before the exchange) disables the fast path and the
+// closure runs the scalar position-gathering loop, retained as the
+// differential oracle.
+func (c *serveCtx) prepRarity() {
+	c.nbWords = c.nbWords[:0]
+	c.aligned = true
+	size := c.w.cfg.BufferSegments
+	for _, nb := range c.neighbours {
+		j := c.index[nb]
+		if j < 0 {
+			continue
+		}
+		snap := c.snaps[j]
+		if snap.Lo != c.pos || snap.Size != size {
+			c.aligned = false
+			return
+		}
+		c.nbWords = append(c.nbWords, snap.Bits)
+	}
 }
 
 // ensure builds the callback set on first use.
@@ -156,17 +224,36 @@ func (c *serveCtx) ensure(w *World) {
 		if r, ok := c.cache.get(id); ok {
 			return r
 		}
-		c.positions = c.positions[:0]
-		for _, nb := range c.neighbours {
-			j := c.index[nb]
-			if j < 0 {
-				continue
+		size := c.w.cfg.BufferSegments
+		var r float64
+		if c.aligned {
+			// Holder count via one bit probe per neighbour word; an ID
+			// outside the shared window has no holders and keeps the empty
+			// product's 1 — exactly the scalar loop's result.
+			count := 0
+			i := int(id - c.pos)
+			if i >= 0 && i < size {
+				wi, bit := i>>6, uint64(1)<<(uint(i)&63)
+				for _, words := range c.nbWords {
+					if words[wi]&bit != 0 {
+						count++
+					}
+				}
 			}
-			if pft, ok := c.snaps[j].PositionFromTail(id); ok {
-				c.positions = append(c.positions, pft)
+			r = protocol.SupplierRarityUniform(size, size-i, count)
+		} else {
+			c.positions = c.positions[:0]
+			for _, nb := range c.neighbours {
+				j := c.index[nb]
+				if j < 0 {
+					continue
+				}
+				if pft, ok := c.snaps[j].PositionFromTail(id); ok {
+					c.positions = append(c.positions, pft)
+				}
 			}
+			r = protocol.SupplierRarity(size, c.positions)
 		}
-		r := protocol.SupplierRarity(c.w.cfg.BufferSegments, c.positions)
 		c.cache.put(id, r)
 		return r
 	}

@@ -1,0 +1,50 @@
+package core
+
+import (
+	"continustreaming/internal/metrics"
+	"continustreaming/internal/sim"
+)
+
+// This file exports phase-level benchmark seams for cmd/benchreport: CI
+// gates the maintenance and scheduling cost centres individually, not just
+// the whole-round step, so a regression in one phase cannot hide inside
+// another phase's improvement. The seams run real phase drivers against a
+// warmed world; they exist for measurement only and are not part of the
+// simulation API.
+
+// BenchMaintenanceRound executes one maintenance phase against the current
+// world state — the same call the round pipeline makes. Repeated calls are
+// meaningful benchmark iterations: maintenance is idempotent on a stable
+// mesh apart from the paced replacements it decides, exactly the
+// steady-state work the gate should price.
+func (w *World) BenchMaintenanceRound() { w.maintenancePhase() }
+
+// BenchSchedulePhase executes the scheduling slice of one round — buffer-
+// map exchange, candidate enumeration, and Algorithm 1 request selection —
+// and returns how many requests were scheduled. Before returning it
+// unwinds the pending-request marks the scheduler set (a gossipExpiry at
+// or below the current round is behaviourally identical to the zero "no
+// pending request" state, so resetting the scheduled IDs to 0 restores the
+// exact candidate set), which makes repeated calls schedule identical work
+// — the property a benchmark iteration needs.
+func (w *World) BenchSchedulePhase(clock *sim.Clock) int {
+	w.round = clock.Round()
+	var sample metrics.RoundSample
+	snaps := w.exchangePhase(&sample)
+	index := w.buildIndex()
+	requests := w.schedulePhase(clock, snaps, index)
+	total := 0
+	for i, reqs := range requests {
+		if len(reqs) == 0 {
+			continue
+		}
+		total += len(reqs)
+		n := w.seq[i]
+		for _, req := range reqs {
+			if s, ok := n.seg.slot(req.ID); ok {
+				n.seg.gossipExpiry[s] = 0
+			}
+		}
+	}
+	return total
+}

@@ -199,6 +199,15 @@ type Config struct {
 	// independently of this, so results are bit-identical for a fixed seed
 	// at any setting — Workers is purely a throughput knob.
 	Workers int
+	// PhaseProbe, when set, is called at every phase boundary of Step:
+	// once with each phase's name as it starts, and once with "" when the
+	// round ends. The simulation itself never reads a clock (the
+	// determinism contract bans host time under internal/), so wall-clock
+	// phase profiling lives in the caller: cmd/continusim's -phaseprof
+	// installs a probe that timestamps each call and charges the delta to
+	// the previous phase. The probe is invoked from the sequential spine
+	// of Step only, never from worker goroutines.
+	PhaseProbe func(phase string)
 }
 
 // DefaultConfig returns the paper's §5.2 defaults for n nodes. Every

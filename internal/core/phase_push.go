@@ -103,17 +103,34 @@ func (w *World) pushPhase(clock *sim.Clock, sample *metrics.RoundSample) {
 					// Salting the plan seed per pusher decorrelates target
 					// orders, so pushers sharing neighbours spray different
 					// prefixes instead of racing to the same targets.
-					sends := protocol.PlanPush(seed^uint64(id)*0x9e3779b97f4a7c15, id, segs, w.neighborsOf(id),
-						func(to overlay.NodeID, seg segment.ID) bool {
-							t := w.nodes[to]
-							// A target whose inbound link is already
-							// saturated by earlier push hops counts as
-							// unavailable; pushReceived lags the current
-							// hop's own sends (cross-shard state), which
-							// only lets the final hop overshoot by the
-							// in-flight few — counted on arrival below.
-							return t == nil || t.Buf.Has(seg) || t.pushReceived >= t.Rates.In
-						}, budget)
+					//
+					// The fresh window is at most one round's worth of
+					// segments, so the availability probe collapses to one
+					// missing-mask word per neighbour. pushReceived lags the
+					// current hop's own sends (cross-shard state, constant
+					// while the hop plans), which only lets the final hop
+					// overshoot by the in-flight few — counted on arrival
+					// below. PlanPush stays the oracle for wide windows.
+					var sends []protocol.Send
+					planSeed := seed ^ uint64(id)*0x9e3779b97f4a7c15
+					if int(hi-lo) <= 64 {
+						sends = protocol.PlanPushMask(planSeed, id, lo, segs, w.neighborsOf(id),
+							func(to overlay.NodeID) uint64 {
+								t := w.nodes[to]
+								// A dead or inbound-saturated target accepts
+								// nothing this hop.
+								if t == nil || t.pushReceived >= t.Rates.In {
+									return 0
+								}
+								return t.Buf.MissingMask(segment.Window{Lo: lo, Hi: hi})
+							}, budget)
+					} else {
+						sends = protocol.PlanPush(planSeed, id, segs, w.neighborsOf(id),
+							func(to overlay.NodeID, seg segment.ID) bool {
+								t := w.nodes[to]
+								return t == nil || t.Buf.Has(seg) || t.pushReceived >= t.Rates.In
+							}, budget)
+					}
 					if len(sends) == 0 {
 						continue
 					}

@@ -39,6 +39,12 @@ func (w *World) exchangePhase(sample *metrics.RoundSample) []buffer.Map {
 // predictPhase runs the Urgent Line on every pre-fetch-enabled node.
 // Returned decisions align with w.order; nodes without pre-fetch get zero
 // decisions.
+//
+// Nodes fan out over contiguous index ranges so each range shard owns the
+// word-scan scratch: missed-ID lists are carved from the shard's grow-only
+// arena (valid until the shard's next round, after resolvePrefetch has
+// consumed them) and the exclusion callback is the shard's hoisted
+// closure, re-pointed per node.
 func (w *World) predictPhase(clock *sim.Clock) []prefetch.Decision {
 	plans := make([]prefetch.Decision, len(w.order))
 	if !w.cfg.Profile.Prefetch {
@@ -48,19 +54,31 @@ func (w *World) predictPhase(clock *sim.Clock) []prefetch.Decision {
 	p := w.cfg.Stream.Rate
 	now := clock.Now()
 	round := w.round
-	w.pool.ForEach(len(w.order), func(i int) {
-		n := w.seq[i]
-		if n.IsSource || n.Alpha == nil || !n.Started {
-			// The Urgent Line protects an active playback; a node that
-			// has not started yet has no deadlines to defend.
-			return
-		}
-		plans[i] = prefetch.Predict(n.Buf, pos, n.Alpha.Value(), w.cfg.PrefetchLimit,
-			func(id segment.ID) bool {
-				deadline := w.deadlineOf(id, pos, p, now)
-				return n.predictExcluded(id, round, now, deadline)
-			})
-	})
+	w.ensureArenas()
+	sim.MapReduce(w.pool, phaseShards, w.phaseSeed(phasePredict),
+		func(r int, _ *sim.RNG) struct{} {
+			ar := &w.arenas[r]
+			ar.predictIDs = ar.predictIDs[:0]
+			pc := &ar.predict
+			pc.ensure(w)
+			pc.pos, pc.p, pc.now, pc.round = pos, p, now, round
+			lo, hi := sim.ShardRange(len(w.order), phaseShards, r)
+			for i := lo; i < hi; i++ {
+				n := w.seq[i]
+				if n.IsSource || n.Alpha == nil || !n.Started {
+					// The Urgent Line protects an active playback; a node
+					// that has not started yet has no deadlines to defend.
+					continue
+				}
+				pc.n = n
+				var d prefetch.Decision
+				d, ar.predictIDs = prefetch.PredictInto(ar.predictIDs, n.Buf, pos, n.Alpha.Value(), w.cfg.PrefetchLimit, pc.exclude)
+				//continulint:shardcapture each node writes only its own slot i, and shards own disjoint index ranges
+				plans[i] = d
+			}
+			return struct{}{}
+		},
+		func(int, struct{}) {})
 	return plans
 }
 
@@ -228,19 +246,19 @@ func (w *World) candidatesFor(ar *roundArena, n *Node, index []int32, snaps []bu
 		return nil
 	}
 	ownBits := own.Words()
-	total := 0
 	for wi := 0; wi < nWords; wi++ {
 		union[wi] &^= ownBits[wi]
 	}
 	if r := uint(width) & 63; r != 0 {
 		union[nWords-1] &= 1<<r - 1
 	}
-	for _, ns := range live {
-		for wi := 0; wi < nWords; wi++ {
-			total += mathbits.OnesCount64(ns.bits[wi] & union[wi])
-		}
+	var any uint64
+	for wi := 0; wi < nWords; wi++ {
+		any |= union[wi]
 	}
-	if total == 0 {
+	if any == 0 {
+		// Every union bit has at least one advertising holder, so an empty
+		// union is exactly the scalar path's "no supplier entries" exit.
 		return nil
 	}
 	// One arena for every supplier entry; per-candidate lists are
@@ -251,11 +269,126 @@ func (w *World) candidatesFor(ar *roundArena, n *Node, index []int32, snaps []bu
 		arena = ar.candSup[:0]
 		cands = ar.cands[:0]
 	} else {
-		arena = make([]scheduler.Supplier, 0, total)
-		cands = make([]scheduler.Candidate, 0, min(total, width))
+		arena = make([]scheduler.Supplier, 0, 8*len(live))
+		cands = make([]scheduler.Candidate, 0, width)
 	}
 	size := own.Size()
-	for wi := 0; wi < nWords; wi++ {
+	if len(live) > 63 {
+		arena, cands = fillCandidatesScalar(arena, cands, live, union, n, win, round, size)
+	} else {
+		arena, cands = fillCandidatesWord(arena, cands, live, union, n, win, round, size)
+	}
+	if ar != nil {
+		ar.candSup = arena
+		ar.cands = cands
+	}
+	return cands
+}
+
+// fillCandidatesWord materialises candidates from the union words by
+// positional popcount: six bit-sliced vertical counter planes accumulate,
+// per bit lane, how many live neighbours advertise the segment (plane p
+// holds bit p of every lane's count; the ripple-carry add is branch-free
+// per neighbour word), the supplier arena is carved into exactly-sized
+// per-candidate runs from those counts, and one masked-word pass per
+// neighbour fills the runs at each lane's cursor. The per-(segment,
+// neighbour) membership probes of the scalar fill collapse into word ANDs,
+// while candidates still emerge with IDs ascending and suppliers in live
+// (ascending neighbour) order — the exact scalar output. Counts ride in
+// six planes, so callers with more than 63 live neighbours use
+// fillCandidatesScalar instead.
+func fillCandidatesWord(arena []scheduler.Supplier, cands []scheduler.Candidate, live []nbSnap, union []uint64, n *Node, win segment.Window, round, size int) ([]scheduler.Supplier, []scheduler.Candidate) {
+	// starts/next entries are read only at set bits of the current word,
+	// which the same iteration always writes first — no per-word clearing.
+	var starts, next [64]int32
+	for wi := range union {
+		word := union[wi]
+		if word == 0 {
+			continue
+		}
+		// Buffer absence is already encoded in the union; only the
+		// pending-request half of Fresh remains, dropped per bit before
+		// any supplier work happens.
+		m := word
+		for m != 0 {
+			k := mathbits.TrailingZeros64(m)
+			m &= m - 1
+			id := win.Lo + segment.ID(wi*64+k)
+			if s, ok := n.seg.slot(id); ok &&
+				(int(n.seg.gossipExpiry[s]) > round || int(n.seg.prefetchExpiry[s]) > round) {
+				word &^= 1 << uint(k)
+			}
+		}
+		if word == 0 {
+			continue
+		}
+		var c0, c1, c2, c3, c4, c5 uint64
+		for _, ns := range live {
+			x := ns.bits[wi] & word
+			carry := c0 & x
+			c0 ^= x
+			x = carry
+			carry = c1 & x
+			c1 ^= x
+			x = carry
+			carry = c2 & x
+			c2 ^= x
+			x = carry
+			carry = c3 & x
+			c3 ^= x
+			x = carry
+			carry = c4 & x
+			c4 ^= x
+			c5 ^= carry
+		}
+		base := len(arena)
+		off := base
+		m = word
+		for m != 0 {
+			k := mathbits.TrailingZeros64(m)
+			m &= m - 1
+			cnt := int((c0 >> uint(k)) & 1)
+			cnt |= int((c1>>uint(k))&1) << 1
+			cnt |= int((c2>>uint(k))&1) << 2
+			cnt |= int((c3>>uint(k))&1) << 3
+			cnt |= int((c4>>uint(k))&1) << 4
+			cnt |= int((c5>>uint(k))&1) << 5
+			starts[k] = int32(off)
+			next[k] = int32(off)
+			off += cnt
+		}
+		arena = slices.Grow(arena, off-base)[:off]
+		for _, ns := range live {
+			x := ns.bits[wi] & word
+			for x != 0 {
+				k := mathbits.TrailingZeros64(x)
+				x &= x - 1
+				p := next[k]
+				next[k] = p + 1
+				arena[p] = scheduler.Supplier{
+					Node:             int(ns.id),
+					Rate:             ns.rate,
+					PositionFromTail: size - (wi*64 + k),
+				}
+			}
+		}
+		m = word
+		for m != 0 {
+			k := mathbits.TrailingZeros64(m)
+			m &= m - 1
+			a, e := int(starts[k]), int(next[k])
+			cands = append(cands, scheduler.Candidate{ID: win.Lo + segment.ID(wi*64+k), Suppliers: arena[a:e:e]})
+		}
+	}
+	return arena, cands
+}
+
+// fillCandidatesScalar is the per-bit fill over the union words: for each
+// candidate bit it probes every live neighbour's word individually. Kept
+// as the wide-neighbourhood fallback and as the differential oracle for
+// fillCandidatesWord, whose output it matches entry for entry.
+func fillCandidatesScalar(arena []scheduler.Supplier, cands []scheduler.Candidate, live []nbSnap, union []uint64, n *Node, win segment.Window, round, size int) ([]scheduler.Supplier, []scheduler.Candidate) {
+	for wi := range union {
 		word := union[wi]
 		for word != 0 {
 			k := wi*64 + mathbits.TrailingZeros64(word)
@@ -282,11 +415,7 @@ func (w *World) candidatesFor(ar *roundArena, n *Node, index []int32, snaps []bu
 			cands = append(cands, scheduler.Candidate{ID: id, Suppliers: arena[a:len(arena):len(arena)]})
 		}
 	}
-	if ar != nil {
-		ar.candSup = arena
-		ar.cands = cands
-	}
-	return cands
+	return arena, cands
 }
 
 // candidatesForSlow is the window-agnostic fallback for misaligned

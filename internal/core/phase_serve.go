@@ -268,6 +268,7 @@ func (w *World) serveSupplier(ar *roundArena, s int, sup overlay.NodeID, fresh [
 	ctx.snaps, ctx.index, ctx.pos = snaps, index, pos
 	ctx.sn = sn
 	ctx.neighbours = w.neighborsOf(sup)
+	ctx.prepRarity()
 	ctx.cache = w.rarityCacheFor(s)
 	ctx.cache.begin(pos)
 	res := protocol.PlanServe(protocol.ServeInput{

@@ -24,6 +24,7 @@ const (
 	phaseRepair  = 0x3b97
 	phasePush    = 0x48c9
 	phaseSched   = 0x19f3
+	phasePredict = 0x33d7
 )
 
 // phaseSeed keys one sharded-phase invocation's RNG streams by (master
@@ -46,6 +47,7 @@ func (w *World) Step(clock *sim.Clock) {
 	w.round = clock.Round()
 	sample := metrics.RoundSample{Round: w.round}
 
+	w.probe("begin")
 	w.beginRound()
 	// The fresh-segment push runs before the buffer-map exchange: the
 	// source and its first-generation holders eagerly forward this
@@ -53,7 +55,9 @@ func (w *World) Step(clock *sim.Clock) {
 	// snapshots below already advertise a several-generation-deep
 	// epidemic and pull scheduling starts from dozens of seeded copies
 	// instead of one.
+	w.probe("push")
 	w.pushPhase(clock, &sample)
+	w.probe("exchange")
 	snaps := w.exchangePhase(&sample)
 	index := w.buildIndex()
 	// The Urgent Line runs before scheduling: segments it predicts missed
@@ -64,24 +68,42 @@ func (w *World) Step(clock *sim.Clock) {
 	// inbound budget that must keep the pipeline of future segments
 	// flowing; off-loading deadline rescue to the DHT is exactly the
 	// division of labour the paper's design argues for.
+	w.probe("predict")
 	plans := w.predictPhase(clock)
+	w.probe("prefetch")
 	prefetchDeliveries := w.resolvePrefetch(clock, plans, &sample)
+	w.probe("schedule")
 	requests := w.schedulePhase(clock, snaps, index)
 	for _, reqs := range requests {
 		sample.Requests += int64(len(reqs))
 	}
+	w.probe("serve")
 	deliveries := w.resolveTransfers(clock, requests, snaps, index, &sample)
 	deliveries = append(deliveries, prefetchDeliveries...)
 	deliveries = append(deliveries, w.dueInflight(clock)...)
 	// Recycle the (possibly regrown) backing for next round's transfer
 	// resolution; the apply phase copies every entry out before returning.
 	w.deliveryBuf = deliveries[:0]
+	w.probe("apply")
 	w.applyDeliveries(clock, deliveries, &sample)
+	w.probe("playback")
 	w.playbackPhase(clock, &sample)
+	w.probe("maintenance")
 	w.maintenancePhase()
+	w.probe("churn")
 	w.churnPhase()
+	w.probe("dhtrepair")
 	w.dhtRepairPhase()
 	w.collector.Record(sample)
+	w.probe("")
+}
+
+// probe reports a phase boundary to the configured PhaseProbe, if any.
+// Always called from Step's sequential spine, never from workers.
+func (w *World) probe(phase string) {
+	if w.cfg.PhaseProbe != nil {
+		w.cfg.PhaseProbe(phase)
+	}
 }
 
 // beginRound advances buffer windows to the round's playback position,

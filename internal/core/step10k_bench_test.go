@@ -72,6 +72,34 @@ func BenchmarkStep1k(b *testing.B) {
 // entirely out of the round-lived shard arenas, so allocs/op is the
 // headline number — it must stay near zero as the planning fast path and
 // arena reuse carry the steady state.
+// BenchmarkSchedule10k isolates the scheduling slice of a round — buffer-
+// map exchange, word-parallel candidate enumeration, Algorithm 1 selection
+// — on a warmed 10,000-node world under churn, through the same exported
+// seam cmd/benchreport gates in CI. BenchSchedulePhase unwinds the
+// pending-request marks it sets, so every iteration schedules the
+// identical candidate load.
+func BenchmarkSchedule10k(b *testing.B) {
+	cfg := DefaultConfig(10000)
+	cfg.Profile = ProfileContinuStreaming()
+	cfg.Churn = churn.DefaultConfig()
+	cfg.Workers = 1
+	cfg.Seed = 1
+	w, err := NewWorld(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	engine := sim.NewEngine(w, cfg.Tau)
+	engine.Run(cfg.PlaybackDelayRounds + 2)
+	want := w.BenchSchedulePhase(engine.Clock())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := w.BenchSchedulePhase(engine.Clock()); got != want {
+			b.Fatalf("iteration scheduled %d requests, first pass scheduled %d — unwind failed", got, want)
+		}
+	}
+}
+
 func BenchmarkMaintenance10k(b *testing.B) {
 	cfg := DefaultConfig(10000)
 	cfg.Profile = ProfileContinuStreaming()

@@ -1,8 +1,6 @@
 package dht
 
 import (
-	"sort"
-
 	"continustreaming/internal/sim"
 )
 
@@ -15,13 +13,17 @@ import (
 // only between parallel phases.
 type Network struct {
 	space  Space
-	tables map[ID]*Table
-	sorted []ID // alive IDs, ascending
+	tables []*Table // dense, indexed by ID; nil = not a member
+	sorted []ID     // alive IDs, ascending
 }
 
-// NewNetwork returns an empty network over space.
+// NewNetwork returns an empty network over space. Membership is a dense
+// table array indexed by ID — the space is sized proportionally to the
+// population, so the array stays small while the aliveness probes the
+// routing and repair hot paths issue per hop become one bounds-checked
+// load instead of a map lookup.
 func NewNetwork(space Space) *Network {
-	return &Network{space: space, tables: make(map[ID]*Table)}
+	return &Network{space: space, tables: make([]*Table, space.N())}
 }
 
 // Space returns the identifier space.
@@ -32,12 +34,16 @@ func (n *Network) Size() int { return len(n.sorted) }
 
 // Alive reports whether id is currently a member.
 func (n *Network) Alive(id ID) bool {
-	_, ok := n.tables[id]
-	return ok
+	return id >= 0 && int(id) < len(n.tables) && n.tables[id] != nil
 }
 
 // Table returns the peer table of an alive node, or nil.
-func (n *Network) Table(id ID) *Table { return n.tables[id] }
+func (n *Network) Table(id ID) *Table {
+	if id < 0 || int(id) >= len(n.tables) {
+		return nil
+	}
+	return n.tables[id]
+}
 
 // IDs returns the alive membership in ascending order. Callers must not
 // mutate the returned slice.
@@ -80,13 +86,29 @@ func (n *Network) Leave(id ID) {
 	if !n.Alive(id) {
 		return
 	}
-	delete(n.tables, id)
-	i := sort.Search(len(n.sorted), func(i int) bool { return n.sorted[i] >= id })
+	n.tables[id] = nil
+	i := searchIDs(n.sorted, id)
 	n.sorted = append(n.sorted[:i], n.sorted[i+1:]...)
 }
 
+// searchIDs returns the first index i with ids[i] >= key: sort.Search
+// without the per-probe closure call, which matters on the routing and
+// repair paths that consult the membership every hop.
+func searchIDs(ids []ID, key ID) int {
+	lo, hi := 0, len(ids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if ids[mid] < key {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
 func (n *Network) insertSorted(id ID) {
-	i := sort.Search(len(n.sorted), func(i int) bool { return n.sorted[i] >= id })
+	i := searchIDs(n.sorted, id)
 	n.sorted = append(n.sorted, 0)
 	copy(n.sorted[i+1:], n.sorted[i:])
 	n.sorted[i] = id
@@ -100,7 +122,7 @@ func (n *Network) Owner(key ID) (ID, bool) {
 		return 0, false
 	}
 	// First alive ID strictly greater than key, then step back one.
-	i := sort.Search(len(n.sorted), func(i int) bool { return n.sorted[i] > key })
+	i := searchIDs(n.sorted, key+1)
 	if i == 0 {
 		return n.sorted[len(n.sorted)-1], true // wrap
 	}
@@ -113,7 +135,7 @@ func (n *Network) TrueSuccessor(id ID) (ID, bool) {
 	if len(n.sorted) == 0 || (len(n.sorted) == 1 && n.sorted[0] == id) {
 		return 0, false
 	}
-	i := sort.Search(len(n.sorted), func(i int) bool { return n.sorted[i] > id })
+	i := searchIDs(n.sorted, id+1)
 	if i == len(n.sorted) {
 		i = 0
 	}
@@ -128,9 +150,7 @@ func (n *Network) randomInArc(lo, hi ID, rng *sim.RNG) (ID, bool) {
 		return 0, false
 	}
 	pickRange := func(a, b ID) (int, int) { // indices of alive ids in [a,b)
-		i := sort.Search(len(ids), func(i int) bool { return ids[i] >= a })
-		j := sort.Search(len(ids), func(i int) bool { return ids[i] >= b })
-		return i, j
+		return searchIDs(ids, a), searchIDs(ids, b)
 	}
 	if lo < hi {
 		i, j := pickRange(lo, hi)
@@ -215,7 +235,7 @@ func (n *Network) RouteTo(from, target ID, sc *RouteScratch) RouteOutcome {
 	cur := from
 	maxHops := 4*n.space.Levels() + 4
 	for hops := 0; hops < maxHops; hops++ {
-		t := n.tables[cur]
+		t := n.Table(cur)
 		if t == nil {
 			break // origin died mid-route; count as failure
 		}

@@ -32,6 +32,12 @@ type Options struct {
 	// Workers caps the simulation worker pool (0 = GOMAXPROCS). Purely a
 	// throughput knob: results are bit-identical at any setting.
 	Workers int
+	// Par caps how many sweep points run concurrently (0 = GOMAXPROCS,
+	// 1 = sequential). Each point is an independent simulation seeded by
+	// its own configuration and results are committed in point order, so
+	// every table is byte-identical at any setting. Memory-heavy points
+	// occupy proportionally more of the cap (see memWeight).
+	Par int
 	// ChurnTrace overrides the uniform 5%/round churn of dynamic runs
 	// with a per-round trace-driven schedule (see churn.TraceModel and
 	// cmd/tracegen -churn). Static runs ignore it.

@@ -43,15 +43,14 @@ func RunFigure6(o Options) (TrackResult, error) { return runTrack(o, true) }
 func runTrack(o Options, dynamic bool) (TrackResult, error) {
 	o = o.normalized()
 	const n = 1000
-	cool, err := runWorld(baseConfig(n, core.ProfileCoolStreaming(), dynamic, o), o.Rounds, o.StableTail)
+	runs, err := runAll(o, []core.Config{
+		baseConfig(n, core.ProfileCoolStreaming(), dynamic, o),
+		baseConfig(n, core.ProfileContinuStreaming(), dynamic, o),
+	})
 	if err != nil {
 		return TrackResult{}, err
 	}
-	cont, err := runWorld(baseConfig(n, core.ProfileContinuStreaming(), dynamic, o), o.Rounds, o.StableTail)
-	if err != nil {
-		return TrackResult{}, err
-	}
-	return TrackResult{Cool: cool, Continu: cont, Dynamic: dynamic}, nil
+	return TrackResult{Cool: runs[0], Continu: runs[1], Dynamic: dynamic}, nil
 }
 
 // SizePoint is one x-axis point of the size-sweep figures.
@@ -98,16 +97,18 @@ func RunFigure8(o Options) (SizeSweepResult, error) { return runSizeSweep(o, tru
 func runSizeSweep(o Options, dynamic bool) (SizeSweepResult, error) {
 	o = o.normalized()
 	res := SizeSweepResult{Dynamic: dynamic}
+	cfgs := make([]core.Config, 0, 2*len(o.Sizes))
 	for _, n := range o.Sizes {
-		cool, err := runWorld(baseConfig(n, core.ProfileCoolStreaming(), dynamic, o), o.Rounds, o.StableTail)
-		if err != nil {
-			return res, err
-		}
-		cont, err := runWorld(baseConfig(n, core.ProfileContinuStreaming(), dynamic, o), o.Rounds, o.StableTail)
-		if err != nil {
-			return res, err
-		}
-		res.Points = append(res.Points, SizePoint{Nodes: n, Cool: cool, Continu: cont})
+		cfgs = append(cfgs,
+			baseConfig(n, core.ProfileCoolStreaming(), dynamic, o),
+			baseConfig(n, core.ProfileContinuStreaming(), dynamic, o))
+	}
+	runs, err := runAll(o, cfgs)
+	if err != nil {
+		return res, err
+	}
+	for i, n := range o.Sizes {
+		res.Points = append(res.Points, SizePoint{Nodes: n, Cool: runs[2*i], Continu: runs[2*i+1]})
 	}
 	return res, nil
 }
@@ -141,21 +142,25 @@ func (r ControlSweepResult) Table() *metrics.Table {
 func RunFigure9(o Options) (ControlSweepResult, error) {
 	o = o.normalized()
 	var res ControlSweepResult
+	var cfgs []core.Config
 	for _, m := range []int{4, 5, 6} {
 		for _, n := range o.Sizes {
 			cfg := baseConfig(n, core.ProfileContinuStreaming(), false, o)
 			cfg.M = m
-			run, err := runWorld(cfg, o.Rounds, o.StableTail)
-			if err != nil {
-				return res, err
-			}
-			res.Points = append(res.Points, ControlPoint{
-				M:        m,
-				Nodes:    n,
-				Overhead: run.StableControl,
-				Estimate: theory.ControlOverheadEstimate(m, cfg.BufferSegments, 20, cfg.Stream.Rate, cfg.Stream.BitsPerSegment),
-			})
+			cfgs = append(cfgs, cfg)
 		}
+	}
+	runs, err := runAll(o, cfgs)
+	if err != nil {
+		return res, err
+	}
+	for i, cfg := range cfgs {
+		res.Points = append(res.Points, ControlPoint{
+			M:        cfg.M,
+			Nodes:    cfg.Nodes,
+			Overhead: runs[i].StableControl,
+			Estimate: theory.ControlOverheadEstimate(cfg.M, cfg.BufferSegments, 20, cfg.Stream.Rate, cfg.Stream.BitsPerSegment),
+		})
 	}
 	return res, nil
 }
@@ -181,15 +186,14 @@ func (r PrefetchTrackResult) Table() *metrics.Table {
 func RunFigure10(o Options) (PrefetchTrackResult, error) {
 	o = o.normalized()
 	const n = 1000
-	st, err := runWorld(baseConfig(n, core.ProfileContinuStreaming(), false, o), o.Rounds, o.StableTail)
+	runs, err := runAll(o, []core.Config{
+		baseConfig(n, core.ProfileContinuStreaming(), false, o),
+		baseConfig(n, core.ProfileContinuStreaming(), true, o),
+	})
 	if err != nil {
 		return PrefetchTrackResult{}, err
 	}
-	dy, err := runWorld(baseConfig(n, core.ProfileContinuStreaming(), true, o), o.Rounds, o.StableTail)
-	if err != nil {
-		return PrefetchTrackResult{}, err
-	}
-	return PrefetchTrackResult{Static: st, Dynamic: dy}, nil
+	return PrefetchTrackResult{Static: runs[0], Dynamic: runs[1]}, nil
 }
 
 // PrefetchSizePoint is one point of Figure 11.
@@ -219,16 +223,20 @@ func (r PrefetchSweepResult) Table() *metrics.Table {
 func RunFigure11(o Options) (PrefetchSweepResult, error) {
 	o = o.normalized()
 	var res PrefetchSweepResult
+	cfgs := make([]core.Config, 0, 2*len(o.Sizes))
 	for _, n := range o.Sizes {
-		st, err := runWorld(baseConfig(n, core.ProfileContinuStreaming(), false, o), o.Rounds, o.StableTail)
-		if err != nil {
-			return res, err
-		}
-		dy, err := runWorld(baseConfig(n, core.ProfileContinuStreaming(), true, o), o.Rounds, o.StableTail)
-		if err != nil {
-			return res, err
-		}
-		res.Points = append(res.Points, PrefetchSizePoint{Nodes: n, Static: st.StablePrefetch, Dynamic: dy.StablePrefetch})
+		cfgs = append(cfgs,
+			baseConfig(n, core.ProfileContinuStreaming(), false, o),
+			baseConfig(n, core.ProfileContinuStreaming(), true, o))
+	}
+	runs, err := runAll(o, cfgs)
+	if err != nil {
+		return res, err
+	}
+	for i, n := range o.Sizes {
+		res.Points = append(res.Points, PrefetchSizePoint{
+			Nodes: n, Static: runs[2*i].StablePrefetch, Dynamic: runs[2*i+1].StablePrefetch,
+		})
 	}
 	return res, nil
 }
@@ -262,6 +270,12 @@ func (r Figure3Result) Table() *metrics.Table {
 // RunFigure3 reproduces Figure 3: average routing hops and query success
 // rate of the loose DHT as the joined population n grows within a fixed
 // N = 8192 identifier space.
+//
+// Unlike the streaming sweeps, this driver stays sequential regardless of
+// Options.Par: one RNG stream flows through every size in order (each
+// point's joins and queries consume draws the next point continues from),
+// so running points concurrently would change the results. It is also far
+// cheaper than a single streaming point, so there is nothing to win.
 func RunFigure3(o Options) Figure3Result {
 	o = o.normalized()
 	space := dht.NewSpace(8192)

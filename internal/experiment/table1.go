@@ -65,6 +65,7 @@ func RunTable1(o Options) (Table1Result, error) {
 		{"heterogeneous dynamic", false, true},
 	}
 	const n = 1000
+	cfgs := make([]core.Config, 0, 2*len(envs))
 	for _, e := range envs {
 		oldCfg := baseConfig(n, core.ProfileSchedulingOnly(), e.dynamic, o)
 		newCfg := baseConfig(n, core.ProfileContinuStreaming(), e.dynamic, o)
@@ -72,14 +73,14 @@ func RunTable1(o Options) (Table1Result, error) {
 			oldCfg.Bandwidth.Homogeneous = true
 			newCfg.Bandwidth.Homogeneous = true
 		}
-		oldRun, err := runWorld(oldCfg, o.Rounds, o.StableTail)
-		if err != nil {
-			return res, err
-		}
-		newRun, err := runWorld(newCfg, o.Rounds, o.StableTail)
-		if err != nil {
-			return res, err
-		}
+		cfgs = append(cfgs, oldCfg, newCfg)
+	}
+	runs, err := runAll(o, cfgs)
+	if err != nil {
+		return res, err
+	}
+	for i, e := range envs {
+		oldRun, newRun := runs[2*i], runs[2*i+1]
 		res.Rows = append(res.Rows, Table1Row{
 			Environment: e.name,
 			PCOld:       oldRun.StableContinuity,

@@ -101,11 +101,23 @@ func (pt *PeerTable) IsNeighbor(id NodeID) bool {
 }
 
 func (pt *PeerTable) findNeighbor(id NodeID) (int, bool) {
-	i := sort.Search(len(pt.neighbors), func(i int) bool { return pt.neighbors[i].ID >= id })
-	if i < len(pt.neighbors) && pt.neighbors[i].ID == id {
-		return i, true
+	// Manual binary search: maintenance overhears every routed message, so
+	// this runs hot enough that sort.Search's per-probe closure call shows
+	// up in profiles.
+	nbrs := pt.neighbors
+	lo, hi := 0, len(nbrs)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if nbrs[mid].ID < id {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
 	}
-	return i, false
+	if lo < len(nbrs) && nbrs[lo].ID == id {
+		return lo, true
+	}
+	return lo, false
 }
 
 // AddNeighbor connects a new neighbour if capacity allows and it is not the

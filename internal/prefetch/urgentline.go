@@ -35,8 +35,21 @@ type Decision struct {
 // by an in-flight pre-fetch, which otherwise would be re-requested every
 // period until they arrive.
 func Predict(buf *buffer.Buffer, head segment.ID, alpha float64, limit int, exclude func(segment.ID) bool) Decision {
+	d, _ := PredictInto(nil, buf, head, alpha, limit, exclude)
+	return d
+}
+
+// PredictInto is Predict with caller-supplied scratch: the missed IDs are
+// appended to arena (the word-scan AppendMissingIn path, then compacted in
+// place by exclude), the Decision's Missed field is a capacity-capped
+// subslice of the grown arena, and the arena — its length advanced past
+// the kept entries — is returned for the caller to carry forward. Missed
+// stays valid until the caller resets the arena.
+func PredictInto(arena []segment.ID, buf *buffer.Buffer, head segment.ID, alpha float64, limit int, exclude func(segment.ID) bool) (Decision, []segment.ID) {
 	w := UrgentWindow(head, alpha, buf.Size())
-	missing := buf.MissingIn(w)
+	base := len(arena)
+	arena = buf.AppendMissingIn(arena, w)
+	missing := arena[base:]
 	if exclude != nil {
 		kept := missing[:0]
 		for _, id := range missing {
@@ -46,7 +59,8 @@ func Predict(buf *buffer.Buffer, head segment.ID, alpha float64, limit int, excl
 		}
 		missing = kept
 	}
-	d := Decision{Missed: missing}
+	arena = arena[:base+len(missing)]
+	d := Decision{Missed: missing[:len(missing):len(missing)]}
 	d.Triggered = len(missing) > 0 && len(missing) <= limit
-	return d
+	return d, arena
 }

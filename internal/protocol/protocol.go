@@ -93,3 +93,25 @@ func SupplierRarity(bufferSize int, positions []int) float64 {
 	}
 	return r
 }
+
+// SupplierRarityUniform is SupplierRarity for count holders that share one
+// FIFO position — the aligned-window case: when every advertised buffer
+// opens at the shared playback position, a segment's position-from-tail is
+// identical in each holder, so the holder set collapses to a popcount and
+// the product to a repeated factor. The multiply loop below performs the
+// same operation sequence as SupplierRarity over an equal-valued positions
+// slice, keeping the float result bit-identical.
+func SupplierRarityUniform(bufferSize, position, count int) float64 {
+	p := float64(position) / float64(bufferSize)
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	r := 1.0
+	for i := 0; i < count; i++ {
+		r *= p
+	}
+	return r
+}

@@ -9,6 +9,21 @@ import (
 	"continustreaming/internal/segment"
 )
 
+// ranked is one (target, tie-break key) push candidate. All per-segment
+// target lists live in one arena, delimited by offsets: segment i's
+// candidates occupy arena[off[i]:off[i+1]].
+type ranked struct {
+	to  overlay.NodeID
+	key uint64
+}
+
+func compareRanked(a, b ranked) int {
+	if a.key != b.key {
+		return cmp.Compare(a.key, b.key)
+	}
+	return cmp.Compare(a.to, b.to)
+}
+
 // PlanPush computes one pusher's eager transmissions for one hop of the
 // fresh-segment push: for every fresh segment it holds, the pusher
 // forwards copies to neighbours that lack the segment, breadth-first
@@ -27,12 +42,6 @@ func PlanPush(seed uint64, from overlay.NodeID, segs []segment.ID, neighbours []
 	if budget <= 0 || len(segs) == 0 || len(neighbours) == 0 {
 		return nil
 	}
-	type ranked struct {
-		to  overlay.NodeID
-		key uint64
-	}
-	// All per-segment target lists live in one arena, delimited by off:
-	// segment i's candidates occupy arena[off[i]:off[i+1]].
 	arena := make([]ranked, 0, len(segs)*len(neighbours))
 	off := make([]int, len(segs)+1)
 	for i, s := range segs {
@@ -43,13 +52,46 @@ func PlanPush(seed uint64, from overlay.NodeID, segs []segment.ID, neighbours []
 			arena = append(arena, ranked{to: nb, key: scheduler.Jitter(seed, uint64(s), uint64(nb))})
 		}
 		off[i+1] = len(arena)
-		slices.SortFunc(arena[off[i]:], func(a, b ranked) int {
-			if a.key != b.key {
-				return cmp.Compare(a.key, b.key)
-			}
-			return cmp.Compare(a.to, b.to)
-		})
+		slices.SortFunc(arena[off[i]:], compareRanked)
 	}
+	return emitPush(from, segs, arena, off, budget)
+}
+
+// PlanPushMask is PlanPush with the availability probe hoisted to one word
+// per neighbour: lacks(nb) returns a bitmask over the frontier window
+// [base, base+64) in which bit (s-base) set means nb lacks segment s and
+// can accept a copy, evaluated once per neighbour instead of once per
+// (segment, neighbour) pair. Every segment must satisfy base <= s <
+// base+64; callers with wider frontiers fall back to PlanPush. The output
+// is identical to PlanPush with has(nb, s) reporting the inverse of the
+// segment's mask bit — PlanPush stays as the scalar differential oracle.
+func PlanPushMask(seed uint64, from overlay.NodeID, base segment.ID, segs []segment.ID, neighbours []overlay.NodeID, lacks func(overlay.NodeID) uint64, budget int) []Send {
+	if budget <= 0 || len(segs) == 0 || len(neighbours) == 0 {
+		return nil
+	}
+	masks := make([]uint64, len(neighbours))
+	for j, nb := range neighbours {
+		masks[j] = lacks(nb)
+	}
+	arena := make([]ranked, 0, len(segs)*len(neighbours))
+	off := make([]int, len(segs)+1)
+	for i, s := range segs {
+		bit := uint64(1) << uint(s-base)
+		for j, nb := range neighbours {
+			if masks[j]&bit == 0 {
+				continue
+			}
+			arena = append(arena, ranked{to: nb, key: scheduler.Jitter(seed, uint64(s), uint64(nb))})
+		}
+		off[i+1] = len(arena)
+		slices.SortFunc(arena[off[i]:], compareRanked)
+	}
+	return emitPush(from, segs, arena, off, budget)
+}
+
+// emitPush walks the ranked arena breadth-first — each segment's first
+// copy goes out before any segment's second — until the budget runs out.
+func emitPush(from overlay.NodeID, segs []segment.ID, arena []ranked, off []int, budget int) []Send {
 	total := len(arena)
 	if total == 0 {
 		return nil

@@ -1,0 +1,90 @@
+package protocol
+
+import (
+	"testing"
+
+	"continustreaming/internal/overlay"
+	"continustreaming/internal/segment"
+	"continustreaming/internal/sim"
+)
+
+// TestSupplierRarityUniformMatchesScalar checks the aligned-window rarity
+// shortcut bit for bit against the general product: when every holder
+// reports the same position-from-tail — the invariant the round pipeline's
+// shared playback origin guarantees — the repeated-factor form must equal
+// SupplierRarity over the equal-valued position list exactly, because both
+// execute the identical multiply sequence.
+func TestSupplierRarityUniformMatchesScalar(t *testing.T) {
+	rng := sim.DeriveRNG(1, 0x4a71)
+	for trial := 0; trial < 5000; trial++ {
+		size := 1 + rng.Intn(240)
+		pos := rng.Intn(size+40) - 20 // includes out-of-range clamping cases
+		count := rng.Intn(70)
+		positions := make([]int, count)
+		for i := range positions {
+			positions[i] = pos
+		}
+		got := SupplierRarityUniform(size, pos, count)
+		want := SupplierRarity(size, positions)
+		if got != want {
+			t.Fatalf("trial %d: SupplierRarityUniform(%d, %d, %d) = %v, want %v",
+				trial, size, pos, count, got, want)
+		}
+	}
+	if got := SupplierRarityUniform(120, 30, 0); got != 1.0 {
+		t.Fatalf("zero holders: got %v, want the empty product 1.0", got)
+	}
+}
+
+// TestPlanPushMaskMatchesPlanPush cross-checks the hoisted one-word
+// availability probe against the scalar per-(segment, neighbour) oracle on
+// random frontiers: random neighbour sets, random per-neighbour holdings,
+// random budgets. The two must emit identical Send sequences.
+func TestPlanPushMaskMatchesPlanPush(t *testing.T) {
+	rng := sim.DeriveRNG(1, 0x9a5e)
+	for trial := 0; trial < 3000; trial++ {
+		base := segment.ID(rng.Intn(1000))
+		nSegs := 1 + rng.Intn(10)
+		segs := make([]segment.ID, 0, nSegs)
+		for i := 0; i < nSegs; i++ {
+			s := base + segment.ID(rng.Intn(64))
+			dup := false
+			for _, p := range segs {
+				if p == s {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				segs = append(segs, s)
+			}
+		}
+		nNbrs := rng.Intn(8)
+		neighbours := make([]overlay.NodeID, nNbrs)
+		holds := make(map[overlay.NodeID]uint64, nNbrs)
+		for i := range neighbours {
+			nb := overlay.NodeID(1 + i*3 + rng.Intn(2))
+			neighbours[i] = nb
+			holds[nb] = rng.Uint64()
+		}
+		from := overlay.NodeID(999)
+		seed := rng.Uint64()
+		budget := rng.Intn(20)
+
+		scalar := PlanPush(seed, from, segs, neighbours,
+			func(nb overlay.NodeID, s segment.ID) bool {
+				return holds[nb]&(1<<uint(s-base)) != 0
+			}, budget)
+		word := PlanPushMask(seed, from, base, segs, neighbours,
+			func(nb overlay.NodeID) uint64 { return ^holds[nb] }, budget)
+
+		if len(scalar) != len(word) {
+			t.Fatalf("trial %d: scalar planned %d sends, mask planned %d", trial, len(scalar), len(word))
+		}
+		for i := range scalar {
+			if scalar[i] != word[i] {
+				t.Fatalf("trial %d: send %d differs: scalar %+v, mask %+v", trial, i, scalar[i], word[i])
+			}
+		}
+	}
+}
