@@ -39,6 +39,11 @@ func main() {
 		exitat    = flag.Int("exitat", 0, "abruptly fail at this period (0 = run to completion)")
 		engine    = flag.Bool("engine", true, "dissemination engine (push + EDF serve + carry queues)")
 		repair    = flag.Bool("repair", true, "mesh repair and DHT rescue")
+		resync    = flag.Bool("resync", true, "continuous clock re-sync from peer period stamps")
+		retry     = flag.Int("retry", 0, "pull/rescue retry window in periods (0 = default)")
+		pushhops  = flag.Int("pushhops", -1, "push depth override (-1 = protocol default, 0 = pull-only)")
+		shape     = flag.String("shape", "", "egress WAN shaping profile, e.g. loss=2%,latency=50ms,jitter=20ms")
+		shapeseed = flag.Uint64("shapeseed", 0, "traffic shaper seed (fixed seed = replayable drop/delay sequence)")
 		logevery  = flag.Int("logevery", 10, "progress log cadence in periods")
 		timeout   = flag.Duration("timeout", 3*time.Minute, "hard wall-clock bound on the whole run")
 	)
@@ -50,6 +55,11 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Engine = *engine
 	cfg.Repair = *repair
+	cfg.Resync = *resync
+	cfg.RetryPeriods = *retry
+	if *pushhops >= 0 {
+		cfg.PushHops = *pushhops
+	}
 
 	logger := log.New(os.Stderr, fmt.Sprintf("livenode[%d] ", *id), log.Ltime|log.Lmicroseconds)
 	node, err := livenet.NewNode(cfg, livenet.NodeConfig{
@@ -58,6 +68,8 @@ func main() {
 		Bootstrap: *bootstrap,
 		Source:    *source,
 		ExitAt:    *exitat,
+		Shape:     *shape,
+		ShapeSeed: *shapeseed,
 		Logf:      logger.Printf,
 		LogEvery:  *logevery,
 	})

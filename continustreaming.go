@@ -412,6 +412,26 @@ type LiveConfig struct {
 	// NodeID is this process's peer identity on the socket path (0 = the
 	// source/RP). Every process in a session needs a distinct ID.
 	NodeID int
+	// Shape, when non-empty, applies deterministic WAN weather to this
+	// node's UDP egress on the socket path: a comma-separated profile such
+	// as "loss=2%,latency=50ms,jitter=20ms,rate=1mbit". Per-link fates are
+	// drawn from ShapeSeed, so the same seed replays the same weather.
+	// Only meaningful with Listen set — the in-process runtime has no
+	// sockets to shape.
+	Shape string
+	// ShapeSeed seeds the traffic shaper's per-link RNG streams (0 is a
+	// valid, distinct seed).
+	ShapeSeed uint64
+	// NoResync disables the socket path's continuous clock re-sync (period
+	// stamps on every wire message; a node that discovers it is behind the
+	// newest stamp jumps forward). On by default because a drifted node
+	// silently plays behind the live edge.
+	NoResync bool
+	// RetryPeriods overrides how many periods an in-flight pull or rescue
+	// stays pending before re-requesting (0 keeps the default, 2). Raise
+	// it when shaped latency approaches the period, so retries do not
+	// duplicate requests that are merely slow.
+	RetryPeriods int
 	// Seed drives topology and policy randomness.
 	Seed uint64
 }
@@ -437,6 +457,18 @@ type LiveResult struct {
 	Replaced      int64
 	DeadDropped   int64
 	EndDeadLinks  int
+	// Socket-path health counters (zero for in-process sessions):
+	// TransportDropped counts datagrams the UDP transport shed on overflow,
+	// ShapeDropped/ShapeDelayed the injected shaper's loss and latency
+	// decisions, Resyncs the forward clock jumps the re-sync mechanism
+	// made, and BehindPeriods the periods this node spent trailing the
+	// newest period stamp it had seen (a liveness-drift measure; re-sync
+	// keeps it near zero).
+	TransportDropped int64
+	ShapeDropped     int64
+	ShapeDelayed     int64
+	Resyncs          int
+	BehindPeriods    int
 }
 
 // RunLive executes the protocol over real message passing for the given
@@ -463,8 +495,15 @@ func RunLive(ctx context.Context, cfg LiveConfig, periods int) (LiveResult, erro
 	core.ApplyKnobOverride(&inner.QueueFactor, cfg.QueueFactor)
 	inner.Repair = !cfg.NoRepair
 	inner.Engine = !cfg.NoEngine
+	inner.Resync = !cfg.NoResync
+	if cfg.RetryPeriods > 0 {
+		inner.RetryPeriods = cfg.RetryPeriods
+	}
 	if cfg.Seed != 0 {
 		inner.Seed = cfg.Seed
+	}
+	if cfg.Shape != "" && cfg.Listen == "" {
+		return LiveResult{}, fmt.Errorf("continustreaming: traffic shaping applies to the socket path; set Listen")
 	}
 	if cfg.Listen != "" {
 		// Socket path: one peer per process over UDP. The in-process
@@ -478,6 +517,8 @@ func RunLive(ctx context.Context, cfg LiveConfig, periods int) (LiveResult, erro
 			Listen:    cfg.Listen,
 			Bootstrap: cfg.Bootstrap,
 			Source:    cfg.Bootstrap == "",
+			Shape:     cfg.Shape,
+			ShapeSeed: cfg.ShapeSeed,
 		})
 		if err != nil {
 			return LiveResult{}, err
@@ -526,6 +567,12 @@ func liveResultOf(st livenet.Stats) LiveResult {
 		Replaced:       st.Replaced,
 		DeadDropped:    st.DeadDropped,
 		EndDeadLinks:   st.EndDeadLinks,
+
+		TransportDropped: st.TransportDropped,
+		ShapeDropped:     st.ShapeDropped,
+		ShapeDelayed:     st.ShapeDelayed,
+		Resyncs:          st.Resyncs,
+		BehindPeriods:    st.BehindPeriods,
 	}
 }
 

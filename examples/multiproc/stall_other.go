@@ -1,0 +1,13 @@
+//go:build !unix
+
+package main
+
+import "os"
+
+// No SIGSTOP/SIGCONT outside unix; stall scripts degrade to a no-op
+// interrupt-free signal pair (Signal returns an error, the stall
+// goroutine gives up).
+var (
+	sigStop os.Signal = os.Interrupt
+	sigCont os.Signal = os.Interrupt
+)

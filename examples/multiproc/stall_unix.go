@@ -1,0 +1,16 @@
+//go:build unix
+
+package main
+
+import (
+	"os"
+	"syscall"
+)
+
+// The stall script freezes a livenode kernel-side: SIGSTOP suspends the
+// whole process (its ticker keeps firing into the void), SIGCONT
+// resumes it with its period counter behind real time.
+var (
+	sigStop os.Signal = syscall.SIGSTOP
+	sigCont os.Signal = syscall.SIGCONT
+)

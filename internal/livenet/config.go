@@ -52,6 +52,20 @@ type Config struct {
 	// announcement) make a neighbour presumed dead. Mesh repair then
 	// drops and replaces it.
 	DeadAfterPeriods int
+	// RetryPeriods is how many periods an in-flight pull or rescue stays
+	// pending before the peer re-asks (0 = the default 2). On a shaped
+	// link whose round trip exceeds a period, widen it so a slow-but-
+	// arriving grant is not double-requested; under heavy loss keep it
+	// tight so dropped grants re-fire quickly.
+	RetryPeriods int
+	// Resync enables continuous clock re-sync on the socket path: every
+	// wire message carries the sender's period stamp, and a node that
+	// finds itself behind the newest stamp at a tick jumps its period
+	// counter forward (and re-phases its ticker). Without it a node's
+	// clock is synced exactly once, by the bootstrap handshake — the PR 5
+	// drift gap. DefaultConfig enables it; the in-process channel driver
+	// ignores it (one loop drives every peer's clock).
+	Resync bool
 	// LowSupplyThreshold overrides the shared low-supply replacement
 	// threshold (segments/period below which a struggling peer may swap
 	// a neighbour out): 0 keeps the protocol default, negative disables
@@ -105,8 +119,17 @@ func DefaultConfig() Config {
 		DeadAfterPeriods:   3,
 		Engine:             true,
 		Repair:             true,
+		Resync:             true,
 		Seed:               1,
 	}
+}
+
+// retryPeriods resolves the pending-window default.
+func (c Config) retryPeriods() int {
+	if c.RetryPeriods > 0 {
+		return c.RetryPeriods
+	}
+	return 2
 }
 
 // maintenanceTuning maps the shared defaults onto the per-period rewire

@@ -65,6 +65,25 @@ type Stats struct {
 	AsksReceived  int64
 	GrantsSent    int64
 	GrantsEvicted int64
+	// Socket-path loss accounting, separable by mechanism so a CI gate
+	// (or a human reading the stats line) can tell WAN loss from local
+	// overload: TransportDropped counts datagrams discarded because the
+	// node's own inbox was full, ShapeDropped datagrams the traffic
+	// shaper consumed as injected link loss, ShapeDelayed datagrams it
+	// released late (latency, jitter or bandwidth queueing). Resyncs
+	// counts clock re-anchor jumps taken (see Config.Resync). All zero
+	// on the in-process channel path.
+	TransportDropped int64
+	ShapeDropped     int64
+	ShapeDelayed     int64
+	Resyncs          int
+	// BehindPeriods counts scheduling ticks at which this node's period
+	// counter trailed the newest period stamp heard from the network —
+	// the liveness drift a stalled node accumulates. With Resync on, a
+	// node is behind for at most the tick that re-anchors it; without,
+	// a stall leaves it behind (playing late against a deep buffer, so
+	// local continuity alone cannot see it) for the rest of the run.
+	BehindPeriods int
 }
 
 // TailContinuity returns the mean of the last n per-period continuity

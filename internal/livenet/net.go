@@ -44,6 +44,13 @@ type Message struct {
 	// Hop is the push-hop counter on data (0 = pull grant or rescue
 	// reply; h >= 1 = eager push, forwarded while h < PushHops).
 	Hop int
+	// Period is the sender's current session period, stamped on every
+	// message a running peer sends (bootstrap Connects go out before a
+	// clock exists and carry 0). Receivers re-anchor their period clock
+	// to the max stamp heard — the continuous re-sync that keeps EDF
+	// deadlines and playback positions aligned when a node misses ticks.
+	// Wire version 1 frames decode with Period 0 (no stamp).
+	Period int
 	// Rescue marks data served from the DHT backup path.
 	Rescue bool
 	// GossipAddrs optionally parallels Gossip with transport addresses

@@ -33,6 +33,17 @@ type NodeConfig struct {
 	// of that period: no goodbye, socket closed, process of the kill
 	// scenarios. Neighbours discover the silence.
 	ExitAt int
+	// Shape applies WAN conditions to every datagram this node sends:
+	// a ShapeProfile flag string ("loss=2%,latency=50ms,jitter=20ms",
+	// see ParseShapeProfile). Empty runs a clean network. Shaping is
+	// egress-side, so giving every node of a session the same profile
+	// shapes every link once.
+	Shape string
+	// ShapeSeed seeds the shaper's per-(src,dst) RNG streams: a fixed
+	// seed replays the exact same drop/delay sequence, which is what
+	// makes a shaped CI failure reproducible. Independent of the
+	// protocol Seed so shaping can vary while decisions hold still.
+	ShapeSeed uint64
 	// Logf, when set, receives progress lines (LogEvery periods apart;
 	// default 10).
 	Logf     func(format string, args ...any)
@@ -69,10 +80,15 @@ func NewNode(cfg Config, nc NodeConfig) (*Node, error) {
 	// One resolved lag value for every consumer of the raw field, as in
 	// the driver-mode Run.
 	cfg.PlaybackLagPeriods = cfg.lagPeriods()
+	profile, err := ParseShapeProfile(nc.Shape)
+	if err != nil {
+		return nil, err
+	}
 	tr, err := newUDPTransport(nc.Listen, nc.ID, max(256, 16*(cfg.Peers+1)))
 	if err != nil {
 		return nil, err
 	}
+	tr.setShaper(NewShaper(profile, nc.ShapeSeed, nc.ID))
 	if nc.LogEvery <= 0 {
 		nc.LogEvery = 10
 	}
@@ -211,6 +227,30 @@ func (n *Node) Run(ctx context.Context, periods int) (Stats, error) {
 		if ctx.Err() != nil {
 			break
 		}
+		// Clock re-sync: if the network's newest period stamp is ahead of
+		// this node's counter, the node missed ticks (scheduler stall,
+		// loss-delayed handshake, slow period work) — jump forward and
+		// re-phase the ticker at the new anchor. In steady state the
+		// stamps match the local counter and no jump happens; stamps
+		// behind ours (a slower peer's) never move the clock backwards.
+		if p.clockPeriod() > period {
+			stats.BehindPeriods++
+		}
+		if cfg.Resync {
+			if seen := p.clockPeriod(); seen > period {
+				if seen >= periods {
+					seen = periods - 1
+				}
+				if nc.Logf != nil {
+					nc.Logf("resync: period %d -> %d", period, seen)
+				}
+				period = seen
+				p.mu.Lock()
+				p.resyncs++
+				p.mu.Unlock()
+				ticker.Reset(cfg.Period)
+			}
+		}
 		stats.Periods = period + 1 - start
 		if nc.ExitAt > 0 && period >= nc.ExitAt {
 			// Abrupt scripted failure: drop off the network mid-stream.
@@ -293,6 +333,9 @@ func (n *Node) Run(ctx context.Context, periods int) (Stats, error) {
 	stats.AsksReceived = n.st.asksReceived.Load()
 	stats.GrantsSent = n.st.grantsSent.Load()
 	stats.GrantsEvicted = n.st.grantsEvicted.Load()
+	stats.TransportDropped = n.tr.Dropped()
+	stats.ShapeDropped = n.tr.shaper.Dropped()
+	stats.ShapeDelayed = n.tr.shaper.Delayed()
 	if playingSamples > 0 {
 		stats.Continuity = float64(continuous) / float64(playingSamples)
 	}
@@ -302,6 +345,7 @@ func (n *Node) Run(ctx context.Context, periods int) (Stats, error) {
 			stats.EndDeadLinks++
 		}
 	}
+	stats.Resyncs = p.resyncs
 	p.mu.Unlock()
 	if nc.Logf != nil {
 		nc.Logf("drained: %d deliveries, %d inbox drops", stats.Delivered, n.tr.Dropped())

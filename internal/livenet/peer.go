@@ -4,6 +4,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"continustreaming/internal/bandwidth"
 	"continustreaming/internal/buffer"
@@ -100,7 +101,20 @@ type peer struct {
 	// to bother asking (measured: pull traffic collapses to zero).
 	lastRequested map[int]int
 
-	curPeriod    int
+	// clockSeen is the highest period stamp heard from any peer (wire
+	// v2 stamps every message with the sender's clock). Node mode
+	// re-anchors its period counter to it at every tick — the
+	// continuous clock re-sync replacing trust in the one-shot
+	// bootstrap handshake. Resyncs counts the jumps taken.
+	clockSeen int
+	resyncs   int
+
+	curPeriod int
+	// periodAt is the wall-clock instant of the current period's plan
+	// tick — the anchor ObserveDelivery offsets are measured from, so
+	// the rate controller sees true arrival offsets (the simulator's
+	// (d.at - now) in period fractions), not per-period counts.
+	periodAt     time.Time
 	pos          segment.ID
 	rv           ringView
 	pushSpent    int
@@ -269,10 +283,28 @@ func (p *peer) loop(wg *sync.WaitGroup) {
 	}
 }
 
+// send stamps m with the peer's current period clock — the wire v2
+// re-sync beacon every message carries — and transmits it. Callers hold
+// p.mu (every protocol send site does).
+func (p *peer) send(to int, m Message) bool {
+	m.Period = p.curPeriod
+	return p.tr.Send(to, m)
+}
+
+// clockPeriod returns the newest period stamp heard so far.
+func (p *peer) clockPeriod() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.clockSeen
+}
+
 // handle applies one incoming message under the peer's lock.
 func (p *peer) handle(m Message) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if m.Period > p.clockSeen {
+		p.clockSeen = m.Period
+	}
 	// Every message is a sighting of its sender, and every gossip entry
 	// of the peer it names — the membership evidence node mode's view is
 	// built from. Gossip feeds the adoption pool regardless of which
@@ -311,7 +343,7 @@ func (p *peer) handle(m Message) {
 		// serving unbounded copies for free.
 		if p.pushSpent+p.rescueSpent < 2*p.outbound() && (p.buf.Has(m.Seg) || p.backup.Has(m.Seg)) {
 			p.rescueSpent++
-			p.tr.Send(m.From, Message{From: p.id, Kind: msgData, Seg: m.Seg, Rescue: true})
+			p.send(m.From, Message{From: p.id, Kind: msgData, Seg: m.Seg, Rescue: true})
 		}
 	case msgConnect:
 		// Adoption is bidirectional, as in the simulator's addEdge; the
@@ -331,7 +363,7 @@ func (p *peer) handle(m Message) {
 				reply.Gossip = p.sample(p.cfg.Neighbors+2, m.From)
 			}
 		}
-		p.tr.Send(m.From, reply)
+		p.send(m.From, reply)
 	case msgConnectOK:
 		p.links[m.From] = true
 		p.nbrSeen[m.From] = p.curPeriod
@@ -361,10 +393,23 @@ func (p *peer) receiveData(m Message) {
 	stored := p.buf.Insert(m.Seg)
 	if stored {
 		p.st.delivered.Add(1)
-		// A full-period observation window: the reply to a period-T ask
-		// lands during period T+1, so per-period delivery counts are
-		// segments-per-period rates as-is.
-		p.ctrl.ObserveDelivery(m.From, 1)
+		// Credit the true arrival offset within the period, in period
+		// fractions — the livenet mirror of the simulator's
+		// (d.at - now).Seconds(). This matters under loss: a service
+		// rate estimated as delivered-per-period is a throughput, and
+		// Algorithm 1 caps asks per supplier at the estimated rate, so
+		// throughput-as-estimate ratchets down on every lost grant and
+		// never back up (ask less -> deliver less -> estimate less —
+		// the measured pull collapse). Offsets below a full period keep
+		// the estimate a rate: 3 segments by mid-period is a 6/s
+		// supplier, with headroom above demand to re-ask lost grants.
+		off := 1.0
+		if p.cfg.Period > 0 && !p.periodAt.IsZero() {
+			if frac := time.Since(p.periodAt).Seconds() / p.cfg.Period.Seconds(); frac < off {
+				off = frac
+			}
+		}
+		p.ctrl.ObserveDelivery(m.From, off)
 		if m.Rescue {
 			p.st.rescued.Add(1)
 		}
@@ -399,7 +444,7 @@ func (p *peer) receiveData(m Message) {
 			}, budget)
 		p.pushSpent += len(sends)
 		for _, s := range sends {
-			p.tr.Send(int(s.To), Message{From: p.id, Kind: msgData, Seg: s.ID, Hop: m.Hop + 1})
+			p.send(int(s.To), Message{From: p.id, Kind: msgData, Seg: s.ID, Hop: m.Hop + 1})
 		}
 	}
 }
@@ -427,6 +472,7 @@ func (p *peer) periodPlan(now int, pos segment.ID, rv ringView, members map[int]
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	p.curPeriod = now
+	p.periodAt = time.Now()
 	p.pos = pos
 	p.rv = rv
 	// This period's serve pass answers the asks scheduled below; credit
@@ -515,7 +561,7 @@ func (p *peer) pushFresh(now int) {
 		}, p.outbound())
 	p.pushSpent += len(sends)
 	for _, s := range sends {
-		p.tr.Send(int(s.To), Message{From: p.id, Kind: msgData, Seg: s.ID, Hop: 1})
+		p.send(int(s.To), Message{From: p.id, Kind: msgData, Seg: s.ID, Hop: 1})
 	}
 }
 
@@ -571,7 +617,7 @@ func (p *peer) servePeriod(now int, members map[int]bool) {
 		}
 		if p.buf.Has(g.ID) {
 			p.st.grantsSent.Add(1)
-			p.tr.Send(int(g.Requester), Message{From: p.id, Kind: msgData, Seg: g.ID})
+			p.send(int(g.Requester), Message{From: p.id, Kind: msgData, Seg: g.ID})
 		}
 	}
 }
@@ -637,9 +683,9 @@ func (p *peer) maintainMesh(now int, members map[int]bool) {
 		delete(p.links, v)
 		delete(p.nbrMaps, v)
 		p.ctrl.Forget(v)
-		p.tr.Send(v, Message{From: p.id, Kind: msgBye})
+		p.send(v, Message{From: p.id, Kind: msgBye})
 		delete(p.overheard, cand)
-		p.tr.Send(cand, Message{From: p.id, Kind: msgConnect})
+		p.send(cand, Message{From: p.id, Kind: msgConnect})
 	}
 	for want := p.degreeTarget() - len(p.links); want > 0; want-- {
 		cand, ok := takeCandidate()
@@ -647,7 +693,7 @@ func (p *peer) maintainMesh(now int, members map[int]bool) {
 			break
 		}
 		delete(p.overheard, cand)
-		p.tr.Send(cand, Message{From: p.id, Kind: msgConnect})
+		p.send(cand, Message{From: p.id, Kind: msgConnect})
 	}
 }
 
@@ -665,7 +711,7 @@ func (p *peer) announce(members map[int]bool) {
 		})
 	for _, nb := range nbs {
 		m := snap
-		p.tr.Send(int(nb), Message{From: p.id, Kind: msgMap, Map: &m, Gossip: gossip[nb]})
+		p.send(int(nb), Message{From: p.id, Kind: msgMap, Map: &m, Gossip: gossip[nb]})
 	}
 }
 
@@ -729,9 +775,9 @@ func (p *peer) schedulePulls(now int) {
 	perSupplier := map[int]int{}
 	for _, r := range reqs {
 		p.st.asksSent.Add(1)
-		p.pending[r.ID] = now + 2
+		p.pending[r.ID] = now + p.cfg.retryPeriods()
 		perSupplier[r.Supplier]++
-		p.tr.Send(r.Supplier, Message{
+		p.send(r.Supplier, Message{
 			From: p.id, Kind: msgRequest, Seg: r.ID, Deadline: p.playDeadline(r.ID),
 		})
 	}
@@ -784,8 +830,8 @@ func (p *peer) rescueUrgent(now int) {
 		if target < 0 {
 			target = 0 // the source: the retrieval path of last resort
 		}
-		p.rescuePending[seg] = now + 2
+		p.rescuePending[seg] = now + p.cfg.retryPeriods()
 		p.st.rescueAsked.Add(1)
-		p.tr.Send(target, Message{From: p.id, Kind: msgRescueReq, Seg: seg})
+		p.send(target, Message{From: p.id, Kind: msgRescueReq, Seg: seg})
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // udpTransport carries Messages across process boundaries as one wire
@@ -27,6 +28,13 @@ type udpTransport struct {
 	inbox   chan Message
 	closed  atomic.Bool
 	dropped atomic.Int64
+
+	// shaper, when non-nil, injects WAN conditions on the egress path:
+	// seeded per-link loss, latency/jitter, reorder and bandwidth caps
+	// applied between encode and the socket write. epoch anchors the
+	// shaper's link clock (the token buckets run on time-since-bind).
+	shaper *Shaper
+	epoch  time.Time
 
 	mu   sync.RWMutex
 	book map[int]*net.UDPAddr
@@ -55,10 +63,16 @@ func newUDPTransport(listen string, self, inboxCap int) (*udpTransport, error) {
 		conn:  conn,
 		inbox: make(chan Message, inboxCap),
 		book:  make(map[int]*net.UDPAddr),
+		epoch: time.Now(),
 	}
 	go t.readLoop()
 	return t, nil
 }
+
+// setShaper installs an egress traffic shaper (nil = clean network).
+// Call before the first Send; the transport never swaps shapers while
+// datagrams are in flight.
+func (t *udpTransport) setShaper(s *Shaper) { t.shaper = s }
 
 // LocalAddr returns the bound socket address ("ip:port").
 func (t *udpTransport) LocalAddr() string { return t.conn.LocalAddr().String() }
@@ -126,6 +140,29 @@ func (t *udpTransport) Send(to int, m Message) bool {
 	frame, err := EncodeMessage(m)
 	if err != nil {
 		return false
+	}
+	if t.shaper != nil {
+		fate := t.shaper.Shape(to, len(frame), time.Since(t.epoch))
+		if fate.Drop {
+			// Link loss, not a send failure: the datagram left this host
+			// and died in the network, so the sender reports success —
+			// exactly the knowledge a real WAN sender has. Shaper.Dropped
+			// keeps the count separable from transport drops.
+			return true
+		}
+		if fate.Delay > 0 {
+			// The frame is freshly allocated per Send and dst addresses
+			// are never mutated, so the deferred write shares them
+			// safely. Writes after Close fail at the socket and are
+			// discarded — the same silence an in-flight datagram meets
+			// when its destination dies.
+			time.AfterFunc(fate.Delay, func() {
+				if !t.closed.Load() {
+					t.conn.WriteToUDP(frame, dst)
+				}
+			})
+			return true
+		}
 	}
 	_, err = t.conn.WriteToUDP(frame, dst)
 	return err == nil

@@ -23,9 +23,19 @@ import (
 //	int64   Seg
 //	int64   Deadline
 //	byte    Hop
+//	int32   Period (version >= 2 only)
 //	uint16  gossip entry count
 //	  per entry: int32 peer ID, uint8 address length, address bytes
 //	if Map present: uint32 map length, then buffer.Map.Marshal bytes
+//
+// Version 2 adds the Period stamp: the sender's current session period
+// on every message, the continuous clock re-sync that replaces trusting
+// the one-shot bootstrap handshake (a receiver that missed ticks — GC
+// pause, scheduler stall, loss-delayed handshake — re-anchors to the
+// max stamp it hears). Version 1 frames still decode, with Period 0:
+// a stamp no newer than the session start, which never pulls a clock
+// forward — the compatibility fallback the mixed-version fuzz corpus
+// and TestWireDecodesVersion1Frames pin.
 //
 // Gossip entries carry an optional transport address (empty in-process;
 // the UDP transport fills them from its address book so membership
@@ -36,11 +46,14 @@ import (
 // hostile or corrupted datagram cannot make a peer allocate unbounded
 // memory or misparse a field.
 const (
-	wireVersion = 1
+	wireVersion   = 2
+	wireVersionV1 = 1
 
-	// wireHeaderLen is the fixed part of the payload: version, kind,
-	// flags, From, Seg, Deadline, Hop, gossip count.
-	wireHeaderLen = 1 + 1 + 1 + 4 + 8 + 8 + 1 + 2
+	// wireHeaderLen is the fixed part of a current-version payload:
+	// version, kind, flags, From, Seg, Deadline, Hop, Period, gossip
+	// count. wireHeaderLenV1 is the version-1 layout, without Period.
+	wireHeaderLen   = 1 + 1 + 1 + 4 + 8 + 8 + 1 + 4 + 2
+	wireHeaderLenV1 = 1 + 1 + 1 + 4 + 8 + 8 + 1 + 2
 
 	// maxFrame bounds a whole frame; a UDP datagram cannot exceed 65507
 	// payload bytes anyway, and every legitimate message (B=600 map plus
@@ -67,6 +80,9 @@ func EncodeMessage(m Message) ([]byte, error) {
 	}
 	if m.Hop < 0 || m.Hop > 255 {
 		return nil, fmt.Errorf("livenet: hop count %d outside wire range", m.Hop)
+	}
+	if m.Period < 0 || int64(m.Period) > int64(1<<31-1) {
+		return nil, fmt.Errorf("livenet: period stamp %d outside wire range", m.Period)
 	}
 	if len(m.Gossip) > maxGossipEntries {
 		return nil, fmt.Errorf("livenet: %d gossip entries exceed the wire cap %d", len(m.Gossip), maxGossipEntries)
@@ -101,6 +117,7 @@ func EncodeMessage(m Message) ([]byte, error) {
 	out = binary.LittleEndian.AppendUint64(out, uint64(m.Seg))
 	out = binary.LittleEndian.AppendUint64(out, uint64(m.Deadline))
 	out = append(out, byte(m.Hop))
+	out = binary.LittleEndian.AppendUint32(out, uint32(m.Period))
 	out = binary.LittleEndian.AppendUint16(out, uint16(len(m.Gossip)))
 	for i, g := range m.Gossip {
 		if g < 0 || int64(g) > int64(1<<31-1) {
@@ -143,11 +160,19 @@ func DecodeMessage(data []byte) (Message, error) {
 		return Message{}, fmt.Errorf("livenet: length prefix %d disagrees with %d payload bytes", n, len(data)-4)
 	}
 	p := data[4:]
-	if len(p) < wireHeaderLen {
-		return Message{}, fmt.Errorf("livenet: %d-byte payload shorter than the %d-byte header", len(p), wireHeaderLen)
+	if len(p) < 1 {
+		return Message{}, fmt.Errorf("livenet: empty payload")
 	}
-	if p[0] != wireVersion {
+	headerLen := wireHeaderLen
+	switch p[0] {
+	case wireVersion:
+	case wireVersionV1:
+		headerLen = wireHeaderLenV1
+	default:
 		return Message{}, fmt.Errorf("livenet: unsupported wire version %d", p[0])
+	}
+	if len(p) < headerLen {
+		return Message{}, fmt.Errorf("livenet: %d-byte payload shorter than the %d-byte header", len(p), headerLen)
 	}
 	kind := MsgKind(p[1])
 	if kind > msgBye {
@@ -168,11 +193,20 @@ func DecodeMessage(data []byte) (Message, error) {
 	if m.From < 0 {
 		return Message{}, fmt.Errorf("livenet: negative peer ID %d", m.From)
 	}
-	count := int(binary.LittleEndian.Uint16(p[24:26]))
+	if p[0] >= wireVersion {
+		// Version 1 frames carry no period stamp; Period 0 — never newer
+		// than the session start — is the decode fallback that keeps an
+		// old sender's messages from steering anyone's clock.
+		m.Period = int(int32(binary.LittleEndian.Uint32(p[24:28])))
+		if m.Period < 0 {
+			return Message{}, fmt.Errorf("livenet: negative period stamp %d", m.Period)
+		}
+	}
+	count := int(binary.LittleEndian.Uint16(p[headerLen-2 : headerLen]))
 	if count > maxGossipEntries {
 		return Message{}, fmt.Errorf("livenet: %d gossip entries exceed the wire cap %d", count, maxGossipEntries)
 	}
-	off := wireHeaderLen
+	off := headerLen
 	if count > 0 {
 		m.Gossip = make([]int, count)
 		addrs := make([]string, count)

@@ -15,7 +15,7 @@ import (
 // paths (plus occasional extras — the codec is a union and must carry
 // any field for any kind).
 func randomMessage(rng *sim.RNG, kind MsgKind) Message {
-	m := Message{From: rng.Intn(1 << 16), Kind: kind}
+	m := Message{From: rng.Intn(1 << 16), Kind: kind, Period: rng.Intn(1 << 20)}
 	switch kind {
 	case msgMap, msgConnectOK:
 		b := buffer.New(1+rng.Intn(700), segment.ID(rng.Intn(10000)))
@@ -132,11 +132,15 @@ func TestWireRejectsMalformedFrames(t *testing.T) {
 		}),
 		"hostile gossip count": mutate(func(b []byte) []byte {
 			// Claim maxGossipEntries entries with no bytes behind them.
-			binary.LittleEndian.PutUint16(b[4+24:], maxGossipEntries)
+			binary.LittleEndian.PutUint16(b[4+wireHeaderLen-2:], maxGossipEntries)
 			return b
 		}),
 		"gossip count over cap": mutate(func(b []byte) []byte {
-			binary.LittleEndian.PutUint16(b[4+24:], maxGossipEntries+1)
+			binary.LittleEndian.PutUint16(b[4+wireHeaderLen-2:], maxGossipEntries+1)
+			return b
+		}),
+		"negative period stamp": mutate(func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[4+24:], 1<<31)
 			return b
 		}),
 	}
@@ -167,6 +171,88 @@ func TestWireRejectsMalformedFrames(t *testing.T) {
 	}
 }
 
+// encodeMessageV1 renders m in the wire version 1 layout (no Period
+// field) — the format every pre-resync node speaks, kept here as the
+// reference for the decode-fallback contract. It supports exactly the
+// shapes randomMessage produces.
+func encodeMessageV1(t *testing.T, m Message) []byte {
+	t.Helper()
+	out := make([]byte, 4)
+	out = append(out, wireVersionV1, byte(m.Kind))
+	flags := byte(0)
+	if m.Rescue {
+		flags |= flagRescue
+	}
+	if m.Map != nil {
+		flags |= flagHasMap
+	}
+	out = append(out, flags)
+	out = binary.LittleEndian.AppendUint32(out, uint32(m.From))
+	out = binary.LittleEndian.AppendUint64(out, uint64(m.Seg))
+	out = binary.LittleEndian.AppendUint64(out, uint64(m.Deadline))
+	out = append(out, byte(m.Hop))
+	out = binary.LittleEndian.AppendUint16(out, uint16(len(m.Gossip)))
+	for i, g := range m.Gossip {
+		addr := ""
+		if m.GossipAddrs != nil {
+			addr = m.GossipAddrs[i]
+		}
+		out = binary.LittleEndian.AppendUint32(out, uint32(g))
+		out = append(out, byte(len(addr)))
+		out = append(out, addr...)
+	}
+	if m.Map != nil {
+		mb := m.Map.Marshal()
+		out = binary.LittleEndian.AppendUint32(out, uint32(len(mb)))
+		out = append(out, mb...)
+	}
+	binary.LittleEndian.PutUint32(out[0:4], uint32(len(out)-4))
+	return out
+}
+
+// TestWireDecodesVersion1Frames pins the version fallback: every kind
+// in the pre-period-stamp layout still decodes, field for field, with
+// Period 0 — a stamp no newer than the session start, so an old
+// sender's frames can never steer a clock. A v1 frame claiming the
+// period-stamp flag does not exist (v1 rejected unknown flags), and
+// truncating a v1 frame must still fail cleanly.
+func TestWireDecodesVersion1Frames(t *testing.T) {
+	rng := sim.DeriveRNG(99, 0x1111)
+	for kind := msgMap; kind <= msgBye; kind++ {
+		for trial := 0; trial < 50; trial++ {
+			m := randomMessage(rng, kind)
+			frame := encodeMessageV1(t, m)
+			got, err := DecodeMessage(frame)
+			if err != nil {
+				t.Fatalf("kind %d trial %d: v1 decode: %v", kind, trial, err)
+			}
+			want := m
+			want.Period = 0 // v1 carries no stamp
+			if !reflect.DeepEqual(want, got) {
+				t.Fatalf("kind %d trial %d: v1 fallback changed the message\nsent %+v\ngot  %+v", kind, trial, want, got)
+			}
+			// The fallback must survive a round trip through the current
+			// encoder: decode(encode(got)) == got.
+			reframe, err := EncodeMessage(got)
+			if err != nil {
+				t.Fatalf("kind %d: re-encode of v1-decoded message: %v", kind, err)
+			}
+			again, err := DecodeMessage(reframe)
+			if err != nil {
+				t.Fatalf("kind %d: decode of re-encoded frame: %v", kind, err)
+			}
+			if !reflect.DeepEqual(got, again) {
+				t.Fatalf("kind %d: v1→v2 upgrade not stable\nfirst  %+v\nsecond %+v", kind, got, again)
+			}
+			for cut := 0; cut < len(frame); cut++ {
+				if _, err := DecodeMessage(frame[:cut]); err == nil {
+					t.Fatalf("kind %d: %d-byte prefix of a v1 frame decoded without error", kind, cut)
+				}
+			}
+		}
+	}
+}
+
 // TestWireEncodeRejectsUncarriableValues pins the encode-side guards.
 func TestWireEncodeRejectsUncarriableValues(t *testing.T) {
 	cases := map[string]Message{
@@ -175,6 +261,8 @@ func TestWireEncodeRejectsUncarriableValues(t *testing.T) {
 		"oversized from":     {From: 1 << 40},
 		"negative hop":       {Kind: msgData, Hop: -1},
 		"oversized hop":      {Kind: msgData, Hop: 300},
+		"negative period":    {Kind: msgMap, Period: -1},
+		"oversized period":   {Kind: msgMap, Period: 1 << 31},
 		"negative gossip id": {Kind: msgMap, Gossip: []int{-4}},
 		"too much gossip":    {Kind: msgMap, Gossip: make([]int, maxGossipEntries+1)},
 		"addr/gossip mismatch": {
